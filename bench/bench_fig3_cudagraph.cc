@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 3: the acceleration brought by CUDA graphs. For each model,
+ * inference latency (prefill of the 161-token ShareGPT-average prompt
+ * plus generation of 338 output tokens at batch size 1) with and
+ * without CUDA graphs, on an already-loaded engine. The paper reports
+ * accelerations up to 2.4x, larger for smaller models whose decode
+ * steps are launch-overhead-bound.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "serverless/profile.h"
+
+using namespace medusa;
+
+namespace {
+
+constexpr u32 kPromptTokens = 161;
+constexpr u32 kOutputTokens = 338;
+
+f64
+inferenceLatency(const serverless::ServingProfile &profile)
+{
+    // First token from prefill; the remaining 337 from decode steps.
+    return profile.prefill(kPromptTokens) +
+           static_cast<f64>(kOutputTokens - 1) * profile.decodeStep(1);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 3: acceleration brought by the CUDA graph "
+                "===\n");
+    std::printf("(prompt %u tokens, output %u tokens — ShareGPT "
+                "averages)\n\n",
+                kPromptTokens, kOutputTokens);
+    std::printf("%-14s %14s %14s %9s\n", "model", "w/ graph (s)",
+                "w/o graph (s)", "speedup");
+    bench::printRule();
+
+    f64 best = 0;
+    for (const char *name :
+         {"Qwen1.5-0.5B", "Qwen1.5-1.8B", "Qwen1.5-4B", "Llama2-7B"}) {
+        auto model = bench::unwrap(llm::findModel(name), "findModel");
+
+        serverless::ProfileOptions popts;
+        popts.model = model;
+        popts.strategy = llm::Strategy::kVllm;
+        auto with_graph = bench::unwrap(
+            serverless::buildServingProfile(popts), "profile w/ graph");
+
+        popts.strategy = llm::Strategy::kNoCudaGraph;
+        auto without_graph = bench::unwrap(
+            serverless::buildServingProfile(popts), "profile w/o graph");
+
+        const f64 lat_graph = inferenceLatency(with_graph);
+        const f64 lat_eager = inferenceLatency(without_graph);
+        const f64 speedup = lat_eager / lat_graph;
+        best = std::max(best, speedup);
+        std::printf("%-14s %14.3f %14.3f %8.2fx\n", name, lat_graph,
+                    lat_eager, speedup);
+    }
+    bench::printRule();
+    std::printf("max acceleration: %.2fx (paper: up to 2.4x; smaller "
+                "models gain more)\n",
+                best);
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrate hot paths: these
+ * measure *host* wall time of the simulator itself (not virtual time),
+ * guarding against regressions that would make the experiment harness
+ * slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "llm/runtime.h"
+#include "llm/tokenizer.h"
+#include "medusa/artifact.h"
+#include "medusa/offline.h"
+#include "simcuda/caching_allocator.h"
+#include "simcuda/kernels/builtin.h"
+
+namespace medusa {
+namespace {
+
+llm::ModelConfig
+tinyModel()
+{
+    llm::ModelConfig m = llm::findModel("Qwen1.5-0.5B").value();
+    m.num_layers = 2;
+    return m;
+}
+
+void
+BM_CachingAllocatorReuse(benchmark::State &state)
+{
+    SimClock clock;
+    CostModel cost;
+    simcuda::GpuProcessOptions popts;
+    simcuda::GpuProcess process(popts, &clock, &cost);
+    simcuda::CachingAllocator alloc(&process);
+    for (auto _ : state) {
+        auto addr = alloc.allocate(4096, 64);
+        benchmark::DoNotOptimize(addr);
+        (void)alloc.free(*addr);
+    }
+}
+BENCHMARK(BM_CachingAllocatorReuse);
+
+void
+BM_GraphCaptureReplay(benchmark::State &state)
+{
+    llm::ModelRuntime::Options opts;
+    opts.model = tinyModel();
+    llm::ModelRuntime rt(opts);
+    (void)rt.initStructure();
+    (void)rt.loadWeights();
+    auto free_bytes = rt.profileFreeMemory();
+    (void)rt.initKvCache(*free_bytes);
+    const u32 bs = static_cast<u32>(state.range(0));
+    (void)rt.warmupDecode(bs);
+    auto graph = rt.captureDecode(bs);
+    (void)rt.instantiateGraph(bs, *graph);
+    for (auto _ : state) {
+        auto logits = rt.graphDecodeLogits(bs);
+        benchmark::DoNotOptimize(logits);
+    }
+    state.counters["nodes"] = static_cast<double>(graph->nodeCount());
+}
+BENCHMARK(BM_GraphCaptureReplay)->Arg(1)->Arg(8)->Arg(64);
+
+void
+BM_EagerDecode(benchmark::State &state)
+{
+    llm::ModelRuntime::Options opts;
+    opts.model = tinyModel();
+    llm::ModelRuntime rt(opts);
+    (void)rt.initStructure();
+    (void)rt.loadWeights();
+    auto free_bytes = rt.profileFreeMemory();
+    (void)rt.initKvCache(*free_bytes);
+    const u32 bs = static_cast<u32>(state.range(0));
+    (void)rt.warmupDecode(bs);
+    for (auto _ : state) {
+        auto logits = rt.eagerDecodeLogits(bs);
+        benchmark::DoNotOptimize(logits);
+    }
+}
+BENCHMARK(BM_EagerDecode)->Arg(1)->Arg(64);
+
+void
+BM_TokenizerEncode(benchmark::State &state)
+{
+    const std::string corpus = llm::syntheticCorpus(7, 8192);
+    const auto tokenizer = llm::BpeTokenizer::train(corpus, 512);
+    const std::string text = llm::syntheticCorpus(13, 512);
+    for (auto _ : state) {
+        auto ids = tokenizer.encode(text);
+        benchmark::DoNotOptimize(ids);
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void
+BM_ArtifactSerializeRoundTrip(benchmark::State &state)
+{
+    core::OfflineOptions opts;
+    opts.model = tinyModel();
+    opts.validate = false;
+    auto offline = core::materialize(opts);
+    const auto bytes = offline->artifact.serialize();
+    for (auto _ : state) {
+        auto copy = core::Artifact::deserialize(bytes);
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_ArtifactSerializeRoundTrip);
+
+void
+BM_OfflineMaterialize(benchmark::State &state)
+{
+    for (auto _ : state) {
+        core::OfflineOptions opts;
+        opts.model = tinyModel();
+        opts.validate = false;
+        auto offline = core::materialize(opts);
+        benchmark::DoNotOptimize(offline);
+    }
+}
+BENCHMARK(BM_OfflineMaterialize)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace medusa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness binaries (one per table /
+ * figure of the paper; see DESIGN.md §5 and EXPERIMENTS.md).
+ */
+
+#ifndef MEDUSA_BENCH_BENCH_UTIL_H
+#define MEDUSA_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/serialize.h"
+#include "medusa/offline.h"
+
+namespace medusa::bench {
+
+/**
+ * Materialize a model's artifact, caching it on disk under ./artifacts
+ * so experiment binaries can share offline phases.
+ * @param[out] offline_result if non-null and a fresh materialization
+ *             ran, receives the full offline result (timings).
+ */
+inline StatusOr<core::Artifact>
+materializeCached(const llm::ModelConfig &model,
+                  core::OfflineResult *offline_result = nullptr)
+{
+    const std::string path = "artifacts/" + model.name + ".medusa";
+    auto bytes = readFile(path);
+    if (bytes.isOk()) {
+        auto artifact = core::Artifact::deserialize(std::move(*bytes));
+        if (artifact.isOk() && artifact->model_name == model.name &&
+            artifact->model_seed == model.seed) {
+            return artifact;
+        }
+        // Stale or corrupt cache: fall through and rebuild.
+    }
+    core::OfflineOptions opts;
+    opts.model = model;
+    opts.validate = true;
+    opts.validate_batch_sizes = {1, 64};
+    MEDUSA_ASSIGN_OR_RETURN(core::OfflineResult result,
+                            core::materialize(opts));
+    if (offline_result != nullptr) {
+        *offline_result = result;
+    }
+    MEDUSA_RETURN_IF_ERROR(
+        writeFile(path, result.artifact.serialize()));
+    return std::move(result.artifact);
+}
+
+/** Abort the bench with a message if a status is an error. */
+inline void
+checkOk(const Status &status, const char *what)
+{
+    if (!status.isOk()) {
+        std::fprintf(stderr, "%s failed: %s\n", what,
+                     status.toString().c_str());
+        std::exit(1);
+    }
+}
+
+template <typename T>
+inline T
+unwrap(StatusOr<T> value, const char *what)
+{
+    if (!value.isOk()) {
+        std::fprintf(stderr, "%s failed: %s\n", what,
+                     value.status().toString().c_str());
+        std::exit(1);
+    }
+    return std::move(value).value();
+}
+
+inline void
+printRule(char c = '-', int width = 78)
+{
+    for (int i = 0; i < width; ++i) {
+        std::putchar(c);
+    }
+    std::putchar('\n');
+}
+
+} // namespace medusa::bench
+
+#endif // MEDUSA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Virtual simulation clock.
+ *
+ * All latencies in the reproduction are *simulated*: components advance a
+ * SimClock by modelled costs instead of burning wall time. Benchmarks
+ * report virtual seconds, which makes results deterministic and
+ * hardware-independent while preserving the paper's latency structure.
+ */
+
+#ifndef MEDUSA_COMMON_CLOCK_H
+#define MEDUSA_COMMON_CLOCK_H
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace medusa {
+
+/**
+ * A monotonically advancing virtual clock, in nanoseconds.
+ */
+class SimClock
+{
+  public:
+    SimClock() = default;
+
+    /** Current virtual time in nanoseconds. */
+    SimTimeNs now() const { return now_ns_; }
+
+    /** Current virtual time in (fractional) seconds. */
+    f64 nowSec() const { return units::nsToSec(now_ns_); }
+
+    /** Advance by a non-negative delta. */
+    void
+    advance(SimTimeNs delta_ns)
+    {
+        MEDUSA_CHECK(delta_ns >= 0,
+                     "clock advanced by negative delta " << delta_ns);
+        now_ns_ += delta_ns;
+    }
+
+    /** Jump forward to an absolute time, which must not be in the past. */
+    void
+    advanceTo(SimTimeNs t_ns)
+    {
+        MEDUSA_CHECK(t_ns >= now_ns_, "clock moved backwards: now="
+                                          << now_ns_ << " target=" << t_ns);
+        now_ns_ = t_ns;
+    }
+
+    /** Reset to zero (fresh simulated process). */
+    void reset() { now_ns_ = 0; }
+
+  private:
+    SimTimeNs now_ns_ = 0;
+};
+
+/**
+ * RAII span that measures elapsed virtual time between construction and
+ * stop()/destruction, accumulating into a target duration.
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(const SimClock &clock, SimTimeNs &accum)
+        : clock_(clock), accum_(accum), start_(clock.now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        if (!stopped_) {
+            stop();
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Stop early and record the elapsed span. */
+    void
+    stop()
+    {
+        accum_ += clock_.now() - start_;
+        stopped_ = true;
+    }
+
+  private:
+    const SimClock &clock_;
+    SimTimeNs &accum_;
+    SimTimeNs start_;
+    bool stopped_ = false;
+};
+
+} // namespace medusa
+
+#endif // MEDUSA_COMMON_CLOCK_H

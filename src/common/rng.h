@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of randomness in the simulator (ASLR bases, allocator
+ * jitter, workload arrivals, weight contents) draws from an explicitly
+ * seeded Rng so that runs are reproducible bit-for-bit.
+ */
+
+#ifndef MEDUSA_COMMON_RNG_H
+#define MEDUSA_COMMON_RNG_H
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace medusa {
+
+/**
+ * SplitMix64 generator used to expand a single seed into independent
+ * streams (e.g. to seed one Rng per subsystem).
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(u64 seed) : state_(seed) {}
+
+    /** Return the next 64-bit value. */
+    u64
+    next()
+    {
+        u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    u64 state_;
+};
+
+/**
+ * xoshiro256** — fast, high-quality generator with convenience
+ * distributions. Not thread-safe; give each component its own instance.
+ */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion, per the xoshiro authors' advice. */
+    explicit Rng(u64 seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto &s : state_) {
+            s = sm.next();
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    u64
+    nextU64()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform in [0, bound); bound must be nonzero. */
+    u64
+    nextBounded(u64 bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const u64 threshold = (0 - bound) % bound;
+        for (;;) {
+            u64 r = nextU64();
+            if (r >= threshold) {
+                return r % bound;
+            }
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    nextIntIn(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(
+                        nextBounded(static_cast<u64>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    f64
+    nextDouble()
+    {
+        return static_cast<f64>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [-1, 1); used for synthetic tensor contents. */
+    f32
+    nextSymmetricFloat()
+    {
+        return static_cast<f32>(nextDouble() * 2.0 - 1.0);
+    }
+
+    /** Exponentially distributed value with the given rate (1/mean). */
+    f64
+    nextExponential(f64 rate)
+    {
+        f64 u = nextDouble();
+        // Guard against log(0).
+        if (u <= 0.0) {
+            u = 0x1.0p-53;
+        }
+        return -std::log(u) / rate;
+    }
+
+    /** Standard normal via Box-Muller. */
+    f64
+    nextGaussian()
+    {
+        f64 u1 = nextDouble();
+        f64 u2 = nextDouble();
+        if (u1 <= 0.0) {
+            u1 = 0x1.0p-53;
+        }
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    }
+
+    /** Log-normal with the given underlying mu/sigma. */
+    f64
+    nextLogNormal(f64 mu, f64 sigma)
+    {
+        return std::exp(mu + sigma * nextGaussian());
+    }
+
+    /** Fork an independent generator (for per-component streams). */
+    Rng
+    fork()
+    {
+        return Rng(nextU64());
+    }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    u64 state_[4];
+};
+
+} // namespace medusa
+
+#endif // MEDUSA_COMMON_RNG_H

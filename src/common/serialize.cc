@@ -1,0 +1,49 @@
+#include "common/serialize.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace medusa {
+
+Status
+writeFile(const std::string &path, const std::vector<u8> &bytes)
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+        if (ec) {
+            return internalError("cannot create directories for " + path +
+                                 ": " + ec.message());
+        }
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        return internalError("cannot open " + path + " for writing");
+    }
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+        return internalError("short write to " + path);
+    }
+    return Status::ok();
+}
+
+StatusOr<std::vector<u8>>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        return notFound("cannot open " + path);
+    }
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<u8> bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(bytes.data()), size);
+    if (!in) {
+        return internalError("short read from " + path);
+    }
+    return bytes;
+}
+
+} // namespace medusa

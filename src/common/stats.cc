@@ -1,0 +1,35 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace medusa {
+
+std::string
+formatBytes(u64 bytes)
+{
+    char buf[64];
+    if (bytes >= units::GiB) {
+        std::snprintf(buf, sizeof(buf), "%.1fGiB",
+                      static_cast<f64>(bytes) / static_cast<f64>(units::GiB));
+    } else if (bytes >= units::MiB) {
+        std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                      static_cast<f64>(bytes) / static_cast<f64>(units::MiB));
+    } else if (bytes >= units::KiB) {
+        std::snprintf(buf, sizeof(buf), "%.1fKiB",
+                      static_cast<f64>(bytes) / static_cast<f64>(units::KiB));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatSeconds(SimTimeNs ns)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3fs", units::nsToSec(ns));
+    return buf;
+}
+
+} // namespace medusa

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Statistics accumulators used by the evaluation harness: running
+ * mean/min/max, exact percentile tracking, and fixed-bucket histograms.
+ */
+
+#ifndef MEDUSA_COMMON_STATS_H
+#define MEDUSA_COMMON_STATS_H
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace medusa {
+
+/**
+ * Running scalar summary: count, sum, mean, min, max.
+ */
+class Summary
+{
+  public:
+    void
+    add(f64 v)
+    {
+        if (count_ == 0 || v < min_) {
+            min_ = v;
+        }
+        if (count_ == 0 || v > max_) {
+            max_ = v;
+        }
+        sum_ += v;
+        ++count_;
+    }
+
+    u64 count() const { return count_; }
+    f64 sum() const { return sum_; }
+    f64 mean() const { return count_ ? sum_ / static_cast<f64>(count_) : 0; }
+    f64 min() const { return count_ ? min_ : 0; }
+    f64 max() const { return count_ ? max_ : 0; }
+
+  private:
+    u64 count_ = 0;
+    f64 sum_ = 0;
+    f64 min_ = 0;
+    f64 max_ = 0;
+};
+
+/**
+ * Exact percentile tracker. Stores all samples; adequate for the trace
+ * experiments (tens of thousands of requests).
+ */
+class PercentileTracker
+{
+  public:
+    void add(f64 v) { samples_.push_back(v); }
+
+    u64 count() const { return samples_.size(); }
+
+    /**
+     * The q-th percentile using nearest-rank on the sorted samples.
+     * @param q percentile in [0, 100].
+     */
+    f64
+    percentile(f64 q) const
+    {
+        MEDUSA_CHECK(!samples_.empty(), "percentile of empty tracker");
+        MEDUSA_CHECK(q >= 0.0 && q <= 100.0, "bad percentile " << q);
+        std::vector<f64> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        if (q <= 0.0) {
+            return sorted.front();
+        }
+        const auto n = sorted.size();
+        auto rank = static_cast<std::size_t>(
+            std::max<long long>(1, static_cast<long long>(
+                                       (q / 100.0) * static_cast<f64>(n) +
+                                       0.999999)));
+        rank = std::min(rank, n);
+        return sorted[rank - 1];
+    }
+
+    f64 p50() const { return percentile(50.0); }
+    f64 p90() const { return percentile(90.0); }
+    f64 p99() const { return percentile(99.0); }
+
+    f64
+    mean() const
+    {
+        if (samples_.empty()) {
+            return 0;
+        }
+        f64 sum = 0;
+        for (f64 v : samples_) {
+            sum += v;
+        }
+        return sum / static_cast<f64>(samples_.size());
+    }
+
+    const std::vector<f64> &samples() const { return samples_; }
+
+  private:
+    std::vector<f64> samples_;
+};
+
+/**
+ * Fixed-width bucket histogram over [lo, hi); values outside are clamped
+ * into the edge buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(f64 lo, f64 hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets, 0)
+    {
+        MEDUSA_CHECK(hi > lo && buckets > 0, "bad histogram bounds");
+    }
+
+    void
+    add(f64 v)
+    {
+        f64 frac = (v - lo_) / (hi_ - lo_);
+        auto idx = static_cast<long long>(
+            frac * static_cast<f64>(counts_.size()));
+        idx = std::clamp<long long>(
+            idx, 0, static_cast<long long>(counts_.size()) - 1);
+        ++counts_[static_cast<std::size_t>(idx)];
+        ++total_;
+    }
+
+    u64 bucketCount(std::size_t i) const { return counts_.at(i); }
+    std::size_t buckets() const { return counts_.size(); }
+    u64 total() const { return total_; }
+
+  private:
+    f64 lo_;
+    f64 hi_;
+    std::vector<u64> counts_;
+    u64 total_ = 0;
+};
+
+/** Format a byte count with binary units, e.g. "7.4GiB". */
+std::string formatBytes(u64 bytes);
+
+/** Format virtual nanoseconds as seconds with fixed precision. */
+std::string formatSeconds(SimTimeNs ns);
+
+} // namespace medusa
+
+#endif // MEDUSA_COMMON_STATS_H

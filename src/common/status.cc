@@ -1,0 +1,89 @@
+#include "common/status.h"
+
+namespace medusa {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kCaptureViolation: return "CAPTURE_VIOLATION";
+      case StatusCode::kValidationFailure: return "VALIDATION_FAILURE";
+      case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk()) {
+        return "OK";
+    }
+    std::string out = statusCodeName(code_);
+    out += ": ";
+    out += message_;
+    return out;
+}
+
+Status
+invalidArgument(std::string msg)
+{
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+
+Status
+notFound(std::string msg)
+{
+    return Status(StatusCode::kNotFound, std::move(msg));
+}
+
+Status
+alreadyExists(std::string msg)
+{
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+
+Status
+outOfMemory(std::string msg)
+{
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+}
+
+Status
+failedPrecondition(std::string msg)
+{
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+
+Status
+captureViolation(std::string msg)
+{
+    return Status(StatusCode::kCaptureViolation, std::move(msg));
+}
+
+Status
+validationFailure(std::string msg)
+{
+    return Status(StatusCode::kValidationFailure, std::move(msg));
+}
+
+Status
+internalError(std::string msg)
+{
+    return Status(StatusCode::kInternal, std::move(msg));
+}
+
+Status
+unimplemented(std::string msg)
+{
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+
+} // namespace medusa

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Error-handling vocabulary: Status and StatusOr<T>.
+ *
+ * The simulated CUDA layer reports recoverable errors (e.g. "operation not
+ * permitted during stream capture") through Status values, mirroring how
+ * cudaError_t behaves on real hardware. Simulator bugs use MEDUSA_PANIC
+ * instead.
+ */
+
+#ifndef MEDUSA_COMMON_STATUS_H
+#define MEDUSA_COMMON_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace medusa {
+
+/** Error taxonomy, loosely modelled on cudaError_t / absl::StatusCode. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfMemory,
+    kFailedPrecondition,
+    /** Raised when a forbidden API is called during stream capture. */
+    kCaptureViolation,
+    /** Raised when restored state fails validation against ground truth. */
+    kValidationFailure,
+    kInternal,
+    kUnimplemented,
+};
+
+/** Human-readable name of a status code. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * A cheap, value-semantic success/error result.
+ */
+class Status
+{
+  public:
+    /** Construct an OK status. */
+    Status() : code_(StatusCode::kOk) {}
+
+    /** Construct an error status with a message. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Render as "CODE: message" for logs and test failures. */
+    std::string toString() const;
+
+    bool operator==(const Status &other) const
+    {
+        return code_ == other.code_ && message_ == other.message_;
+    }
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+/** Shorthand error constructors. */
+Status invalidArgument(std::string msg);
+Status notFound(std::string msg);
+Status alreadyExists(std::string msg);
+Status outOfMemory(std::string msg);
+Status failedPrecondition(std::string msg);
+Status captureViolation(std::string msg);
+Status validationFailure(std::string msg);
+Status internalError(std::string msg);
+Status unimplemented(std::string msg);
+
+/**
+ * Either a value of type T or an error Status.
+ *
+ * @tparam T the success payload type.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Construct from a success value. */
+    StatusOr(T value) : status_(Status::ok()), value_(std::move(value)) {}
+
+    /** Construct from an error status; panics if passed an OK status. */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        MEDUSA_CHECK(!status_.isOk(),
+                     "StatusOr constructed from OK status without a value");
+    }
+
+    bool isOk() const { return status_.isOk(); }
+    const Status &status() const { return status_; }
+
+    /** Access the value; panics if this holds an error. */
+    const T &
+    value() const &
+    {
+        MEDUSA_CHECK(isOk(), "value() on error: " << status_.toString());
+        return *value_;
+    }
+
+    T &
+    value() &
+    {
+        MEDUSA_CHECK(isOk(), "value() on error: " << status_.toString());
+        return *value_;
+    }
+
+    T &&
+    value() &&
+    {
+        MEDUSA_CHECK(isOk(), "value() on error: " << status_.toString());
+        return std::move(*value_);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+/** Propagate an error status out of the current function. */
+#define MEDUSA_RETURN_IF_ERROR(expr)                                         \
+    do {                                                                     \
+        ::medusa::Status medusa_st = (expr);                                 \
+        if (!medusa_st.isOk()) {                                             \
+            return medusa_st;                                                \
+        }                                                                    \
+    } while (0)
+
+/** Assign from a StatusOr or propagate its error. */
+#define MEDUSA_ASSIGN_OR_RETURN(lhs, expr)                                   \
+    MEDUSA_ASSIGN_OR_RETURN_IMPL(                                            \
+        MEDUSA_STATUS_CONCAT(medusa_sor_, __LINE__), lhs, expr)
+
+#define MEDUSA_STATUS_CONCAT_INNER(a, b) a##b
+#define MEDUSA_STATUS_CONCAT(a, b) MEDUSA_STATUS_CONCAT_INNER(a, b)
+
+#define MEDUSA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)                         \
+    auto tmp = (expr);                                                       \
+    if (!tmp.isOk()) {                                                       \
+        return tmp.status();                                                 \
+    }                                                                        \
+    lhs = std::move(tmp).value()
+
+} // namespace medusa
+
+#endif // MEDUSA_COMMON_STATUS_H

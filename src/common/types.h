@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental type aliases and unit helpers shared by every Medusa
+ * subsystem.
+ */
+
+#ifndef MEDUSA_COMMON_TYPES_H
+#define MEDUSA_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace medusa {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/**
+ * A simulated device (GPU) virtual address. Device addresses live in a
+ * high canonical range (see simcuda::DeviceMemoryManager) so that Medusa's
+ * pointer-vs-constant classification heuristic has the same signal it has
+ * on real hardware.
+ */
+using DeviceAddr = u64;
+
+/**
+ * A simulated kernel function address. Kernel addresses are randomized on
+ * every GpuProcess launch, mirroring ASLR of real process address spaces.
+ */
+using KernelAddr = u64;
+
+/** Simulated virtual time, in nanoseconds. */
+using SimTimeNs = i64;
+
+namespace units {
+
+constexpr u64 KiB = 1024ull;
+constexpr u64 MiB = 1024ull * KiB;
+constexpr u64 GiB = 1024ull * MiB;
+
+constexpr SimTimeNs usToNs(f64 us) { return static_cast<SimTimeNs>(us * 1e3); }
+constexpr SimTimeNs msToNs(f64 ms) { return static_cast<SimTimeNs>(ms * 1e6); }
+constexpr SimTimeNs secToNs(f64 s) { return static_cast<SimTimeNs>(s * 1e9); }
+constexpr f64 nsToUs(SimTimeNs ns) { return static_cast<f64>(ns) / 1e3; }
+constexpr f64 nsToMs(SimTimeNs ns) { return static_cast<f64>(ns) / 1e6; }
+constexpr f64 nsToSec(SimTimeNs ns) { return static_cast<f64>(ns) / 1e9; }
+
+} // namespace units
+
+} // namespace medusa
+
+#endif // MEDUSA_COMMON_TYPES_H

@@ -1,0 +1,98 @@
+#include "llm/engine.h"
+
+#include <algorithm>
+
+namespace medusa::llm {
+
+const char *
+strategyName(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::kVllm: return "vLLM";
+      case Strategy::kVllmAsync: return "vLLM+ASYNC";
+      case Strategy::kNoCudaGraph: return "w/o CUDA GRAPH";
+      case Strategy::kMedusa: return "Medusa";
+      case Strategy::kDeferredCapture: return "deferred capture";
+    }
+    return "?";
+}
+
+f64
+composeLoading(Strategy strategy, const StageTimes &t,
+               const CostModel &cost)
+{
+    switch (strategy) {
+      case Strategy::kVllm:
+      case Strategy::kNoCudaGraph:
+      case Strategy::kDeferredCapture:
+        // Fully synchronous stages.
+        return t.serialSum();
+      case Strategy::kVllmAsync: {
+        // Weights loading overlaps tokenizer + KV init. The profiling
+        // forwarding's device traffic slows the async weight copies
+        // (§7.3's Nsight observation), modelled as a multiplicative
+        // interference factor.
+        const f64 weights_async =
+            t.weights * cost.weights_profiling_interference;
+        return t.struct_init +
+               std::max(weights_async, t.tokenizer + t.kv_init) +
+               t.capture;
+      }
+      case Strategy::kMedusa:
+        MEDUSA_PANIC("Medusa composition lives in src/medusa/restore");
+    }
+    return t.serialSum();
+}
+
+StatusOr<std::unique_ptr<BaselineEngine>>
+BaselineEngine::coldStart(const Options &opts)
+{
+    ModelRuntime::Options ropts;
+    ropts.model = opts.model;
+    ropts.aslr_seed = opts.aslr_seed;
+    ropts.cost = opts.cost;
+    auto runtime = std::make_unique<ModelRuntime>(ropts);
+    ModelRuntime &rt = *runtime;
+    const CostModel &cost = rt.process().cost();
+
+    std::unique_ptr<BaselineEngine> engine(
+        new BaselineEngine(opts.strategy, opts.aslr_seed,
+                           std::move(runtime)));
+    StageTimes &t = engine->times_;
+    t.runtime_init = opts.warm_container
+                         ? cost.runtime_init_warm_ms / 1e3
+                         : cost.runtime_init_cold_ms / 1e3;
+
+    SimClock &clock = rt.clock();
+    f64 mark = clock.nowSec();
+    auto lap = [&clock, &mark]() {
+        const f64 now = clock.nowSec();
+        const f64 d = now - mark;
+        mark = now;
+        return d;
+    };
+
+    MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    t.struct_init = lap();
+
+    MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    t.weights = lap();
+
+    MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    t.tokenizer = lap();
+
+    MEDUSA_ASSIGN_OR_RETURN(u64 free_bytes, rt.profileFreeMemory());
+    MEDUSA_RETURN_IF_ERROR(rt.initKvCache(free_bytes));
+    t.kv_init = lap();
+
+    if (opts.strategy != Strategy::kNoCudaGraph &&
+        opts.strategy != Strategy::kDeferredCapture) {
+        MEDUSA_RETURN_IF_ERROR(rt.captureDecodeGraphs());
+        t.capture = lap();
+    }
+
+    t.loading = composeLoading(opts.strategy, t, cost);
+    return engine;
+}
+
+} // namespace medusa::llm

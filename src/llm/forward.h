@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The model forward pass: emits the kernel launch sequence of one
+ * prefill or decode forwarding onto a stream.
+ *
+ * This is the "host code" whose control flow the paper's Challenge I
+ * hinges on: buffers are allocated in a strict order and kernels are
+ * launched against the returned addresses, so the i-th data pointer
+ * correlates with the i-th buffer allocation. Running the same pass
+ * under stream capture yields the CUDA graph for that batch size.
+ *
+ * Every launch carries a TimingInfo computed from the model's *real*
+ * dimensions, while the functional computation uses the scaled FuncDims
+ * geometry (see model_config.h).
+ */
+
+#ifndef MEDUSA_LLM_FORWARD_H
+#define MEDUSA_LLM_FORWARD_H
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "llm/hooks.h"
+#include "llm/kv_cache.h"
+#include "llm/model_config.h"
+#include "llm/weights.h"
+#include "simcuda/caching_allocator.h"
+
+namespace medusa::llm {
+
+/**
+ * Long-lived I/O buffers shared by all forwardings (and by all captured
+ * graphs, as in vLLM): the engine writes inputs into them before each
+ * step and reads logits/samples back.
+ */
+struct ForwardBuffers
+{
+    DeviceAddr token_ids = 0;
+    DeviceAddr positions = 0;
+    DeviceAddr seq_starts = 0;
+    DeviceAddr slot_mapping = 0;
+    DeviceAddr block_tables = 0;
+    DeviceAddr seq_lens = 0;
+    DeviceAddr logits = 0;
+    DeviceAddr sampled = 0;
+
+    u32 max_bs = 256;
+    u32 max_tokens = 256;
+    u32 max_blocks_per_seq = 0;
+
+    bool initialized() const { return token_ids != 0; }
+};
+
+/**
+ * Allocate the I/O buffers (stage ❹ start, before any capture — they
+ * are therefore classified as "allocated before capturing" by Medusa
+ * and need no content materialization). Tags each buffer through the
+ * observer so Medusa's online phase can re-bind them after replay.
+ */
+StatusOr<ForwardBuffers>
+allocateForwardBuffers(simcuda::CachingAllocator &alloc,
+                       const ModelConfig &config, EngineObserver *observer);
+
+/** Per-layer split-K GEMM semaphore workspaces (permanent buffers). */
+using SemaphoreMap = std::map<u32, std::pair<DeviceAddr, DeviceAddr>>;
+
+/**
+ * Per-batch-size batched-LM-head workspace: a persistent final-norm
+ * output buffer and a device pointer-array buffer holding
+ * [norm_buf, lm_head_weights, logits] — the §8 indirect-pointer case.
+ */
+using LmWorkspaceMap = std::map<u32, std::pair<DeviceAddr, DeviceAddr>>;
+
+/**
+ * Stateless emitter of forward-pass kernel sequences; see file comment.
+ */
+class ForwardPass
+{
+  public:
+    struct Env
+    {
+        simcuda::GpuProcess *process = nullptr;
+        simcuda::CachingAllocator *alloc = nullptr;
+        const ModelConfig *model = nullptr;
+        const ModelWeights *weights = nullptr;
+        KvCache *kv = nullptr;
+        const ForwardBuffers *bufs = nullptr;
+        /** Owned by the runtime; lazily filled by decode passes. */
+        SemaphoreMap *semaphores = nullptr;
+        /** Owned by the runtime; used when batched_lm_head is set. */
+        LmWorkspaceMap *lm_workspace = nullptr;
+    };
+
+    explicit ForwardPass(const Env &env);
+
+    /**
+     * One decode step over a (padded) batch of @p bs single-token
+     * sequences, covering layers [layer_begin, layer_end).
+     * @param with_embed_head include the embedding and the final
+     *        norm + LM head (false when capturing a middle slice).
+     */
+    Status decode(simcuda::Stream &stream, u32 bs, u32 layer_begin,
+                  u32 layer_end, bool with_embed_head);
+
+    /** Full-model decode step. */
+    Status
+    decodeFull(simcuda::Stream &stream, u32 bs)
+    {
+        return decode(stream, bs, 0, model_->num_layers, true);
+    }
+
+    /**
+     * Eager prefill of @p n_func functional tokens across @p bs
+     * sequences. @p n_real is the real token count for timing.
+     */
+    Status prefill(simcuda::Stream &stream, u32 bs, u32 n_func,
+                   u32 n_real);
+
+    /** Expected node count of a decode graph at batch size @p bs. */
+    static u64 decodeNodeCount(const ModelConfig &model, u32 bs);
+
+    /** Batch sizes at which decode attention uses the split variant. */
+    static bool usesAttnSplit(u32 bs) { return bs >= 64; }
+
+  private:
+    /** Allocate a tracked temp buffer (freed by releaseTemps). */
+    StatusOr<DeviceAddr> temp(u64 func_bytes, u64 logical_bytes);
+
+    /** Free all tracked temps in LIFO order. */
+    Status releaseTemps();
+
+    /** Get or lazily create the split-K semaphores of a layer. */
+    StatusOr<std::pair<DeviceAddr, DeviceAddr>> semaphores(u32 layer);
+
+    /** Get or lazily create the batched-LM-head workspace for bs. */
+    StatusOr<std::pair<DeviceAddr, DeviceAddr>> lmWorkspace(u32 bs);
+
+    simcuda::GpuProcess *process_;
+    simcuda::CachingAllocator *alloc_;
+    const ModelConfig *model_;
+    const ModelWeights *weights_;
+    KvCache *kv_;
+    const ForwardBuffers *bufs_;
+    SemaphoreMap *semaphores_;
+    LmWorkspaceMap *lm_workspace_;
+    std::vector<DeviceAddr> temps_;
+};
+
+} // namespace medusa::llm
+
+#endif // MEDUSA_LLM_FORWARD_H

@@ -1,0 +1,44 @@
+#include "llm/kv_cache.h"
+
+namespace medusa::llm {
+
+StatusOr<KvCache>
+allocateKvCache(simcuda::CachingAllocator &alloc, const ModelConfig &m,
+                u64 free_gpu_bytes)
+{
+    KvCache cache;
+    const u64 budget = static_cast<u64>(
+        static_cast<f64>(free_gpu_bytes) * 0.9);
+    const u64 block_bytes = m.kvBlockBytes();
+    if (block_bytes == 0 || budget < block_bytes) {
+        return outOfMemory("no room for any KV block");
+    }
+    cache.real_num_blocks = budget / block_bytes;
+    cache.logical_bytes = cache.real_num_blocks * block_bytes;
+
+    // Per-layer K and V tensors carve up the budget; functional backing
+    // holds FuncDims::num_blocks blocks of the scaled geometry.
+    const u64 per_tensor_logical =
+        cache.logical_bytes / (2ull * m.num_layers);
+    const FuncDims &f = m.func;
+    // Each tensor-parallel rank stores only its KV-head shard.
+    const u64 per_tensor_func_bytes = static_cast<u64>(f.num_blocks) *
+                                      f.block_size *
+                                      m.funcLocalKvDim() * sizeof(f32);
+    cache.k_layers.reserve(m.num_layers);
+    cache.v_layers.reserve(m.num_layers);
+    for (u32 l = 0; l < m.num_layers; ++l) {
+        MEDUSA_ASSIGN_OR_RETURN(
+            DeviceAddr k,
+            alloc.allocate(per_tensor_logical, per_tensor_func_bytes));
+        MEDUSA_ASSIGN_OR_RETURN(
+            DeviceAddr v,
+            alloc.allocate(per_tensor_logical, per_tensor_func_bytes));
+        cache.k_layers.push_back(k);
+        cache.v_layers.push_back(v);
+    }
+    cache.blocks = BlockManager(f.num_blocks);
+    return cache;
+}
+
+} // namespace medusa::llm

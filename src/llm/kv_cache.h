@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Paged KV cache: block manager and per-layer cache tensors.
+ *
+ * Stage ❹ of the loading phase determines the free GPU memory available
+ * for the KV cache (via a profiling forwarding in vanilla vLLM, via the
+ * materialized value in Medusa), then reserves per-layer K and V tensors
+ * and manages them as fixed-size blocks.
+ */
+
+#ifndef MEDUSA_LLM_KV_CACHE_H
+#define MEDUSA_LLM_KV_CACHE_H
+
+#include <vector>
+
+#include "common/status.h"
+#include "llm/model_config.h"
+#include "simcuda/caching_allocator.h"
+
+namespace medusa::llm {
+
+/**
+ * Allocates and frees functional cache blocks. Block 0 is reserved as
+ * the dummy block that padding slots of fixed-batch graph replays write
+ * into.
+ */
+class BlockManager
+{
+  public:
+    explicit BlockManager(u32 num_blocks) : free_stack_()
+    {
+        MEDUSA_CHECK(num_blocks >= 2, "need at least a dummy + one block");
+        total_ = num_blocks;
+        // Stack of free ids, excluding the dummy block 0; popping yields
+        // ascending ids first for determinism.
+        for (u32 b = num_blocks; b-- > 1;) {
+            free_stack_.push_back(static_cast<i32>(b));
+        }
+    }
+
+    /** Reserve one block; error when the pool is exhausted. */
+    StatusOr<i32>
+    allocate()
+    {
+        if (free_stack_.empty()) {
+            return outOfMemory("KV block pool exhausted");
+        }
+        const i32 b = free_stack_.back();
+        free_stack_.pop_back();
+        return b;
+    }
+
+    /** Return a block to the pool. */
+    Status
+    free(i32 block)
+    {
+        if (block <= 0 || static_cast<u32>(block) >= total_) {
+            return invalidArgument("free of invalid KV block");
+        }
+        free_stack_.push_back(block);
+        return Status::ok();
+    }
+
+    u32 totalBlocks() const { return total_; }
+    u32 freeBlocks() const { return static_cast<u32>(free_stack_.size()); }
+
+  private:
+    u32 total_ = 0;
+    std::vector<i32> free_stack_;
+};
+
+/** The reserved cache tensors plus the functional block manager. */
+struct KvCache
+{
+    /** Per-layer K / V tensor base addresses. */
+    std::vector<DeviceAddr> k_layers;
+    std::vector<DeviceAddr> v_layers;
+    /**
+     * The profiling result: number of *real* KV blocks that fit in the
+     * free GPU memory. This is the value Medusa materializes (§6).
+     */
+    u64 real_num_blocks = 0;
+    /** Real bytes reserved (accounting). */
+    u64 logical_bytes = 0;
+    /** Functional block pool. */
+    BlockManager blocks{2};
+
+    bool initialized() const { return !k_layers.empty(); }
+};
+
+/**
+ * Reserve the cache tensors given the profiled (or materialized) free
+ * GPU memory, using gpu_memory_utilization=0.9 of it as vLLM does.
+ */
+StatusOr<KvCache> allocateKvCache(simcuda::CachingAllocator &alloc,
+                                  const ModelConfig &config,
+                                  u64 free_gpu_bytes);
+
+} // namespace medusa::llm
+
+#endif // MEDUSA_LLM_KV_CACHE_H

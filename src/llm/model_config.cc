@@ -1,0 +1,96 @@
+#include "llm/model_config.h"
+
+namespace medusa::llm {
+
+const char *
+archName(ModelArch arch)
+{
+    switch (arch) {
+      case ModelArch::kLlama: return "llama";
+      case ModelArch::kQwen: return "qwen";
+      case ModelArch::kFalcon: return "falcon";
+    }
+    return "?";
+}
+
+std::vector<u32>
+captureBatchSizes()
+{
+    std::vector<u32> sizes = {1, 2, 4};
+    for (u32 bs = 8; bs <= 256; bs += 8) {
+        sizes.push_back(bs);
+    }
+    return sizes; // 3 + 32 = 35 sizes, as in vLLM.
+}
+
+namespace {
+
+ModelConfig
+makeModel(const std::string &name, ModelArch arch, u32 layers, u32 hidden,
+          u32 heads, u32 kv_heads, u32 intermediate, u32 vocab, u64 seed)
+{
+    ModelConfig m;
+    m.name = name;
+    m.arch = arch;
+    m.num_layers = layers;
+    m.hidden = hidden;
+    m.heads = heads;
+    m.kv_heads = kv_heads;
+    m.head_dim = hidden / heads;
+    m.intermediate = intermediate;
+    m.vocab = vocab;
+    m.seed = seed;
+    // Functional GQA/MQA ratio mirrors the real one where possible.
+    if (kv_heads == heads) {
+        m.func.kv_heads = m.func.heads; // MHA
+    } else if (kv_heads == 1) {
+        m.func.kv_heads = 1; // MQA (Falcon)
+    } else {
+        m.func.kv_heads = 2; // GQA (Yi)
+    }
+    return m;
+}
+
+} // namespace
+
+std::vector<ModelConfig>
+modelZoo()
+{
+    // Real dimensions from the published HuggingFace configs of the ten
+    // models in the paper's Table 1.
+    std::vector<ModelConfig> zoo;
+    zoo.push_back(makeModel("Falcon-7B", ModelArch::kFalcon, 32, 4544, 71,
+                            1, 4 * 4544, 65024, 101));
+    zoo.push_back(makeModel("Llama2-7B", ModelArch::kLlama, 32, 4096, 32,
+                            32, 11008, 32000, 102));
+    zoo.push_back(makeModel("Llama2-13B", ModelArch::kLlama, 40, 5120, 40,
+                            40, 13824, 32000, 103));
+    zoo.push_back(makeModel("Qwen1.5-0.5B", ModelArch::kQwen, 24, 1024, 16,
+                            16, 2816, 151936, 104));
+    zoo.push_back(makeModel("Qwen1.5-1.8B", ModelArch::kQwen, 24, 2048, 16,
+                            16, 5504, 151936, 105));
+    zoo.push_back(makeModel("Qwen1.5-4B", ModelArch::kQwen, 40, 2560, 20,
+                            20, 6912, 151936, 106));
+    zoo.push_back(makeModel("Qwen1.5-7B", ModelArch::kQwen, 32, 4096, 32,
+                            32, 11008, 151936, 107));
+    zoo.push_back(makeModel("Qwen1.5-14B", ModelArch::kQwen, 40, 5120, 40,
+                            40, 13696, 152064, 108));
+    zoo.push_back(makeModel("Yi-6B", ModelArch::kLlama, 32, 4096, 32, 4,
+                            11008, 64000, 109));
+    zoo.push_back(makeModel("Yi-9B", ModelArch::kLlama, 48, 4096, 32, 4,
+                            11008, 64000, 110));
+    return zoo;
+}
+
+StatusOr<ModelConfig>
+findModel(const std::string &name)
+{
+    for (const ModelConfig &m : modelZoo()) {
+        if (m.name == name) {
+            return m;
+        }
+    }
+    return notFound("no model named " + name + " in the zoo");
+}
+
+} // namespace medusa::llm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Model configurations for the ten LLMs of the paper's Table 1.
+ *
+ * Each model carries two sets of dimensions:
+ *  - *real* dims (hidden size, heads, layers, vocab) taken from the
+ *    published HuggingFace configs; these drive the timing model
+ *    (weight bytes, per-kernel flops) and the loading-phase latencies.
+ *  - *functional* dims (FuncDims), a scaled-down geometry the simulated
+ *    kernels actually compute with, so that CUDA-graph capture,
+ *    restoration and validation are exercised with real data flow at
+ *    laptop scale. The layer count is NOT scaled: graph structure
+ *    matches the real model.
+ */
+
+#ifndef MEDUSA_LLM_MODEL_CONFIG_H
+#define MEDUSA_LLM_MODEL_CONFIG_H
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace medusa::llm {
+
+/** Architectural family; decides the per-layer kernel sequence. */
+enum class ModelArch {
+    kLlama, ///< Llama2 / Yi: RMSNorm + SwiGLU, no attention bias
+    kQwen,  ///< Qwen1.5: like Llama plus QKV bias
+    kFalcon ///< Falcon: LayerNorm (with bias), MQA, GELU MLP
+};
+
+const char *archName(ModelArch arch);
+
+/** Scaled-down functional geometry; see file comment. */
+struct FuncDims
+{
+    u32 hidden = 32;
+    u32 heads = 4;
+    u32 kv_heads = 4;
+    u32 head_dim = 8;
+    u32 intermediate = 64;
+    u32 vocab = 256;
+    u32 block_size = 8;
+    /** Max functional sequence length (prompt + output). */
+    u32 max_seq = 64;
+    /** Functional token budget of the profiling forwarding. */
+    u32 max_batched_tokens = 256;
+    /** Functional KV block pool (supports 256 seqs x max_seq). */
+    u32 num_blocks = 2049;
+
+    u32 kvDim() const { return kv_heads * head_dim; }
+};
+
+/** One model of the zoo. */
+struct ModelConfig
+{
+    std::string name;
+    ModelArch arch = ModelArch::kLlama;
+    u32 num_layers = 0;
+
+    // Real dimensions (timing / accounting).
+    u32 hidden = 0;
+    u32 heads = 0;
+    u32 kv_heads = 0;
+    u32 head_dim = 0;
+    u32 intermediate = 0;
+    u32 vocab = 0;
+    u32 max_position = 4096;
+    /** Real tokens profiled during KV-cache initialization. */
+    u32 max_batched_tokens = 2048;
+    /** Real KV block size (vLLM default). */
+    u32 kv_block_size = 16;
+
+    FuncDims func;
+
+    /** Seed for deterministic weight contents / tokenizer. */
+    u64 seed = 1;
+
+    /**
+     * Optional engine variant (paper §8's "indirect pointers"
+     * discussion): compute the decode LM head with a batched GEMM that
+     * takes a device array of operand pointers. Off for the Table 1
+     * zoo; exercised by tests and the ablation bench to demonstrate
+     * Medusa's nested-pointer restoration extension.
+     */
+    bool batched_lm_head = false;
+
+    /**
+     * Tensor parallelism (paper §8's multi-GPU future work). Each rank
+     * runs its own GpuProcess with sharded attention heads and MLP
+     * columns; all-reduce collectives stitch the partial results. The
+     * Table 1 zoo runs with tp_world == 1.
+     */
+    u32 tp_world = 1;
+    u32 tp_rank = 0;
+
+    /** Attention heads this rank computes. */
+    u32 localHeads() const { return heads / tp_world; }
+    /** KV heads on this rank (MQA replicates rather than shards). */
+    u32
+    localKvHeads() const
+    {
+        return kv_heads >= tp_world ? kv_heads / tp_world : kv_heads;
+    }
+    u32 localKvDim() const { return localKvHeads() * head_dim; }
+    u32 localQDim() const { return localHeads() * head_dim; }
+    u32 localIntermediate() const { return intermediate / tp_world; }
+
+    /** Functional counterparts of the sharded dimensions. */
+    u32 funcLocalHeads() const { return func.heads / tp_world; }
+    u32
+    funcLocalKvHeads() const
+    {
+        return func.kv_heads >= tp_world ? func.kv_heads / tp_world
+                                         : func.kv_heads;
+    }
+    u32 funcLocalKvDim() const { return funcLocalKvHeads() * func.head_dim; }
+    u32 funcLocalQDim() const { return funcLocalHeads() * func.head_dim; }
+    u32 funcLocalIntermediate() const
+    {
+        return func.intermediate / tp_world;
+    }
+
+    u32 kvDim() const { return kv_heads * head_dim; }
+
+    /** Bytes of one real KV block across all layers (fp16 K+V). */
+    u64
+    kvBlockBytes() const
+    {
+        return static_cast<u64>(kv_block_size) * kvDim() * 2 /*K+V*/ *
+               2 /*fp16*/ * num_layers;
+    }
+};
+
+/** The 35 capture batch sizes used by vLLM: [1, 2, 4, 8, 16, ..., 256]. */
+std::vector<u32> captureBatchSizes();
+
+/** All ten models of Table 1, in the paper's order. */
+std::vector<ModelConfig> modelZoo();
+
+/** Find a zoo model by name. */
+StatusOr<ModelConfig> findModel(const std::string &name);
+
+} // namespace medusa::llm
+
+#endif // MEDUSA_LLM_MODEL_CONFIG_H

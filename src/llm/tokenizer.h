@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A byte-pair-encoding tokenizer.
+ *
+ * Stage ❸ of the loading phase loads each model's tokenizer. The
+ * reproduction implements real BPE — training over a corpus, encoding
+ * via iterative lowest-rank merges, and exact-round-trip decoding — so
+ * the serving path tokenizes genuine text. Each zoo model trains its
+ * tokenizer deterministically from its seed over a synthetic corpus; the
+ * *timing* of tokenizer loading is charged from the model's real
+ * vocabulary size (see CostModel::tokenizer_per_entry_ns).
+ */
+
+#ifndef MEDUSA_LLM_TOKENIZER_H
+#define MEDUSA_LLM_TOKENIZER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace medusa::llm {
+
+/**
+ * Byte-level BPE: ids 0..255 are raw bytes, ids >= 256 are merges.
+ */
+class BpeTokenizer
+{
+  public:
+    /**
+     * Learn merges from @p corpus until the vocabulary reaches
+     * @p target_vocab ids (or no pair repeats).
+     */
+    static BpeTokenizer train(const std::string &corpus, u32 target_vocab);
+
+    /** Encode text into token ids by iterative lowest-rank merging. */
+    std::vector<i32> encode(const std::string &text) const;
+
+    /** Decode ids back to the exact original bytes. */
+    std::string decode(const std::vector<i32> &ids) const;
+
+    /** Total vocabulary size (256 byte tokens + merges). */
+    u32 vocabSize() const { return 256 + static_cast<u32>(merges_.size()); }
+
+    /** The byte expansion of a token id. */
+    StatusOr<std::string> tokenBytes(i32 id) const;
+
+  private:
+    /** merge index -> (left id, right id). */
+    std::vector<std::pair<i32, i32>> merges_;
+    /** (left, right) -> merged id; rank == merged id (lower = earlier). */
+    std::map<std::pair<i32, i32>, i32> merge_to_id_;
+    /** token id -> byte string (cached expansions). */
+    std::vector<std::string> expansions_;
+};
+
+/**
+ * Deterministic synthetic text with natural-language-like word/sentence
+ * structure; used as tokenizer training corpus and example input.
+ */
+std::string syntheticCorpus(u64 seed, std::size_t approx_bytes);
+
+} // namespace medusa::llm
+
+#endif // MEDUSA_LLM_TOKENIZER_H

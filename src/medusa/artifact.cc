@@ -1,0 +1,251 @@
+#include "medusa/artifact.h"
+
+namespace medusa::core {
+
+namespace {
+
+void
+writeParamSpec(BinaryWriter &w, const ParamSpec &p)
+{
+    w.writeU8(static_cast<u8>(p.kind));
+    if (p.kind == ParamSpec::kConstant) {
+        w.writeBytes(p.constant_bytes);
+    } else {
+        w.writeU64(p.alloc_index);
+        w.writeU64(p.offset);
+    }
+}
+
+StatusOr<ParamSpec>
+readParamSpec(BinaryReader &r)
+{
+    ParamSpec p;
+    MEDUSA_ASSIGN_OR_RETURN(u8 kind, r.readU8());
+    if (kind > ParamSpec::kIndirect) {
+        return internalError("bad ParamSpec kind");
+    }
+    p.kind = static_cast<ParamSpec::Kind>(kind);
+    if (p.kind == ParamSpec::kConstant) {
+        MEDUSA_ASSIGN_OR_RETURN(p.constant_bytes, r.readBytes());
+    } else {
+        MEDUSA_ASSIGN_OR_RETURN(p.alloc_index, r.readU64());
+        MEDUSA_ASSIGN_OR_RETURN(p.offset, r.readU64());
+    }
+    return p;
+}
+
+void
+writeNode(BinaryWriter &w, const NodeBlueprint &n)
+{
+    w.writeString(n.kernel_name);
+    w.writeString(n.module_name);
+    w.writeF64(n.timing.flops);
+    w.writeF64(n.timing.bytes);
+    w.writeVector(n.params, writeParamSpec);
+}
+
+StatusOr<NodeBlueprint>
+readNode(BinaryReader &r)
+{
+    NodeBlueprint n;
+    MEDUSA_ASSIGN_OR_RETURN(n.kernel_name, r.readString());
+    MEDUSA_ASSIGN_OR_RETURN(n.module_name, r.readString());
+    MEDUSA_ASSIGN_OR_RETURN(n.timing.flops, r.readF64());
+    MEDUSA_ASSIGN_OR_RETURN(n.timing.bytes, r.readF64());
+    MEDUSA_ASSIGN_OR_RETURN(n.params,
+                            r.readVector<ParamSpec>(readParamSpec));
+    return n;
+}
+
+} // namespace
+
+std::vector<u8>
+Artifact::serialize() const
+{
+    BinaryWriter w;
+    w.writeU32(kMagic);
+    w.writeU32(kVersion);
+    w.writeString(model_name);
+    w.writeU64(model_seed);
+    w.writeU64(free_gpu_memory);
+
+    w.writeVector(ops, [](BinaryWriter &w2, const AllocOp &op) {
+        w2.writeU8(static_cast<u8>(op.kind));
+        w2.writeU64(op.logical_size);
+        w2.writeU64(op.backing_size);
+        w2.writeU64(op.freed_alloc_index);
+    });
+    w.writeU64(organic_op_count);
+    w.writeU64(organic_alloc_count);
+
+    w.writeVector(graphs, [](BinaryWriter &w2, const GraphBlueprint &g) {
+        w2.writeU32(g.batch_size);
+        w2.writeVector(g.nodes, writeNode);
+        w2.writeVector(g.edges,
+                       [](BinaryWriter &w3,
+                          const std::pair<u32, u32> &e) {
+                           w3.writeU32(e.first);
+                           w3.writeU32(e.second);
+                       });
+    });
+    w.writeVector(permanent,
+                  [](BinaryWriter &w2, const PermanentBuffer &p) {
+                      w2.writeU64(p.alloc_index);
+                      w2.writeBytes(p.contents);
+                  });
+    w.writeVector(pointer_fixes,
+                  [](BinaryWriter &w2, const PointerWordFix &f) {
+                      w2.writeU64(f.buffer_alloc_index);
+                      w2.writeU64(f.byte_offset);
+                      w2.writeU64(f.target_alloc_index);
+                      w2.writeU64(f.target_offset);
+                  });
+    w.writeU64(tags.size());
+    for (const auto &[tag, index] : tags) {
+        w.writeString(tag);
+        w.writeU64(index);
+    }
+
+    w.writeU64(stats.total_nodes);
+    w.writeU64(stats.total_params);
+    w.writeU64(stats.pointer_params);
+    w.writeU64(stats.constant_params);
+    w.writeU64(stats.decoy_candidates);
+    w.writeU64(stats.validation_repairs);
+    w.writeU64(stats.dlsym_visible_nodes);
+    w.writeU64(stats.hidden_kernel_nodes);
+    w.writeU64(stats.model_param_buffers);
+    w.writeU64(stats.temp_buffers);
+    w.writeU64(stats.permanent_buffers);
+    w.writeU64(stats.indirect_pointer_words);
+    w.writeU64(stats.materialized_content_bytes);
+    w.writeU64(stats.full_dump_bytes);
+    return w.takeBytes();
+}
+
+StatusOr<Artifact>
+Artifact::deserialize(std::vector<u8> bytes)
+{
+    BinaryReader r(std::move(bytes));
+    Artifact a;
+    MEDUSA_ASSIGN_OR_RETURN(u32 magic, r.readU32());
+    if (magic != kMagic) {
+        return internalError("artifact magic mismatch");
+    }
+    MEDUSA_ASSIGN_OR_RETURN(u32 version, r.readU32());
+    if (version != kVersion) {
+        return internalError("artifact version mismatch");
+    }
+    MEDUSA_ASSIGN_OR_RETURN(a.model_name, r.readString());
+    MEDUSA_ASSIGN_OR_RETURN(a.model_seed, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.free_gpu_memory, r.readU64());
+
+    auto read_op = [](BinaryReader &r2) -> StatusOr<AllocOp> {
+        AllocOp op;
+        MEDUSA_ASSIGN_OR_RETURN(u8 kind, r2.readU8());
+        if (kind > AllocOp::kFree) {
+            return internalError("bad AllocOp kind");
+        }
+        op.kind = static_cast<AllocOp::Kind>(kind);
+        MEDUSA_ASSIGN_OR_RETURN(op.logical_size, r2.readU64());
+        MEDUSA_ASSIGN_OR_RETURN(op.backing_size, r2.readU64());
+        MEDUSA_ASSIGN_OR_RETURN(op.freed_alloc_index, r2.readU64());
+        return op;
+    };
+    auto ops_result = r.readVector<AllocOp>(read_op);
+    if (!ops_result.isOk()) {
+        return ops_result.status();
+    }
+    a.ops = std::move(ops_result).value();
+    MEDUSA_ASSIGN_OR_RETURN(a.organic_op_count, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.organic_alloc_count, r.readU64());
+
+    using Edge = std::pair<u32, u32>;
+    auto read_edge = [](BinaryReader &r3) -> StatusOr<Edge> {
+        MEDUSA_ASSIGN_OR_RETURN(u32 s, r3.readU32());
+        MEDUSA_ASSIGN_OR_RETURN(u32 d, r3.readU32());
+        return Edge{s, d};
+    };
+    auto read_graph = [&read_edge](BinaryReader &r2)
+        -> StatusOr<GraphBlueprint> {
+        GraphBlueprint g;
+        MEDUSA_ASSIGN_OR_RETURN(g.batch_size, r2.readU32());
+        auto nodes = r2.readVector<NodeBlueprint>(readNode);
+        if (!nodes.isOk()) {
+            return nodes.status();
+        }
+        g.nodes = std::move(nodes).value();
+        auto edges = r2.readVector<Edge>(read_edge);
+        if (!edges.isOk()) {
+            return edges.status();
+        }
+        g.edges = std::move(edges).value();
+        return g;
+    };
+    auto graphs_result = r.readVector<GraphBlueprint>(read_graph);
+    if (!graphs_result.isOk()) {
+        return graphs_result.status();
+    }
+    a.graphs = std::move(graphs_result).value();
+
+    auto read_perm = [](BinaryReader &r2) -> StatusOr<PermanentBuffer> {
+        PermanentBuffer p;
+        MEDUSA_ASSIGN_OR_RETURN(p.alloc_index, r2.readU64());
+        MEDUSA_ASSIGN_OR_RETURN(p.contents, r2.readBytes());
+        return p;
+    };
+    auto perm_result = r.readVector<PermanentBuffer>(read_perm);
+    if (!perm_result.isOk()) {
+        return perm_result.status();
+    }
+    a.permanent = std::move(perm_result).value();
+
+    auto read_fix = [](BinaryReader &r2) -> StatusOr<PointerWordFix> {
+        PointerWordFix f;
+        MEDUSA_ASSIGN_OR_RETURN(f.buffer_alloc_index, r2.readU64());
+        MEDUSA_ASSIGN_OR_RETURN(f.byte_offset, r2.readU64());
+        MEDUSA_ASSIGN_OR_RETURN(f.target_alloc_index, r2.readU64());
+        MEDUSA_ASSIGN_OR_RETURN(f.target_offset, r2.readU64());
+        return f;
+    };
+    auto fixes_result = r.readVector<PointerWordFix>(read_fix);
+    if (!fixes_result.isOk()) {
+        return fixes_result.status();
+    }
+    a.pointer_fixes = std::move(fixes_result).value();
+    MEDUSA_ASSIGN_OR_RETURN(u64 tag_count, r.readU64());
+    for (u64 i = 0; i < tag_count; ++i) {
+        MEDUSA_ASSIGN_OR_RETURN(std::string tag, r.readString());
+        MEDUSA_ASSIGN_OR_RETURN(u64 index, r.readU64());
+        a.tags[tag] = index;
+    }
+
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.total_nodes, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.total_params, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.pointer_params, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.constant_params, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.decoy_candidates, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.validation_repairs, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.dlsym_visible_nodes, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.hidden_kernel_nodes, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.model_param_buffers, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.temp_buffers, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.permanent_buffers, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.indirect_pointer_words, r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.materialized_content_bytes,
+                            r.readU64());
+    MEDUSA_ASSIGN_OR_RETURN(a.stats.full_dump_bytes, r.readU64());
+    return a;
+}
+
+u64
+Artifact::totalNodes() const
+{
+    u64 total = 0;
+    for (const auto &g : graphs) {
+        total += g.nodes.size();
+    }
+    return total;
+}
+
+} // namespace medusa::core

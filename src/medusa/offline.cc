@@ -1,0 +1,138 @@
+#include "medusa/offline.h"
+
+#include <algorithm>
+
+#include "medusa/record.h"
+#include "medusa/restore.h"
+
+namespace medusa::core {
+
+using llm::ModelRuntime;
+using simcuda::CudaGraph;
+
+StatusOr<OfflineResult>
+materialize(const OfflineOptions &opts)
+{
+    OfflineResult result;
+
+    // ---- capturing stage -----------------------------------------------
+    Recorder recorder;
+    ModelRuntime::Options ropts;
+    ropts.model = opts.model;
+    ropts.aslr_seed = opts.aslr_seed;
+    ropts.cost = opts.cost;
+    ropts.observer = &recorder;
+    ropts.alloc_observer = &recorder;
+    ropts.launch_observer = &recorder;
+    ModelRuntime rt(ropts);
+    const CostModel &cost = rt.process().cost();
+    SimClock &clock = rt.clock();
+    llm::StageTimes &t = result.capture_cold_start;
+
+    f64 mark = clock.nowSec();
+    auto lap = [&clock, &mark]() {
+        const f64 now = clock.nowSec();
+        const f64 d = now - mark;
+        mark = now;
+        return d;
+    };
+
+    MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    recorder.markOrganicBoundary();
+    t.struct_init = lap();
+
+    MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    t.weights = lap();
+
+    MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    t.tokenizer = lap();
+
+    MEDUSA_ASSIGN_OR_RETURN(u64 free_bytes, rt.profileFreeMemory());
+    MEDUSA_RETURN_IF_ERROR(rt.initKvCache(free_bytes));
+    t.kv_init = lap();
+
+    recorder.markCaptureStageBegin();
+    std::vector<std::pair<u32, CudaGraph>> graphs;
+    auto sizes = llm::captureBatchSizes();
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    u64 total_nodes = 0;
+    for (u32 bs : sizes) {
+        MEDUSA_RETURN_IF_ERROR(rt.warmupDecode(bs));
+        recorder.beginGraph(bs);
+        auto graph = rt.captureDecode(bs);
+        recorder.endGraph();
+        if (!graph.isOk()) {
+            return graph.status();
+        }
+        total_nodes += graph->nodeCount();
+        graphs.emplace_back(bs, std::move(graph).value());
+    }
+    t.capture = lap();
+    t.loading = t.serialSum();
+    // Saving the captured graph state is part of the capturing stage.
+    clock.advance(units::usToNs(cost.offline_save_per_node_us *
+                                static_cast<f64>(total_nodes)));
+    mark = clock.nowSec();
+    result.capture_stage_sec = clock.nowSec();
+
+    // ---- analysis stage -----------------------------------------------
+    MEDUSA_ASSIGN_OR_RETURN(
+        AnalysisResult analysis,
+        analyze(recorder, rt.process(), opts.model.name,
+                opts.model.seed, graphs, free_bytes, opts.analyze));
+    result.analysis_stage_sec = clock.nowSec() - result.capture_stage_sec;
+    result.artifact = std::move(analysis.artifact);
+
+    // ---- validation dry-run + repair loop -------------------------------
+    if (opts.validate) {
+        MedusaEngine::Options vopts;
+        vopts.model = opts.model;
+        vopts.aslr_seed = opts.aslr_seed + 7777;
+        vopts.cost = opts.cost;
+        vopts.restore.validate = true;
+        vopts.restore.validate_batch_sizes = opts.validate_batch_sizes;
+
+        std::size_t next_repair = 0;
+        for (u32 attempt = 0;; ++attempt) {
+            auto engine = MedusaEngine::coldStart(vopts, result.artifact);
+            if (engine.isOk()) {
+                result.validation_sec +=
+                    (*engine)->runtime().clock().nowSec();
+                break;
+            }
+            if (attempt >= opts.max_repair_attempts ||
+                next_repair >= analysis.risky_params.size()) {
+                return Status(engine.status().code(),
+                              "offline validation failed beyond repair: " +
+                                  engine.status().message());
+            }
+            // Demote the next risky pointer classification to a
+            // constant, restoring the original captured bytes.
+            const ParamRef ref = analysis.risky_params[next_repair++];
+            const CudaGraph *graph = nullptr;
+            for (const auto &[bs, g] : graphs) {
+                if (bs == ref.batch_size) {
+                    graph = &g;
+                    break;
+                }
+            }
+            MEDUSA_CHECK(graph != nullptr, "risky param in unknown graph");
+            GraphBlueprint *bp = nullptr;
+            for (auto &g : result.artifact.graphs) {
+                if (g.batch_size == ref.batch_size) {
+                    bp = &g;
+                    break;
+                }
+            }
+            MEDUSA_CHECK(bp != nullptr, "blueprint missing for repair");
+            ParamSpec &spec = bp->nodes.at(ref.node).params.at(ref.param);
+            spec.kind = ParamSpec::kConstant;
+            spec.constant_bytes =
+                graph->node(ref.node).params.at(ref.param);
+            ++result.artifact.stats.validation_repairs;
+        }
+    }
+    return result;
+}
+
+} // namespace medusa::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The offline phase driver (paper §3 left half): capturing stage +
+ * analysis stage, followed by a validation dry-run of the online phase
+ * in a fresh simulated process (the paper's §4 output comparison), with
+ * an iterative repair loop that demotes false-positive pointer
+ * classifications to constants.
+ *
+ * Run once per <GPU type, model>; the output Artifact is what every
+ * online cold start restores from.
+ */
+
+#ifndef MEDUSA_MEDUSA_OFFLINE_H
+#define MEDUSA_MEDUSA_OFFLINE_H
+
+#include "llm/engine.h"
+#include "medusa/analyze.h"
+#include "medusa/artifact.h"
+
+namespace medusa::core {
+
+/** Offline-phase configuration. */
+struct OfflineOptions
+{
+    llm::ModelConfig model;
+    u64 aslr_seed = 1;
+    const CostModel *cost = nullptr;
+    AnalyzeOptions analyze;
+    /** Run the online dry-run validation (and repair) after analysis. */
+    bool validate = true;
+    std::vector<u32> validate_batch_sizes = {1, 4, 64};
+    /** Bound on validation/repair iterations. */
+    u32 max_repair_attempts = 16;
+};
+
+/** The offline phase's output. */
+struct OfflineResult
+{
+    Artifact artifact;
+    /** Capturing-stage virtual seconds (cold start + graph saving). */
+    f64 capture_stage_sec = 0;
+    /** Analysis-stage virtual seconds. */
+    f64 analysis_stage_sec = 0;
+    /** Validation dry-run virtual seconds (not part of Figure 9). */
+    f64 validation_sec = 0;
+    /** The recorded cold start's per-stage times (vLLM-shaped). */
+    llm::StageTimes capture_cold_start;
+
+    f64 totalOffline() const
+    {
+        return capture_stage_sec + analysis_stage_sec;
+    }
+};
+
+/** Execute the offline phase for one model. */
+StatusOr<OfflineResult> materialize(const OfflineOptions &opts);
+
+} // namespace medusa::core
+
+#endif // MEDUSA_MEDUSA_OFFLINE_H

@@ -1,0 +1,256 @@
+#include "medusa/replay.h"
+
+#include <cstring>
+
+namespace medusa::core {
+
+using llm::ModelRuntime;
+using simcuda::CudaGraph;
+using simcuda::RawParams;
+
+ReplayTable::ReplayTable(const Artifact *artifact) : artifact_(artifact)
+{
+    alloc_ops_.reserve(artifact->ops.size());
+    for (const AllocOp &op : artifact->ops) {
+        if (op.kind == AllocOp::kAlloc) {
+            alloc_ops_.push_back(&op);
+        }
+    }
+}
+
+void
+ReplayTable::onAlloc(u64 seq_index, DeviceAddr addr, u64 logical_size,
+                     u64 backing_size)
+{
+    (void)backing_size;
+    MEDUSA_CHECK(seq_index == addr_of_.size(),
+                 "online allocation sequence out of step");
+    addr_of_.push_back(addr);
+    if (!mismatch_.empty()) {
+        return;
+    }
+    if (seq_index < artifact_->organic_alloc_count) {
+        if (seq_index >= alloc_ops_.size() ||
+            alloc_ops_[seq_index]->logical_size != logical_size) {
+            mismatch_ = "organic allocation " +
+                        std::to_string(seq_index) +
+                        " diverges from the materialized sequence";
+        }
+    }
+}
+
+StatusOr<DeviceAddr>
+ReplayTable::addrOf(u64 alloc_index) const
+{
+    if (alloc_index >= addr_of_.size()) {
+        return internalError("indirect index " +
+                             std::to_string(alloc_index) +
+                             " beyond replayed sequence");
+    }
+    return addr_of_[alloc_index];
+}
+
+Status
+ReplayTable::organicStatus() const
+{
+    if (!mismatch_.empty()) {
+        return validationFailure(mismatch_);
+    }
+    return Status::ok();
+}
+
+Status
+replayAllocSequence(const Artifact &artifact, ModelRuntime &rt,
+                    const ReplayTable &table, RestoreReport &report)
+{
+    simcuda::CachingAllocator &alloc = rt.allocator();
+    for (u64 pos = artifact.organic_op_count; pos < artifact.ops.size();
+         ++pos) {
+        const AllocOp &op = artifact.ops[pos];
+        if (op.kind == AllocOp::kAlloc) {
+            MEDUSA_ASSIGN_OR_RETURN(
+                DeviceAddr addr,
+                alloc.allocate(op.logical_size, op.backing_size));
+            (void)addr; // the interceptor records it by index
+            ++report.replayed_allocs;
+            rt.clock().advance(units::usToNs(
+                rt.process().cost().restore_replay_alloc_us));
+        } else {
+            MEDUSA_ASSIGN_OR_RETURN(DeviceAddr addr,
+                                    table.addrOf(op.freed_alloc_index));
+            MEDUSA_RETURN_IF_ERROR(alloc.free(addr));
+            ++report.replayed_frees;
+        }
+    }
+    return Status::ok();
+}
+
+Status
+rebindEngineBuffers(const Artifact &artifact,
+                    const llm::ModelConfig &m, const ReplayTable &table,
+                    ModelRuntime &rt)
+{
+    auto tagged = [&](const std::string &tag) -> StatusOr<DeviceAddr> {
+        auto it = artifact.tags.find(tag);
+        if (it == artifact.tags.end()) {
+            return validationFailure("artifact missing buffer tag " +
+                                     tag);
+        }
+        return table.addrOf(it->second);
+    };
+
+    llm::ForwardBuffers bufs;
+    const llm::FuncDims &f = m.func;
+    bufs.max_bs = 256;
+    bufs.max_tokens = f.max_batched_tokens;
+    bufs.max_blocks_per_seq = (f.max_seq + f.block_size - 1) /
+                              f.block_size;
+    MEDUSA_ASSIGN_OR_RETURN(bufs.token_ids, tagged("token_ids"));
+    MEDUSA_ASSIGN_OR_RETURN(bufs.positions, tagged("positions"));
+    MEDUSA_ASSIGN_OR_RETURN(bufs.seq_starts, tagged("seq_starts"));
+    MEDUSA_ASSIGN_OR_RETURN(bufs.slot_mapping, tagged("slot_mapping"));
+    MEDUSA_ASSIGN_OR_RETURN(bufs.block_tables, tagged("block_tables"));
+    MEDUSA_ASSIGN_OR_RETURN(bufs.seq_lens, tagged("seq_lens"));
+    MEDUSA_ASSIGN_OR_RETURN(bufs.logits, tagged("logits"));
+    MEDUSA_ASSIGN_OR_RETURN(bufs.sampled, tagged("sampled"));
+
+    llm::KvCache kv;
+    for (u32 l = 0; l < m.num_layers; ++l) {
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr k,
+                                tagged("kv.k." + std::to_string(l)));
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr v,
+                                tagged("kv.v." + std::to_string(l)));
+        kv.k_layers.push_back(k);
+        kv.v_layers.push_back(v);
+    }
+    // Rederive the accounting from the materialized free-memory value —
+    // the §6 restoration that replaces the profiling forwarding.
+    const u64 budget = static_cast<u64>(
+        static_cast<f64>(artifact.free_gpu_memory) * 0.9);
+    kv.real_num_blocks = budget / m.kvBlockBytes();
+    kv.logical_bytes = kv.real_num_blocks * m.kvBlockBytes();
+    kv.blocks = llm::BlockManager(f.num_blocks);
+    return rt.adoptBuffers(bufs, std::move(kv));
+}
+
+Status
+restoreContents(const Artifact &artifact, ModelRuntime &rt,
+                const ReplayTable &table, RestoreReport &report)
+{
+    for (const PermanentBuffer &pb : artifact.permanent) {
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr addr,
+                                table.addrOf(pb.alloc_index));
+        if (!pb.contents.empty()) {
+            MEDUSA_RETURN_IF_ERROR(rt.process().memcpyH2D(
+                addr, pb.contents.data(), pb.contents.size(),
+                pb.contents.size()));
+        }
+        report.restored_content_bytes += pb.contents.size();
+    }
+    // §8 extension: rewrite indirect pointer words inside restored
+    // buffers to the replayed addresses of their targets.
+    for (const PointerWordFix &fix : artifact.pointer_fixes) {
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr buffer,
+                                table.addrOf(fix.buffer_alloc_index));
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr target,
+                                table.addrOf(fix.target_alloc_index));
+        const u64 word = target + fix.target_offset;
+        MEDUSA_RETURN_IF_ERROR(rt.process().memcpyH2D(
+            buffer + fix.byte_offset, &word, sizeof(word),
+            sizeof(word)));
+        ++report.indirect_pointers_fixed;
+    }
+    return Status::ok();
+}
+
+StatusOr<std::unordered_map<std::string, KernelAddr>>
+buildKernelNameTable(ModelRuntime &rt)
+{
+    std::unordered_map<std::string, KernelAddr> name_table;
+    MEDUSA_ASSIGN_OR_RETURN(CudaGraph first_layer,
+                            rt.captureFirstLayer());
+    (void)first_layer; // its purpose is the module loads it forced
+    for (const std::string &module :
+         rt.process().modules().loadedModules()) {
+        MEDUSA_ASSIGN_OR_RETURN(
+            auto addrs, rt.process().cuModuleEnumerateFunctions(module));
+        for (KernelAddr addr : addrs) {
+            MEDUSA_ASSIGN_OR_RETURN(std::string name,
+                                    rt.process().cuFuncGetName(addr));
+            name_table[name] = addr;
+        }
+    }
+    return name_table;
+}
+
+StatusOr<CudaGraph>
+rebuildGraph(const GraphBlueprint &bp, const ReplayTable &table,
+             ModelRuntime &rt,
+             const std::unordered_map<std::string, KernelAddr>
+                 &name_table,
+             const RestoreOptions &options, RestoreReport &report)
+{
+    const CostModel &cost = rt.process().cost();
+    CudaGraph graph;
+    std::vector<std::vector<simcuda::NodeId>> deps(bp.nodes.size());
+    for (const auto &[src, dst] : bp.edges) {
+        if (dst >= bp.nodes.size() || src >= dst) {
+            return validationFailure("corrupt edge in artifact");
+        }
+        deps[dst].push_back(src);
+    }
+    for (u32 ni = 0; ni < bp.nodes.size(); ++ni) {
+        const NodeBlueprint &nb = bp.nodes[ni];
+
+        // ---- kernel address restoration ------------------------------
+        KernelAddr fn = 0;
+        bool resolved = false;
+        if (options.use_dlsym) {
+            auto sym = rt.process().dlsym(nb.module_name,
+                                          nb.kernel_name);
+            if (sym.isOk()) {
+                auto addr = rt.process().cudaGetFuncBySymbol(*sym);
+                if (addr.isOk()) {
+                    fn = *addr;
+                    resolved = true;
+                    ++report.kernels_via_dlsym;
+                }
+            }
+        }
+        if (!resolved) {
+            auto it = name_table.find(nb.kernel_name);
+            if (it == name_table.end()) {
+                return notFound(
+                    "cannot restore kernel address for " +
+                    nb.kernel_name +
+                    (options.use_triggering_kernels
+                         ? " (not in any loaded module)"
+                         : " (hidden; triggering-kernels disabled)"));
+            }
+            fn = it->second;
+            ++report.kernels_via_enumeration;
+        }
+
+        // ---- parameter restoration ---------------------------------
+        RawParams params;
+        params.reserve(nb.params.size());
+        for (const ParamSpec &spec : nb.params) {
+            if (spec.kind == ParamSpec::kConstant) {
+                params.push_back(spec.constant_bytes);
+            } else {
+                MEDUSA_ASSIGN_OR_RETURN(
+                    DeviceAddr base, table.addrOf(spec.alloc_index));
+                const u64 value = base + spec.offset;
+                std::vector<u8> bytes(8);
+                std::memcpy(bytes.data(), &value, 8);
+                params.push_back(std::move(bytes));
+            }
+        }
+        graph.addKernelNode(fn, std::move(params), nb.timing, deps[ni]);
+        ++report.nodes_restored;
+        rt.clock().advance(units::usToNs(cost.restore_per_node_us));
+    }
+    return graph;
+}
+
+} // namespace medusa::core

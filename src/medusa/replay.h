@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reusable building blocks of the online phase, shared by the
+ * single-GPU MedusaEngine (restore.h) and the tensor-parallel driver
+ * (tp.h): the allocation-replay interceptor, the sequence replayer,
+ * engine-buffer rebinding, content/pointer-fix restoration, kernel
+ * name-table construction and graph rebuilding.
+ */
+
+#ifndef MEDUSA_MEDUSA_REPLAY_H
+#define MEDUSA_MEDUSA_REPLAY_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "llm/runtime.h"
+#include "medusa/artifact.h"
+#include "medusa/restore_options.h"
+
+namespace medusa::core {
+
+/**
+ * The online interceptor: records the address returned for every
+ * allocation index and verifies that the organic prefix (structure
+ * init) reproduces the artifact's recorded sizes.
+ */
+class ReplayTable final : public simcuda::AllocObserver
+{
+  public:
+    explicit ReplayTable(const Artifact *artifact);
+
+    void onAlloc(u64 seq_index, DeviceAddr addr, u64 logical_size,
+                 u64 backing_size) override;
+    void onFree(DeviceAddr addr) override { (void)addr; }
+
+    /** The replayed address of an allocation index. */
+    StatusOr<DeviceAddr> addrOf(u64 alloc_index) const;
+
+    /** OK iff the organic prefix matched the artifact. */
+    Status organicStatus() const;
+
+    u64 allocCount() const { return addr_of_.size(); }
+
+  private:
+    const Artifact *artifact_;
+    std::vector<const AllocOp *> alloc_ops_;
+    std::vector<DeviceAddr> addr_of_;
+    std::string mismatch_;
+};
+
+/** Replay ops[organic_op_count..] through the runtime's allocator. */
+Status replayAllocSequence(const Artifact &artifact,
+                           llm::ModelRuntime &rt,
+                           const ReplayTable &table,
+                           RestoreReport &report);
+
+/** Re-bind the engine's tagged I/O and KV-cache buffers post-replay. */
+Status rebindEngineBuffers(const Artifact &artifact,
+                           const llm::ModelConfig &model,
+                           const ReplayTable &table,
+                           llm::ModelRuntime &rt);
+
+/**
+ * Restore permanent-buffer contents and rewrite indirect pointer words
+ * (§4.3 + the §8 extension).
+ */
+Status restoreContents(const Artifact &artifact, llm::ModelRuntime &rt,
+                       const ReplayTable &table, RestoreReport &report);
+
+/**
+ * Run the first-layer triggering-kernels capture and enumerate every
+ * loaded module into a kernel name -> address table (§5).
+ */
+StatusOr<std::unordered_map<std::string, KernelAddr>>
+buildKernelNameTable(llm::ModelRuntime &rt);
+
+/**
+ * Rebuild one materialized graph: restore kernel addresses (dlsym or
+ * the name table) and patch parameters via the indirect index pointer
+ * table, then return the ready-to-instantiate graph.
+ */
+StatusOr<simcuda::CudaGraph>
+rebuildGraph(const GraphBlueprint &bp, const ReplayTable &table,
+             llm::ModelRuntime &rt,
+             const std::unordered_map<std::string, KernelAddr>
+                 &name_table,
+             const RestoreOptions &options, RestoreReport &report);
+
+} // namespace medusa::core
+
+#endif // MEDUSA_MEDUSA_REPLAY_H

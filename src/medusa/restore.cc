@@ -1,0 +1,144 @@
+#include "medusa/restore.h"
+
+#include <algorithm>
+
+#include "medusa/replay.h"
+
+namespace medusa::core {
+
+using llm::ModelRuntime;
+using llm::StageTimes;
+using simcuda::CudaGraph;
+
+StatusOr<std::unique_ptr<MedusaEngine>>
+MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
+{
+    if (artifact.model_name != opts.model.name ||
+        artifact.model_seed != opts.model.seed) {
+        return validationFailure("artifact was materialized for model " +
+                                 artifact.model_name);
+    }
+
+    auto table = std::make_unique<ReplayTable>(&artifact);
+    ModelRuntime::Options ropts;
+    ropts.model = opts.model;
+    ropts.aslr_seed = opts.aslr_seed;
+    ropts.cost = opts.cost;
+    ropts.alloc_observer = table.get();
+    auto runtime = std::make_unique<ModelRuntime>(ropts);
+    ModelRuntime &rt = *runtime;
+    const CostModel &cost = rt.process().cost();
+
+    std::unique_ptr<MedusaEngine> engine(new MedusaEngine());
+    StageTimes &t = engine->times_;
+    RestoreReport &report = engine->report_;
+    t.runtime_init = opts.warm_container
+                         ? cost.runtime_init_warm_ms / 1e3
+                         : cost.runtime_init_cold_ms / 1e3;
+
+    SimClock &clock = rt.clock();
+    f64 mark = clock.nowSec();
+    auto lap = [&clock, &mark]() {
+        const f64 now = clock.nowSec();
+        const f64 d = now - mark;
+        mark = now;
+        return d;
+    };
+
+    // 1. Structure init (organic; verified against the artifact).
+    MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    MEDUSA_RETURN_IF_ERROR(table->organicStatus());
+    if (table->allocCount() != artifact.organic_alloc_count) {
+        return validationFailure(
+            "structure init produced a different allocation count than "
+            "the materialized sequence");
+    }
+    t.struct_init = lap();
+
+    // 2. Tokenizer.
+    MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    t.tokenizer = lap();
+
+    // 3. KV-init restoration: read the artifact, adopt the materialized
+    //    free-memory value (no profiling forwarding).
+    clock.advance(units::usToNs(
+        static_cast<f64>(artifact.serialize().size()) /
+        (cost.artifact_read_gbps * 1e3)));
+
+    // 4. Replay the recorded (de)allocation sequence (§4.2).
+    MEDUSA_RETURN_IF_ERROR(
+        replayAllocSequence(artifact, rt, *table, report));
+    MEDUSA_RETURN_IF_ERROR(
+        rebindEngineBuffers(artifact, opts.model, *table, rt));
+    t.kv_init = lap();
+
+    // 5. Weights.
+    MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    t.weights = lap();
+
+    // 6. Permanent-buffer contents (§4.3 copy-free restoration) and
+    //    indirect pointer words (§8 extension).
+    if (opts.restore.restore_contents) {
+        MEDUSA_RETURN_IF_ERROR(
+            restoreContents(artifact, rt, *table, report));
+    }
+
+    // 7. Triggering-kernels: warm up + capture the first layer, then
+    //    build the kernel name -> address table (§5).
+    std::unordered_map<std::string, KernelAddr> name_table;
+    if (opts.restore.use_triggering_kernels) {
+        MEDUSA_ASSIGN_OR_RETURN(name_table, buildKernelNameTable(rt));
+    }
+
+    // 8. Rebuild and instantiate every materialized graph.
+    for (const GraphBlueprint &bp : artifact.graphs) {
+        MEDUSA_ASSIGN_OR_RETURN(
+            CudaGraph graph,
+            rebuildGraph(bp, *table, rt, name_table, opts.restore,
+                         report));
+        MEDUSA_RETURN_IF_ERROR(rt.instantiateGraph(bp.batch_size, graph));
+        ++report.graphs_restored;
+    }
+    t.capture = lap();
+
+    // Visible loading latency (Figure 8(c)'s timeline): the tokenizer,
+    // the KV restore and the overlappable front of the capture/restore
+    // stage run concurrently with the weights loading; the rest of the
+    // restoration is serial. Structure init precedes everything.
+    const f64 overlappable = cost.restore_overlap_fraction * t.capture;
+    t.loading = t.struct_init +
+                std::max(t.weights,
+                         t.tokenizer + t.kv_init + overlappable) +
+                (t.capture - overlappable);
+
+    // Optional output validation (used by the offline dry-run).
+    if (opts.restore.validate) {
+        for (u32 bs : opts.restore.validate_batch_sizes) {
+            if (!rt.hasGraph(bs)) {
+                continue;
+            }
+            MEDUSA_RETURN_IF_ERROR(rt.stageValidationState(bs));
+            MEDUSA_ASSIGN_OR_RETURN(auto eager, rt.eagerDecodeLogits(bs));
+            MEDUSA_RETURN_IF_ERROR(rt.stageValidationState(bs));
+            auto replayed = rt.graphDecodeLogits(bs);
+            if (!replayed.isOk()) {
+                return validationFailure(
+                    "restored graph bs=" + std::to_string(bs) +
+                    " failed to replay: " +
+                    replayed.status().toString());
+            }
+            if (*replayed != eager) {
+                return validationFailure(
+                    "restored graph bs=" + std::to_string(bs) +
+                    " output mismatches eager forwarding");
+            }
+            report.validated = true;
+        }
+    }
+
+    engine->interceptor_ = std::move(table);
+    engine->runtime_ = std::move(runtime);
+    return engine;
+}
+
+} // namespace medusa::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The online phase: a Medusa cold start that restores materialized
+ * state instead of profiling and capturing (paper §3 right half).
+ *
+ * Online control flow (deterministic, mirroring the offline run):
+ *   1. structure init runs organically; the interceptor verifies it
+ *      reproduces the artifact's allocation prefix;
+ *   2. tokenizer loads;
+ *   3. KV-init is restored: the artifact is read and the materialized
+ *      free-memory value replaces the profiling forwarding (§6);
+ *   4. the recorded buffer (de)allocation sequence is replayed and the
+ *      per-event addresses recorded (§4.2); engine buffers re-bind via
+ *      tags;
+ *   5. weights load;
+ *   6. permanent-buffer contents are restored (§4.3);
+ *   7. the model's first layer is warmed up and captured — the
+ *      triggering-kernels that force every module to load — and kernel
+ *      addresses are restored via dlsym() where visible, else via
+ *      module enumeration (§5);
+ *   8. each materialized graph is rebuilt (pointers patched via the
+ *      indirect index pointer table) and instantiated.
+ *
+ * The visible loading latency composes steps 3-8 against the weights
+ * loading, which they overlap (Figure 8(c)).
+ */
+
+#ifndef MEDUSA_MEDUSA_RESTORE_H
+#define MEDUSA_MEDUSA_RESTORE_H
+
+#include <memory>
+
+#include "llm/engine.h"
+#include "medusa/artifact.h"
+#include "medusa/restore_options.h"
+
+namespace medusa::core {
+
+/**
+ * A serving engine cold-started through Medusa's online phase.
+ */
+class MedusaEngine
+{
+  public:
+    struct Options
+    {
+        llm::ModelConfig model;
+        u64 aslr_seed = 2;
+        const CostModel *cost = nullptr;
+        RestoreOptions restore;
+        bool warm_container = true;
+    };
+
+    /**
+     * Run the online cold start against a materialized artifact.
+     * Fails with kValidationFailure if the artifact does not match the
+     * model or (when options.restore.validate) outputs mismatch.
+     */
+    static StatusOr<std::unique_ptr<MedusaEngine>>
+    coldStart(const Options &opts, const Artifact &artifact);
+
+    llm::ModelRuntime &runtime() { return *runtime_; }
+    const llm::StageTimes &times() const { return times_; }
+    const RestoreReport &report() const { return report_; }
+
+  private:
+    MedusaEngine() = default;
+
+    /** Declared before the runtime so it outlives the allocator that
+     *  holds a raw pointer to it. */
+    std::unique_ptr<simcuda::AllocObserver> interceptor_;
+    std::unique_ptr<llm::ModelRuntime> runtime_;
+    llm::StageTimes times_;
+    RestoreReport report_;
+};
+
+} // namespace medusa::core
+
+#endif // MEDUSA_MEDUSA_RESTORE_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Online-phase configuration and reporting types, shared by the
+ * single-GPU engine (restore.h), the replay building blocks (replay.h)
+ * and the tensor-parallel driver (tp.h).
+ */
+
+#ifndef MEDUSA_MEDUSA_RESTORE_OPTIONS_H
+#define MEDUSA_MEDUSA_RESTORE_OPTIONS_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace medusa::core {
+
+/** Online-phase configuration (ablation switches). */
+struct RestoreOptions
+{
+    /** §5.2 first-layer triggering-kernels + module enumeration. */
+    bool use_triggering_kernels = true;
+    /** dlsym()+cudaGetFuncBySymbol path for symbol-table kernels. */
+    bool use_dlsym = true;
+    /** Restore permanent-buffer contents (off only for experiments). */
+    bool restore_contents = true;
+    /** Compare restored-graph outputs against eager forwarding. */
+    bool validate = false;
+    /** Batch sizes to validate when validate is set. */
+    std::vector<u32> validate_batch_sizes = {1, 4, 64};
+};
+
+/** What the restoration did (for benches and tests). */
+struct RestoreReport
+{
+    u64 nodes_restored = 0;
+    u64 graphs_restored = 0;
+    u64 kernels_via_dlsym = 0;
+    u64 kernels_via_enumeration = 0;
+    u64 replayed_allocs = 0;
+    u64 replayed_frees = 0;
+    u64 restored_content_bytes = 0;
+    /** Indirect pointer words rewritten after replay (§8 extension). */
+    u64 indirect_pointers_fixed = 0;
+    bool validated = false;
+};
+
+} // namespace medusa::core
+
+#endif // MEDUSA_MEDUSA_RESTORE_OPTIONS_H

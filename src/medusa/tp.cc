@@ -1,0 +1,217 @@
+#include "medusa/tp.h"
+
+#include <algorithm>
+
+#include "medusa/analyze.h"
+#include "medusa/record.h"
+
+namespace medusa::core {
+
+using llm::ModelRuntime;
+using llm::TpCluster;
+using simcuda::CudaGraph;
+
+StatusOr<TpOfflineResult>
+materializeTp(const TpOfflineOptions &opts)
+{
+    TpOfflineResult result;
+    std::vector<u32> batch_sizes = opts.batch_sizes;
+    if (batch_sizes.empty()) {
+        batch_sizes = llm::captureBatchSizes();
+        std::sort(batch_sizes.begin(), batch_sizes.end(),
+                  std::greater<>());
+    }
+
+    // One recorder per rank, wired into the cluster at creation.
+    std::vector<std::unique_ptr<Recorder>> recorders;
+    TpCluster::Options copts;
+    copts.model = opts.model;
+    copts.world = opts.world;
+    copts.aslr_seed = opts.aslr_seed;
+    copts.cost = opts.cost;
+    for (u32 r = 0; r < opts.world; ++r) {
+        recorders.push_back(std::make_unique<Recorder>());
+        copts.alloc_observers.push_back(recorders.back().get());
+        copts.launch_observers.push_back(recorders.back().get());
+        copts.engine_observers.push_back(recorders.back().get());
+    }
+    MEDUSA_ASSIGN_OR_RETURN(auto cluster, TpCluster::create(copts));
+
+    // ---- capturing stage, rank-interleaved per stage -----------------
+    std::vector<u64> free_bytes(opts.world, 0);
+    for (u32 r = 0; r < opts.world; ++r) {
+        MEDUSA_RETURN_IF_ERROR(cluster->rank(r).initStructure());
+        recorders[r]->markOrganicBoundary();
+    }
+    for (u32 r = 0; r < opts.world; ++r) {
+        MEDUSA_RETURN_IF_ERROR(cluster->rank(r).loadWeights());
+        MEDUSA_RETURN_IF_ERROR(cluster->rank(r).loadTokenizer());
+    }
+    for (u32 r = 0; r < opts.world; ++r) {
+        MEDUSA_ASSIGN_OR_RETURN(free_bytes[r],
+                                cluster->rank(r).profileFreeMemory());
+        MEDUSA_RETURN_IF_ERROR(
+            cluster->rank(r).initKvCache(free_bytes[r]));
+        recorders[r]->markCaptureStageBegin();
+    }
+
+    std::vector<std::vector<std::pair<u32, CudaGraph>>> graphs(
+        opts.world);
+    u64 total_nodes = 0;
+    for (u32 bs : batch_sizes) {
+        for (u32 r = 0; r < opts.world; ++r) {
+            ModelRuntime &rank = cluster->rank(r);
+            MEDUSA_RETURN_IF_ERROR(rank.warmupDecode(bs));
+            recorders[r]->beginGraph(bs);
+            auto graph = rank.captureDecode(bs);
+            recorders[r]->endGraph();
+            if (!graph.isOk()) {
+                return graph.status();
+            }
+            total_nodes += graph->nodeCount();
+            graphs[r].emplace_back(bs, std::move(graph).value());
+        }
+    }
+    for (u32 r = 0; r < opts.world; ++r) {
+        const CostModel &cost = cluster->rank(r).process().cost();
+        cluster->rank(r).clock().advance(units::usToNs(
+            cost.offline_save_per_node_us *
+            static_cast<f64>(total_nodes) / opts.world));
+    }
+    // The capturing stage's wall time is the slowest rank's clock.
+    for (u32 r = 0; r < opts.world; ++r) {
+        result.capture_stage_sec = std::max(
+            result.capture_stage_sec,
+            cluster->rank(r).clock().nowSec());
+    }
+
+    // ---- analysis stage, per rank -----------------------------------
+    for (u32 r = 0; r < opts.world; ++r) {
+        const f64 before = cluster->rank(r).clock().nowSec();
+        AnalyzeOptions aopts;
+        MEDUSA_ASSIGN_OR_RETURN(
+            AnalysisResult analysis,
+            analyze(*recorders[r], cluster->rank(r).process(),
+                    opts.model.name, opts.model.seed, graphs[r],
+                    free_bytes[r], aopts));
+        result.analysis_stage_sec = std::max(
+            result.analysis_stage_sec,
+            cluster->rank(r).clock().nowSec() - before);
+        result.rank_artifacts.push_back(std::move(analysis.artifact));
+    }
+    return result;
+}
+
+StatusOr<std::unique_ptr<TpMedusaEngine>>
+TpMedusaEngine::coldStart(const Options &opts,
+                          const std::vector<Artifact> &rank_artifacts)
+{
+    if (rank_artifacts.size() != opts.world) {
+        return invalidArgument("one artifact per rank required");
+    }
+    for (const Artifact &a : rank_artifacts) {
+        if (a.model_name != opts.model.name ||
+            a.model_seed != opts.model.seed) {
+            return validationFailure(
+                "rank artifact was materialized for model " +
+                a.model_name);
+        }
+    }
+
+    std::unique_ptr<TpMedusaEngine> engine(new TpMedusaEngine());
+    TpCluster::Options copts;
+    copts.model = opts.model;
+    copts.world = opts.world;
+    copts.aslr_seed = opts.aslr_seed;
+    copts.cost = opts.cost;
+    for (u32 r = 0; r < opts.world; ++r) {
+        engine->tables_.push_back(
+            std::make_unique<ReplayTable>(&rank_artifacts[r]));
+        copts.alloc_observers.push_back(engine->tables_.back().get());
+    }
+    MEDUSA_ASSIGN_OR_RETURN(engine->cluster_,
+                            TpCluster::create(copts));
+    TpCluster &cluster = *engine->cluster_;
+    engine->reports_.resize(opts.world);
+
+    // The online phase, per rank (stage-interleaved).
+    for (u32 r = 0; r < opts.world; ++r) {
+        MEDUSA_RETURN_IF_ERROR(cluster.rank(r).initStructure());
+        MEDUSA_RETURN_IF_ERROR(engine->tables_[r]->organicStatus());
+    }
+    for (u32 r = 0; r < opts.world; ++r) {
+        MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadTokenizer());
+        MEDUSA_RETURN_IF_ERROR(replayAllocSequence(
+            rank_artifacts[r], cluster.rank(r), *engine->tables_[r],
+            engine->reports_[r]));
+        llm::ModelConfig rank_model = opts.model;
+        rank_model.tp_world = opts.world;
+        rank_model.tp_rank = r;
+        MEDUSA_RETURN_IF_ERROR(
+            rebindEngineBuffers(rank_artifacts[r], rank_model,
+                                *engine->tables_[r], cluster.rank(r)));
+        MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadWeights());
+        if (opts.restore.restore_contents) {
+            MEDUSA_RETURN_IF_ERROR(restoreContents(
+                rank_artifacts[r], cluster.rank(r),
+                *engine->tables_[r], engine->reports_[r]));
+        }
+        std::unordered_map<std::string, KernelAddr> name_table;
+        if (opts.restore.use_triggering_kernels) {
+            MEDUSA_ASSIGN_OR_RETURN(name_table,
+                                    buildKernelNameTable(cluster.rank(r)));
+        }
+        for (const GraphBlueprint &bp : rank_artifacts[r].graphs) {
+            MEDUSA_ASSIGN_OR_RETURN(
+                CudaGraph graph,
+                rebuildGraph(bp, *engine->tables_[r], cluster.rank(r),
+                             name_table, opts.restore,
+                             engine->reports_[r]));
+            MEDUSA_RETURN_IF_ERROR(
+                cluster.rank(r).instantiateGraph(bp.batch_size, graph));
+            ++engine->reports_[r].graphs_restored;
+        }
+        engine->loading_sec_ = std::max(
+            engine->loading_sec_, cluster.rank(r).clock().nowSec());
+    }
+
+    // Optional validation: restored lockstep replay must match a
+    // reference (vanilla-captured) cluster bit for bit.
+    if (opts.restore.validate) {
+        TpCluster::Options vopts;
+        vopts.model = opts.model;
+        vopts.world = opts.world;
+        vopts.aslr_seed = opts.aslr_seed + 9999;
+        vopts.cost = opts.cost;
+        MEDUSA_ASSIGN_OR_RETURN(auto reference,
+                                TpCluster::create(vopts));
+        MEDUSA_RETURN_IF_ERROR(reference->loadAll());
+        for (u32 bs : opts.restore.validate_batch_sizes) {
+            if (!cluster.rank(0).hasGraph(bs)) {
+                continue;
+            }
+            MEDUSA_RETURN_IF_ERROR(reference->captureAll({bs}));
+            MEDUSA_RETURN_IF_ERROR(reference->stageValidationState(bs));
+            MEDUSA_ASSIGN_OR_RETURN(auto expected,
+                                    reference->lockstepDecodeLogits(bs));
+            MEDUSA_RETURN_IF_ERROR(cluster.stageValidationState(bs));
+            auto got = cluster.lockstepDecodeLogits(bs);
+            if (!got.isOk()) {
+                return validationFailure(
+                    "restored TP graphs bs=" + std::to_string(bs) +
+                    " failed to replay: " + got.status().toString());
+            }
+            if (*got != expected) {
+                return validationFailure(
+                    "restored TP graphs bs=" + std::to_string(bs) +
+                    " mismatch the reference cluster");
+            }
+            for (auto &report : engine->reports_) {
+                report.validated = true;
+            }
+        }
+    }
+    return engine;
+}
+
+} // namespace medusa::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Medusa for tensor-parallel serving — the paper's §8 future work:
+ * "constructing the indirect index pointer table across multiple GPU
+ * instances".
+ *
+ * Offline, each rank runs its own recorder through the capturing-stage
+ * cold start (per-rank allocation sequences, per-rank graphs with
+ * all-reduce collective nodes) and the analysis produces one artifact
+ * per rank. Online, every rank replays its own allocation sequence,
+ * patches its own graphs and restores kernel addresses in its own
+ * process; the restored graphs are validated by lockstep replay against
+ * a reference capture.
+ */
+
+#ifndef MEDUSA_MEDUSA_TP_H
+#define MEDUSA_MEDUSA_TP_H
+
+#include <memory>
+#include <vector>
+
+#include "llm/tensor_parallel.h"
+#include "medusa/artifact.h"
+#include "medusa/replay.h"
+#include "medusa/restore_options.h"
+
+namespace medusa::core {
+
+/** Offline-phase options for a tensor-parallel deployment. */
+struct TpOfflineOptions
+{
+    llm::ModelConfig model;
+    u32 world = 2;
+    /** Batch sizes to capture (the full 35 by default). */
+    std::vector<u32> batch_sizes;
+    u64 aslr_seed = 1;
+    const CostModel *cost = nullptr;
+};
+
+/** One artifact per rank plus offline-phase timings. */
+struct TpOfflineResult
+{
+    std::vector<Artifact> rank_artifacts;
+    f64 capture_stage_sec = 0;
+    f64 analysis_stage_sec = 0;
+
+    f64 totalOffline() const
+    {
+        return capture_stage_sec + analysis_stage_sec;
+    }
+};
+
+/** Run the tensor-parallel offline phase. */
+StatusOr<TpOfflineResult> materializeTp(const TpOfflineOptions &opts);
+
+/**
+ * A tensor-parallel serving cluster cold-started through Medusa's
+ * online phase on every rank.
+ */
+class TpMedusaEngine
+{
+  public:
+    struct Options
+    {
+        llm::ModelConfig model;
+        u32 world = 2;
+        u64 aslr_seed = 7;
+        const CostModel *cost = nullptr;
+        RestoreOptions restore;
+    };
+
+    /** Restore every rank from its artifact. */
+    static StatusOr<std::unique_ptr<TpMedusaEngine>>
+    coldStart(const Options &opts,
+              const std::vector<Artifact> &rank_artifacts);
+
+    llm::TpCluster &cluster() { return *cluster_; }
+    const RestoreReport &report(u32 rank) const
+    {
+        return reports_.at(rank);
+    }
+    /** Visible loading latency (the slowest rank gates readiness). */
+    f64 loadingSec() const { return loading_sec_; }
+
+  private:
+    TpMedusaEngine() = default;
+
+    /** Declared before the cluster so they outlive the allocators. */
+    std::vector<std::unique_ptr<ReplayTable>> tables_;
+    std::unique_ptr<llm::TpCluster> cluster_;
+    std::vector<RestoreReport> reports_;
+    f64 loading_sec_ = 0;
+};
+
+} // namespace medusa::core
+
+#endif // MEDUSA_MEDUSA_TP_H

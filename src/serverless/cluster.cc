@@ -1,0 +1,311 @@
+#include "serverless/cluster.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <memory>
+
+#include "serverless/event_sim.h"
+
+namespace medusa::serverless {
+
+namespace {
+
+/** One in-flight request inside the simulation. */
+struct SimRequest
+{
+    f64 arrival = 0;
+    u32 prompt_tokens = 0;
+    u32 output_tokens = 0;
+    u32 generated = 0;
+    f64 first_token_at = -1;
+    f64 finished_at = -1;
+};
+
+/** One serving instance bound to a GPU. */
+struct Instance
+{
+    enum class State { kColdStarting, kLive, kDead };
+
+    State state = State::kColdStarting;
+    /** Requests waiting for their prefill step on this instance. */
+    std::deque<SimRequest *> prefill_queue;
+    /** Requests in the decode phase. */
+    std::vector<SimRequest *> running;
+    bool stepping = false;
+    /** Guards stale idle-timeout events. */
+    u64 idle_epoch = 0;
+    /** Hot spares never idle out (§2.4). */
+    bool hot_spare = false;
+    /** For GPU-seconds accounting. */
+    f64 launched_at = 0;
+    f64 died_at = -1;
+    /** Deferred capture: batch-size buckets already captured. */
+    std::set<std::size_t> warmed_buckets;
+
+    u32
+    load() const
+    {
+        return static_cast<u32>(prefill_queue.size() + running.size());
+    }
+};
+
+/** The whole simulation state. */
+class ClusterSim
+{
+  public:
+    ClusterSim(const ClusterOptions &options,
+               const ServingProfile &profile)
+        : options_(options), profile_(profile)
+    {
+    }
+
+    TraceMetrics
+    run(const std::vector<workload::Request> &trace)
+    {
+        // Pre-provisioned hot spares (§2.4): live from t=0, never
+        // reclaimed, no cold start charged to requests.
+        for (u32 i = 0;
+             i < std::min(options_.hot_spares, options_.num_gpus); ++i) {
+            auto inst = std::make_unique<Instance>();
+            inst->state = Instance::State::kLive;
+            inst->hot_spare = true;
+            inst->launched_at = 0;
+            instances_.push_back(std::move(inst));
+        }
+        requests_.reserve(trace.size());
+        for (const workload::Request &r : trace) {
+            auto req = std::make_unique<SimRequest>();
+            req->arrival = r.arrival_sec;
+            req->prompt_tokens = r.prompt_tokens;
+            req->output_tokens = std::max<u32>(r.output_tokens, 1);
+            SimRequest *ptr = req.get();
+            requests_.push_back(std::move(req));
+            loop_.schedule(r.arrival_sec, [this, ptr]() {
+                waiting_.push_back(ptr);
+                dispatch();
+            });
+        }
+        const f64 end = loop_.run();
+
+        TraceMetrics m;
+        f64 first_arrival = trace.empty() ? 0 : trace.front().arrival_sec;
+        f64 last_finish = first_arrival;
+        for (const auto &req : requests_) {
+            if (req->finished_at < 0) {
+                continue; // should not happen; guards divide-by-zero
+            }
+            ++m.completed;
+            m.ttft_sec.add(req->first_token_at - req->arrival);
+            m.e2e_sec.add(req->finished_at - req->arrival);
+            last_finish = std::max(last_finish, req->finished_at);
+        }
+        m.cold_starts = cold_starts_;
+        m.makespan_sec = std::max(last_finish - first_arrival, 1e-9);
+        m.achieved_qps = static_cast<f64>(m.completed) / m.makespan_sec;
+        for (const auto &inst : instances_) {
+            const f64 death = inst->died_at >= 0 ? inst->died_at : end;
+            m.gpu_seconds += std::max(0.0, death - inst->launched_at);
+        }
+        return m;
+    }
+
+  private:
+    /** Assign waiting requests; scale up if demand exceeds capacity. */
+    void
+    dispatch()
+    {
+        // Feed live instances, packing onto the most-loaded one that
+        // still has capacity (bin-packing lets lightly-used instances
+        // drain and scale down during quiet phases).
+        while (!waiting_.empty()) {
+            Instance *best = nullptr;
+            for (auto &inst : instances_) {
+                if (inst->state != Instance::State::kLive ||
+                    inst->load() >= options_.max_seqs_per_instance) {
+                    continue;
+                }
+                if (best == nullptr || inst->load() > best->load()) {
+                    best = inst.get();
+                }
+            }
+            if (best == nullptr) {
+                break;
+            }
+            SimRequest *req = waiting_.front();
+            waiting_.pop_front();
+            best->prefill_queue.push_back(req);
+            ++best->idle_epoch; // cancels any pending idle reclaim
+            if (!best->stepping) {
+                startStep(best);
+            }
+        }
+
+        // Autoscale: cold-start new instances for unserved demand that
+        // pending cold starts will not absorb.
+        u64 pending_capacity = 0;
+        u32 busy_gpus = 0;
+        for (const auto &inst : instances_) {
+            if (inst->state == Instance::State::kColdStarting) {
+                pending_capacity += options_.max_seqs_per_instance;
+                ++busy_gpus;
+            } else if (inst->state == Instance::State::kLive) {
+                ++busy_gpus;
+            }
+        }
+        while (waiting_.size() > pending_capacity &&
+               busy_gpus < options_.num_gpus) {
+            launchInstance();
+            pending_capacity += options_.max_seqs_per_instance;
+            ++busy_gpus;
+        }
+    }
+
+    void
+    launchInstance()
+    {
+        ++cold_starts_;
+        auto inst = std::make_unique<Instance>();
+        inst->launched_at = loop_.now();
+        Instance *ptr = inst.get();
+        instances_.push_back(std::move(inst));
+        // With a warm container pool, instance launch time equals the
+        // loading phase (§7.5).
+        loop_.scheduleAfter(profile_.cold_start_sec, [this, ptr]() {
+            ptr->state = Instance::State::kLive;
+            dispatch();
+            if (ptr->load() == 0) {
+                armIdleTimeout(ptr);
+            }
+        });
+    }
+
+    void
+    startStep(Instance *inst)
+    {
+        MEDUSA_CHECK(!inst->stepping, "instance already stepping");
+        if (!inst->prefill_queue.empty()) {
+            // Prefill step: batch admitted prompts up to the token
+            // budget. Their first token is emitted at step completion.
+            std::vector<SimRequest *> batch;
+            u32 tokens = 0;
+            while (!inst->prefill_queue.empty()) {
+                SimRequest *req = inst->prefill_queue.front();
+                if (!batch.empty() &&
+                    tokens + req->prompt_tokens >
+                        options_.max_batched_tokens) {
+                    break;
+                }
+                tokens += req->prompt_tokens;
+                batch.push_back(req);
+                inst->prefill_queue.pop_front();
+            }
+            inst->stepping = true;
+            const f64 step = profile_.prefill(tokens);
+            loop_.scheduleAfter(step, [this, inst, batch]() {
+                const f64 now = loop_.now();
+                for (SimRequest *req : batch) {
+                    req->first_token_at = now;
+                    req->generated = 1;
+                    if (req->generated >= req->output_tokens) {
+                        req->finished_at = now;
+                    } else {
+                        inst->running.push_back(req);
+                    }
+                }
+                finishStep(inst);
+            });
+            return;
+        }
+        if (!inst->running.empty()) {
+            // Decode step over all running sequences.
+            inst->stepping = true;
+            const u32 bs = static_cast<u32>(inst->running.size());
+            f64 step = profile_.decodeStep(bs);
+            if (profile_.deferred_capture) {
+                // §2.4: the first step at a new batch-size bucket pays
+                // the lazy warm-up + capture.
+                const std::size_t bucket = profile_.bucketIndex(bs);
+                if (inst->warmed_buckets.insert(bucket).second) {
+                    step += profile_.capturePenalty(bs);
+                }
+            }
+            loop_.scheduleAfter(step, [this, inst]() {
+                const f64 now = loop_.now();
+                auto &running = inst->running;
+                for (auto it = running.begin(); it != running.end();) {
+                    SimRequest *req = *it;
+                    ++req->generated;
+                    if (req->generated >= req->output_tokens) {
+                        req->finished_at = now;
+                        it = running.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+                finishStep(inst);
+            });
+            return;
+        }
+        armIdleTimeout(inst);
+    }
+
+    void
+    finishStep(Instance *inst)
+    {
+        inst->stepping = false;
+        // Pull any globally waiting work before the next step. Note
+        // that dispatch() may itself restart this instance's step loop
+        // when it assigns new work.
+        dispatch();
+        if (inst->state != Instance::State::kLive || inst->stepping) {
+            return;
+        }
+        if (inst->load() > 0) {
+            startStep(inst);
+        } else {
+            armIdleTimeout(inst);
+        }
+    }
+
+    void
+    armIdleTimeout(Instance *inst)
+    {
+        if (inst->hot_spare) {
+            return; // spares are provisioned for the whole run
+        }
+        const u64 epoch = ++inst->idle_epoch;
+        loop_.scheduleAfter(options_.idle_timeout_sec,
+                            [this, inst, epoch]() {
+                                if (inst->state ==
+                                        Instance::State::kLive &&
+                                    inst->idle_epoch == epoch &&
+                                    inst->load() == 0 &&
+                                    !inst->stepping) {
+                                    inst->state = Instance::State::kDead;
+                                    inst->died_at = loop_.now();
+                                }
+                            });
+    }
+
+    ClusterOptions options_;
+    const ServingProfile &profile_;
+    EventLoop loop_;
+    std::vector<std::unique_ptr<SimRequest>> requests_;
+    std::vector<std::unique_ptr<Instance>> instances_;
+    std::deque<SimRequest *> waiting_;
+    u64 cold_starts_ = 0;
+};
+
+} // namespace
+
+TraceMetrics
+simulateCluster(const ClusterOptions &options,
+                const ServingProfile &profile,
+                const std::vector<workload::Request> &trace)
+{
+    ClusterSim sim(options, profile);
+    return sim.run(trace);
+}
+
+} // namespace medusa::serverless

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The serverless cluster simulator (§7.5's application-trace setup):
+ * a pool of GPUs, serving instances with vLLM-style continuous
+ * batching, an autoscaler that cold-starts new instances when demand
+ * exceeds capacity, and idle scale-down.
+ *
+ * Instances run a step loop — prefill admitted requests (emitting their
+ * first token: the TTFT event), otherwise decode all running sequences
+ * — using the measured ServingProfile latencies. Cold starts take the
+ * strategy's loading latency (runtime init is absorbed by the warm
+ * container pool, as in the paper).
+ */
+
+#ifndef MEDUSA_SERVERLESS_CLUSTER_H
+#define MEDUSA_SERVERLESS_CLUSTER_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "serverless/profile.h"
+#include "workload/trace.h"
+
+namespace medusa::serverless {
+
+/** Cluster and autoscaler configuration. */
+struct ClusterOptions
+{
+    /** GPUs available (the paper's trace platform has 4 A100s). */
+    u32 num_gpus = 4;
+    /** Max concurrently running sequences per instance. */
+    u32 max_seqs_per_instance = 64;
+    /** Max real tokens per prefill step (vLLM's batched-token budget). */
+    u32 max_batched_tokens = 2048;
+    /** Idle duration before an instance is reclaimed. */
+    f64 idle_timeout_sec = 5.0;
+    /**
+     * §2.4 hot spares: instances pre-provisioned at t=0, always kept
+     * alive. They eliminate their cold starts but occupy GPUs for the
+     * whole run — the resource wastage the paper argues against.
+     */
+    u32 hot_spares = 0;
+};
+
+/** Simulation output. */
+struct TraceMetrics
+{
+    PercentileTracker ttft_sec;
+    PercentileTracker e2e_sec;
+    u64 completed = 0;
+    u64 cold_starts = 0;
+    /** Completed requests per second over the busy makespan. */
+    f64 achieved_qps = 0;
+    f64 makespan_sec = 0;
+    /**
+     * GPU occupancy cost: instance-lifetime seconds summed over all
+     * instances (cold-start time included) — the pay-as-you-go bill.
+     */
+    f64 gpu_seconds = 0;
+};
+
+/** Replay a trace against a cluster running the profiled engine. */
+TraceMetrics simulateCluster(const ClusterOptions &options,
+                             const ServingProfile &profile,
+                             const std::vector<workload::Request> &trace);
+
+} // namespace medusa::serverless
+
+#endif // MEDUSA_SERVERLESS_CLUSTER_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A minimal discrete-event simulation loop for the serverless cluster.
+ */
+
+#ifndef MEDUSA_SERVERLESS_EVENT_SIM_H
+#define MEDUSA_SERVERLESS_EVENT_SIM_H
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace medusa::serverless {
+
+/**
+ * Priority-queue event loop over virtual seconds. Events scheduled at
+ * the same time fire in scheduling order (stable).
+ */
+class EventLoop
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Schedule @p fn at absolute virtual time @p at_sec (>= now). */
+    void
+    schedule(f64 at_sec, Handler fn)
+    {
+        MEDUSA_CHECK(at_sec >= now_ - 1e-12,
+                     "event scheduled in the past");
+        queue_.push(Event{at_sec, next_seq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn after a non-negative delay. */
+    void
+    scheduleAfter(f64 delay_sec, Handler fn)
+    {
+        schedule(now_ + delay_sec, std::move(fn));
+    }
+
+    /** Run until the queue drains. Returns the final time. */
+    f64
+    run()
+    {
+        while (!queue_.empty()) {
+            Event ev = queue_.top();
+            queue_.pop();
+            now_ = ev.time;
+            ev.fn();
+        }
+        return now_;
+    }
+
+    f64 now() const { return now_; }
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    struct Event
+    {
+        f64 time;
+        u64 seq;
+        Handler fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (time != other.time) {
+                return time > other.time;
+            }
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        queue_;
+    f64 now_ = 0;
+    u64 next_seq_ = 0;
+};
+
+} // namespace medusa::serverless
+
+#endif // MEDUSA_SERVERLESS_EVENT_SIM_H

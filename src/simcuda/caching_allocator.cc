@@ -1,0 +1,87 @@
+#include "simcuda/caching_allocator.h"
+
+namespace medusa::simcuda {
+
+StatusOr<DeviceAddr>
+CachingAllocator::allocate(u64 logical_size, u64 backing_size)
+{
+    if (logical_size == 0) {
+        return invalidArgument("allocation of zero bytes");
+    }
+    const u64 rounded = roundSize(logical_size);
+    const auto key = std::make_pair(rounded, backing_size);
+    Block block;
+    auto it = free_lists_.find(key);
+    if (it != free_lists_.end() && !it->second.empty()) {
+        // Pool hit: reuse a freed block of this size class. The
+        // returned address may equal an address handed out (and freed)
+        // earlier — the false-positive hazard of the paper's Figure 6 —
+        // and WHICH free block wins is process-dependent (see class
+        // comment). Contents are stale, exactly like PyTorch's pool.
+        auto pick = it->second.begin();
+        std::advance(pick, static_cast<long>(rng_.nextBounded(
+                               it->second.size())));
+        block = pick->second;
+        it->second.erase(pick);
+        if (it->second.empty()) {
+            free_lists_.erase(it);
+        }
+        process_->clock().advance(
+            units::usToNs(process_->cost().cached_alloc_us));
+    } else {
+        // Pool miss: fall through to the driver. Illegal during capture
+        // (GpuProcess::cudaMalloc enforces it).
+        MEDUSA_ASSIGN_OR_RETURN(block.addr, process_->cudaMalloc(
+                                                rounded, backing_size));
+        block.rounded_size = rounded;
+        block.backing_size = backing_size;
+    }
+    live_[block.addr] = block;
+    const u64 seq = alloc_seq_++;
+    if (observer_ != nullptr) {
+        observer_->onAlloc(seq, block.addr, logical_size,
+                           block.backing_size);
+    }
+    return block.addr;
+}
+
+Status
+CachingAllocator::free(DeviceAddr addr)
+{
+    auto it = live_.find(addr);
+    if (it == live_.end()) {
+        return invalidArgument("free of unknown buffer");
+    }
+    const Block block = it->second;
+    live_.erase(it);
+    free_lists_[{block.rounded_size, block.backing_size}].emplace(
+        block.addr, block);
+    if (observer_ != nullptr) {
+        observer_->onFree(addr);
+    }
+    return Status::ok();
+}
+
+Status
+CachingAllocator::emptyCache()
+{
+    for (auto &[key, blocks] : free_lists_) {
+        for (const auto &[addr, block] : blocks) {
+            MEDUSA_RETURN_IF_ERROR(process_->cudaFree(addr));
+        }
+    }
+    free_lists_.clear();
+    return Status::ok();
+}
+
+u64
+CachingAllocator::pooledBytes() const
+{
+    u64 total = 0;
+    for (const auto &[key, blocks] : free_lists_) {
+        total += key.first * blocks.size();
+    }
+    return total;
+}
+
+} // namespace medusa::simcuda

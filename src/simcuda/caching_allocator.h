@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A PyTorch-style caching device allocator.
+ *
+ * Frees do not return memory to the driver; freed blocks go to per-size
+ * free lists and are handed back to later allocations of the same
+ * rounded size. Two properties matter for Medusa:
+ *
+ *  1. *Address reuse*: a later allocation can return an address that an
+ *     earlier, freed allocation also had — creating the false-positive
+ *     hazard of the paper's Figure 6 that trace-based indirect-index
+ *     analysis must resolve. When several freed blocks of a size class
+ *     are available, WHICH one a request reuses is process-dependent
+ *     (in PyTorch it falls out of raw address order, stream history
+ *     and fragmentation), so a buffer identified only by its offline
+ *     address re-materializes at a different address online — exactly
+ *     why naive pointer matching corrupts data and Medusa must bind
+ *     pointers to allocation-sequence *events*.
+ *  2. *Pool warm-up*: during stream capture the driver may not be
+ *     called, so an allocation that misses the cache during capture is a
+ *     capture violation. Warm-up forwarding fills the pool first.
+ *
+ * All framework ("tensor") allocations go through this allocator, and it
+ * is the level at which Medusa intercepts the buffer (de)allocation
+ * sequence.
+ */
+
+#ifndef MEDUSA_SIMCUDA_CACHING_ALLOCATOR_H
+#define MEDUSA_SIMCUDA_CACHING_ALLOCATOR_H
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "simcuda/gpu_process.h"
+
+namespace medusa::simcuda {
+
+/** Observes the framework-level buffer (de)allocation sequence. */
+class AllocObserver
+{
+  public:
+    virtual ~AllocObserver() = default;
+
+    /**
+     * One buffer allocation.
+     * @param seq_index 0-based index in the allocation sequence (counts
+     *        allocations only, not frees) — the index space of the
+     *        paper's indirect index pointers.
+     * @param logical_size accounted size; the size Medusa materializes.
+     */
+    virtual void onAlloc(u64 seq_index, DeviceAddr addr, u64 logical_size,
+                         u64 backing_size) = 0;
+
+    /** One buffer free. @param addr the freed buffer's base. */
+    virtual void onFree(DeviceAddr addr) = 0;
+};
+
+/**
+ * The caching allocator; see file comment.
+ */
+class CachingAllocator
+{
+  public:
+    /**
+     * @param reuse_seed seeds the process-dependent free-block
+     *        selection; derive it from the process launch (ASLR) seed.
+     */
+    explicit CachingAllocator(GpuProcess *process, u64 reuse_seed = 17)
+        : process_(process), rng_(reuse_seed * 0x2545f4914f6cdd1dull + 3)
+    {
+    }
+
+    /**
+     * Allocate a buffer. Sizes are rounded to 512 bytes for free-list
+     * bucketing (matching PyTorch's small-block rounding).
+     */
+    StatusOr<DeviceAddr> allocate(u64 logical_size, u64 backing_size);
+
+    /** Return a buffer to the pool (never to the driver). */
+    Status free(DeviceAddr addr);
+
+    /** Release all pooled blocks back to the driver. */
+    Status emptyCache();
+
+    /** Total allocations served so far (the sequence length). */
+    u64 allocationCount() const { return alloc_seq_; }
+
+    /** Bytes currently held in the pool's free lists (logical). */
+    u64 pooledBytes() const;
+
+    /** Live (not freed) buffers currently held by callers. */
+    u64 liveBuffers() const { return live_.size(); }
+
+    void setObserver(AllocObserver *observer) { observer_ = observer; }
+
+  private:
+    struct Block
+    {
+        DeviceAddr addr = 0;
+        u64 rounded_size = 0;
+        u64 backing_size = 0;
+    };
+
+    static u64 roundSize(u64 size) { return (size + 511) & ~511ull; }
+
+    GpuProcess *process_;
+    AllocObserver *observer_ = nullptr;
+    u64 alloc_seq_ = 0;
+    Rng rng_;
+    /** (rounded logical, backing) -> reusable blocks by address. */
+    std::map<std::pair<u64, u64>, std::map<DeviceAddr, Block>>
+        free_lists_;
+    /** live buffer base -> block. */
+    std::unordered_map<DeviceAddr, Block> live_;
+};
+
+} // namespace medusa::simcuda
+
+#endif // MEDUSA_SIMCUDA_CACHING_ALLOCATOR_H

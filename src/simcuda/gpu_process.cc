@@ -1,0 +1,388 @@
+#include "simcuda/gpu_process.h"
+
+#include <algorithm>
+
+namespace medusa::simcuda {
+
+// ---------------------------------------------------------------- Stream
+
+Status
+Stream::launch(KernelId kernel, RawParams params, const TimingInfo &timing)
+{
+    return process_->launchOnStream(*this, kernel, std::move(params),
+                                    timing);
+}
+
+Status
+Stream::recordEvent(Event &event)
+{
+    event.recorded_ = true;
+    if (capturing()) {
+        event.captured_ = true;
+        event.capture_deps_ = capture_frontier_;
+    } else {
+        event.captured_ = false;
+        event.gpu_time_ = gpu_ready_ns_;
+    }
+    return Status::ok();
+}
+
+Status
+Stream::waitEvent(Event &event)
+{
+    if (!event.recorded_) {
+        return failedPrecondition("wait on unrecorded event");
+    }
+    if (event.captured_) {
+        // Joining a capture (fork): this stream's subsequent launches
+        // are recorded, depending on the event's frontier.
+        if (!process_->captureActive()) {
+            return failedPrecondition(
+                "wait on captured event outside capture");
+        }
+        session_ = process_->capture_.get();
+        for (NodeId d : event.capture_deps_) {
+            if (std::find(capture_frontier_.begin(),
+                          capture_frontier_.end(),
+                          d) == capture_frontier_.end()) {
+                capture_frontier_.push_back(d);
+            }
+        }
+        return Status::ok();
+    }
+    if (capturing()) {
+        return captureViolation(
+            "wait on eagerly-recorded event during capture");
+    }
+    gpu_ready_ns_ = std::max(gpu_ready_ns_, event.gpu_time_);
+    return Status::ok();
+}
+
+Status
+Stream::synchronize()
+{
+    if (capturing()) {
+        return captureViolation(
+            "stream synchronization is prohibited during capture");
+    }
+    SimClock &clock = process_->clock();
+    clock.advanceTo(std::max(clock.now(), gpu_ready_ns_));
+    clock.advance(units::usToNs(process_->cost().sync_us));
+    return Status::ok();
+}
+
+// ------------------------------------------------------------ GpuProcess
+
+GpuProcess::GpuProcess(const GpuProcessOptions &opts, SimClock *clock,
+                       const CostModel *cost)
+    : clock_(clock),
+      cost_(cost),
+      memory_(opts.device_memory_bytes,
+              opts.aslr_seed * 0x9e3779b9u + 1 + opts.device_index,
+              opts.device_index),
+      modules_(opts.aslr_seed * 0xc2b2ae35u + 7 + opts.device_index)
+{
+    MEDUSA_CHECK(clock_ != nullptr && cost_ != nullptr,
+                 "GpuProcess requires a clock and a cost model");
+    streams_.emplace_back(new Stream(this));
+}
+
+Stream &
+GpuProcess::createStream()
+{
+    streams_.emplace_back(new Stream(this));
+    return *streams_.back();
+}
+
+StatusOr<DeviceAddr>
+GpuProcess::cudaMalloc(u64 logical_size, u64 backing_size)
+{
+    if (captureActive()) {
+        return captureViolation("cudaMalloc during stream capture");
+    }
+    clock_->advance(units::usToNs(cost_->cuda_malloc_us));
+    return memory_.malloc(logical_size, backing_size);
+}
+
+Status
+GpuProcess::cudaFree(DeviceAddr addr)
+{
+    if (captureActive()) {
+        return captureViolation("cudaFree during stream capture");
+    }
+    clock_->advance(units::usToNs(cost_->cuda_free_us));
+    return memory_.free(addr);
+}
+
+Status
+GpuProcess::memcpyH2D(DeviceAddr dst, const void *src, u64 functional_bytes,
+                      u64 logical_bytes)
+{
+    if (captureActive()) {
+        return captureViolation("synchronous memcpy during capture");
+    }
+    clock_->advance(cost_->pcieCopyTime(static_cast<f64>(logical_bytes)));
+    if (functional_bytes == 0) {
+        return Status::ok();
+    }
+    return memory_.write(dst, src, functional_bytes);
+}
+
+Status
+GpuProcess::memcpyD2H(void *dst, DeviceAddr src, u64 functional_bytes,
+                      u64 logical_bytes)
+{
+    if (captureActive()) {
+        return captureViolation("synchronous memcpy during capture");
+    }
+    // A D2H copy drains the producing stream first.
+    MEDUSA_RETURN_IF_ERROR(defaultStream().synchronize());
+    clock_->advance(cost_->pcieCopyTime(static_cast<f64>(logical_bytes)));
+    if (functional_bytes == 0) {
+        return Status::ok();
+    }
+    return memory_.read(src, dst, functional_bytes);
+}
+
+Status
+GpuProcess::cudaMemset(DeviceAddr addr, u8 value, u64 functional_bytes)
+{
+    if (captureActive()) {
+        return captureViolation("cudaMemset during stream capture");
+    }
+    clock_->advance(units::usToNs(1.0));
+    return memory_.memset(addr, value, functional_bytes);
+}
+
+Status
+GpuProcess::deviceSynchronize()
+{
+    if (captureActive()) {
+        return captureViolation(
+            "device synchronization is prohibited during capture");
+    }
+    SimTimeNs ready = clock_->now();
+    for (const auto &s : streams_) {
+        ready = std::max(ready, s->gpu_ready_ns_);
+    }
+    clock_->advanceTo(ready);
+    clock_->advance(units::usToNs(cost_->sync_us));
+    return Status::ok();
+}
+
+StatusOr<DsoSymbol>
+GpuProcess::dlsym(const std::string &dso, const std::string &mangled_name)
+{
+    clock_->advance(units::usToNs(0.5));
+    return modules_.dlsym(dso, mangled_name);
+}
+
+StatusOr<KernelAddr>
+GpuProcess::cudaGetFuncBySymbol(const DsoSymbol &symbol)
+{
+    if (captureActive()) {
+        return captureViolation("cudaGetFuncBySymbol during capture");
+    }
+    bool did_load = false;
+    auto addr = modules_.funcBySymbol(symbol, &did_load);
+    if (did_load) {
+        clock_->advance(units::msToNs(cost_->module_load_ms));
+    }
+    return addr;
+}
+
+StatusOr<std::vector<KernelAddr>>
+GpuProcess::cuModuleEnumerateFunctions(const std::string &module_name)
+{
+    clock_->advance(units::usToNs(1.0));
+    return modules_.enumerateFunctions(module_name);
+}
+
+StatusOr<std::string>
+GpuProcess::cuFuncGetName(KernelAddr addr)
+{
+    clock_->advance(units::usToNs(cost_->kernel_name_match_us));
+    return modules_.funcGetName(addr);
+}
+
+StatusOr<std::string>
+GpuProcess::cuFuncGetModule(KernelAddr addr)
+{
+    clock_->advance(units::usToNs(0.5));
+    MEDUSA_ASSIGN_OR_RETURN(KernelId id, modules_.kernelAt(addr));
+    return KernelRegistry::instance().def(id).module_name;
+}
+
+Status
+GpuProcess::beginCapture(Stream &stream)
+{
+    if (captureActive()) {
+        // The limitation called out in §2.2: one capture at a time.
+        return captureViolation(
+            "a capture is already in progress in this process");
+    }
+    if (stream.capturing()) {
+        return failedPrecondition("stream is already capturing");
+    }
+    capture_ = std::make_unique<CaptureSession>();
+    capture_->origin = &stream;
+    stream.session_ = capture_.get();
+    stream.capture_frontier_.clear();
+    return Status::ok();
+}
+
+StatusOr<CudaGraph>
+GpuProcess::endCapture(Stream &stream)
+{
+    if (!captureActive()) {
+        return failedPrecondition("no capture in progress");
+    }
+    if (capture_->origin != &stream) {
+        return invalidArgument("endCapture on non-origin stream");
+    }
+    CudaGraph graph = std::move(capture_->graph);
+    for (const auto &s : streams_) {
+        s->session_ = nullptr;
+        s->capture_frontier_.clear();
+    }
+    capture_.reset();
+    return graph;
+}
+
+StatusOr<GraphExec>
+GpuProcess::instantiate(const CudaGraph &graph)
+{
+    if (captureActive()) {
+        return captureViolation("cudaGraphInstantiate during capture");
+    }
+    GraphExec exec;
+    exec.nodes_.reserve(graph.nodeCount());
+    for (const GraphNode &node : graph.nodes()) {
+        auto kernel = modules_.kernelAt(node.fn);
+        if (!kernel.isOk()) {
+            return invalidArgument(
+                "cudaGraphInstantiate: node references unknown kernel "
+                "address " +
+                std::to_string(node.fn));
+        }
+        GraphExec::ExecNode en;
+        en.kernel = *kernel;
+        en.params = node.params;
+        en.timing = node.timing;
+        exec.nodes_.push_back(std::move(en));
+    }
+    MEDUSA_ASSIGN_OR_RETURN(exec.order_, graph.topoOrder());
+    clock_->advance(units::usToNs(cost_->graph_instantiate_per_node_us *
+                                  static_cast<f64>(graph.nodeCount())));
+    return exec;
+}
+
+Status
+GpuProcess::launchGraph(const GraphExec &exec, Stream &stream)
+{
+    if (captureActive()) {
+        return captureViolation("cudaGraphLaunch during capture");
+    }
+    // One CPU-side launch for the whole graph — the core benefit of
+    // CUDA graphs (§2.2).
+    clock_->advance(units::usToNs(cost_->graph_launch_us));
+    ++graph_launches_;
+    SimTimeNs gpu_time = 0;
+    for (NodeId id : exec.order_) {
+        const auto &node = exec.nodes_.at(id);
+        MEDUSA_RETURN_IF_ERROR(execute(node.kernel, node.params));
+        gpu_time += cost_->kernelExecTime(node.timing,
+                                          cost_->steady_efficiency) +
+                    units::usToNs(cost_->graph_node_dispatch_us);
+    }
+    const SimTimeNs start = std::max(clock_->now(), stream.gpu_ready_ns_);
+    stream.gpu_ready_ns_ = start + gpu_time;
+    return Status::ok();
+}
+
+Status
+GpuProcess::launchOnStream(Stream &stream, KernelId kernel,
+                           RawParams params, const TimingInfo &timing)
+{
+    const auto &reg = KernelRegistry::instance();
+    if (kernel >= reg.kernelCount()) {
+        return invalidArgument("launch of unknown kernel id");
+    }
+    if (stream.capturing()) {
+        if (!modules_.isLoaded(kernel)) {
+            // Loading a module performs an implicit synchronization,
+            // which is prohibited during capture. This is exactly why
+            // frameworks must warm up before capturing (§2.3).
+            return captureViolation(
+                "first-launch module load during capture for kernel " +
+                reg.def(kernel).mangled_name);
+        }
+        MEDUSA_ASSIGN_OR_RETURN(KernelAddr addr,
+                                modules_.addressOf(kernel));
+        clock_->advance(units::usToNs(cost_->capture_record_us));
+        const NodeId id = capture_->graph.addKernelNode(
+            addr, params, timing, stream.capture_frontier_);
+        stream.capture_frontier_.assign(1, id);
+        ++capture_->recorded_nodes;
+        ++captured_nodes_;
+        if (launch_observer_ != nullptr) {
+            launch_observer_->onKernelLaunch(
+                addr, capture_->graph.node(id).params, true);
+        }
+        return Status::ok();
+    }
+
+    // Eager path: load the module on first use, then launch.
+    if (modules_.ensureLoaded(kernel)) {
+        clock_->advance(units::msToNs(cost_->module_load_ms));
+        // Module loading synchronizes the device.
+        MEDUSA_RETURN_IF_ERROR(deviceSynchronize());
+    }
+    MEDUSA_ASSIGN_OR_RETURN(KernelAddr addr, modules_.addressOf(kernel));
+    clock_->advance(units::usToNs(cost_->kernel_launch_us));
+    ++eager_launches_;
+    // Async pipeline model: the GPU starts this kernel when both the CPU
+    // has issued it and the stream's previous work has drained.
+    const SimTimeNs exec =
+        cost_->kernelExecTime(timing, cost_->steady_efficiency);
+    const SimTimeNs start = std::max(clock_->now(), stream.gpu_ready_ns_);
+    stream.gpu_ready_ns_ = start + exec;
+    if (launch_observer_ != nullptr) {
+        launch_observer_->onKernelLaunch(addr, params, false);
+    }
+    return execute(kernel, params);
+}
+
+Status
+GpuProcess::executeKernel(KernelId kernel, const RawParams &params)
+{
+    return execute(kernel, params);
+}
+
+Status
+GpuProcess::execute(KernelId kernel, const RawParams &params)
+{
+    const KernelDef &def = KernelRegistry::instance().def(kernel);
+    if (params.size() != def.params.size()) {
+        return invalidArgument("kernel " + def.mangled_name + " expects " +
+                               std::to_string(def.params.size()) +
+                               " params, got " +
+                               std::to_string(params.size()));
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (params[i].size() != paramKindSize(def.params[i])) {
+            return invalidArgument("kernel " + def.mangled_name +
+                                   ": param " + std::to_string(i) +
+                                   " has wrong size");
+        }
+    }
+    KernelArgs args(params, def.params);
+    Status st = def.fn(memory_, args);
+    if (!st.isOk()) {
+        return Status(st.code(), "kernel " + def.mangled_name +
+                                     " failed: " + st.message());
+    }
+    return Status::ok();
+}
+
+} // namespace medusa::simcuda

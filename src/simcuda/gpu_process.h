@@ -1,0 +1,324 @@
+/**
+ * @file
+ * One simulated process launch on the simulated GPU.
+ *
+ * A GpuProcess models everything that changes between cold starts of a
+ * serving instance: the device memory addresses returned by cudaMalloc
+ * (ASLR + jitter), the kernel function addresses (module slide), and the
+ * set of loaded modules. Medusa's offline and online phases run in
+ * *different* GpuProcess instances, exactly like two process launches on
+ * real hardware.
+ *
+ * The process exposes:
+ *  - driver memory ops (cudaMalloc/cudaFree/memcpy/memset),
+ *  - streams with eager launch, events, and stream capture,
+ *  - graph instantiation and replay,
+ *  - the module/symbol API used by kernel-address restoration
+ *    (dlsym, cudaGetFuncBySymbol, cuModuleEnumerateFunctions,
+ *    cuFuncGetName),
+ *  - observer hooks for Medusa's interception of launches.
+ *
+ * All operations advance the shared SimClock per the CostModel.
+ */
+
+#ifndef MEDUSA_SIMCUDA_GPU_PROCESS_H
+#define MEDUSA_SIMCUDA_GPU_PROCESS_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "simcuda/graph.h"
+#include "simcuda/kernel.h"
+#include "simcuda/memory.h"
+#include "simcuda/module.h"
+#include "simtime/cost_model.h"
+
+namespace medusa::simcuda {
+
+class GpuProcess;
+class Stream;
+
+/** Observes every kernel launch (eager or captured); used by Medusa. */
+class LaunchObserver
+{
+  public:
+    virtual ~LaunchObserver() = default;
+
+    /**
+     * Called after the launch is resolved to a per-process address.
+     * @param capturing true if the launch was recorded into a graph
+     *        rather than executed.
+     */
+    virtual void onKernelLaunch(KernelAddr fn, const RawParams &params,
+                                bool capturing) = 0;
+};
+
+/** A CUDA-event simulation, usable for capture forks and GPU timing. */
+class Event
+{
+  public:
+    Event() = default;
+
+  private:
+    friend class Stream;
+    friend class GpuProcess;
+
+    bool recorded_ = false;
+    /** When recorded during capture: the dependency frontier. */
+    bool captured_ = false;
+    std::vector<NodeId> capture_deps_;
+    /** When recorded eagerly: the stream's GPU completion time. */
+    SimTimeNs gpu_time_ = 0;
+};
+
+/** Identifies a capture in progress. */
+struct CaptureSession
+{
+    CudaGraph graph;
+    Stream *origin = nullptr;
+    /** Number of nodes recorded (== graph.nodeCount()). */
+    u64 recorded_nodes = 0;
+};
+
+/**
+ * A simulated CUDA stream. Launches execute eagerly (with an async GPU
+ * pipeline model) unless the stream participates in a capture, in which
+ * case they are recorded as graph nodes and NOT executed — matching real
+ * stream-capture semantics.
+ */
+class Stream
+{
+  public:
+    /** Launch a kernel by registry id; see GpuProcess::launch docs. */
+    Status launch(KernelId kernel, RawParams params,
+                  const TimingInfo &timing);
+
+    /** Record an event on this stream. */
+    Status recordEvent(Event &event);
+
+    /**
+     * Make this stream wait for an event. If the event was recorded
+     * during an active capture, this stream joins the capture (the
+     * fork/join idiom used to build DAG-shaped graphs).
+     */
+    Status waitEvent(Event &event);
+
+    /** Block the host until the stream drains; illegal during capture. */
+    Status synchronize();
+
+    bool capturing() const { return session_ != nullptr; }
+
+  private:
+    friend class GpuProcess;
+
+    explicit Stream(GpuProcess *process) : process_(process) {}
+
+    GpuProcess *process_;
+    /** GPU-side completion time of the last work on this stream. */
+    SimTimeNs gpu_ready_ns_ = 0;
+    /** Non-null while this stream participates in a capture. */
+    CaptureSession *session_ = nullptr;
+    /** Dependencies for the next node recorded on this stream. */
+    std::vector<NodeId> capture_frontier_;
+};
+
+/** An instantiated, ready-to-launch graph (cudaGraphExec_t). */
+class GraphExec
+{
+  public:
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** The kernel of the i-th node in execution (topological) order. */
+    KernelId
+    kernelAtStep(std::size_t step) const
+    {
+        return nodes_.at(order_.at(step)).kernel;
+    }
+
+    /** The raw params of the i-th node in execution order. */
+    const RawParams &
+    paramsAtStep(std::size_t step) const
+    {
+        return nodes_.at(order_.at(step)).params;
+    }
+
+    /** The timing metadata of the i-th node in execution order. */
+    const TimingInfo &
+    timingAtStep(std::size_t step) const
+    {
+        return nodes_.at(order_.at(step)).timing;
+    }
+
+  private:
+    friend class GpuProcess;
+
+    struct ExecNode
+    {
+        KernelId kernel = kInvalidKernel;
+        RawParams params;
+        TimingInfo timing;
+    };
+
+    std::vector<ExecNode> nodes_;
+    /** Execution order (topological). */
+    std::vector<NodeId> order_;
+};
+
+/** Creation options for a GpuProcess. */
+struct GpuProcessOptions
+{
+    /** Device capacity for logical accounting (A100-40GB default). */
+    u64 device_memory_bytes = 40ull * units::GiB;
+    /** Seed for all per-process address randomization. */
+    u64 aslr_seed = 1;
+    /**
+     * Which GPU of the node this process drives (multi-GPU tensor
+     * parallelism). Each device's virtual-address window is disjoint,
+     * as peer-mapped memory would be. Must be < 4.
+     */
+    u32 device_index = 0;
+};
+
+/**
+ * The simulated process; see file comment.
+ */
+class GpuProcess
+{
+  public:
+    GpuProcess(const GpuProcessOptions &opts, SimClock *clock,
+               const CostModel *cost);
+
+    // Not copyable or movable: streams hold back-pointers.
+    GpuProcess(const GpuProcess &) = delete;
+    GpuProcess &operator=(const GpuProcess &) = delete;
+
+    DeviceMemoryManager &memory() { return memory_; }
+    const DeviceMemoryManager &memory() const { return memory_; }
+    ModuleTable &modules() { return modules_; }
+    SimClock &clock() { return *clock_; }
+    const CostModel &cost() const { return *cost_; }
+
+    /** The default stream (created with the process). */
+    Stream &defaultStream() { return *streams_.front(); }
+
+    /** Create an additional stream (for capture forks). */
+    Stream &createStream();
+
+    // ---- driver memory API -------------------------------------------
+
+    /**
+     * Raw driver allocation. Illegal while any capture is active (the
+     * driver would synchronize), which is why the caching allocator's
+     * pool must be warmed up before capturing.
+     */
+    StatusOr<DeviceAddr> cudaMalloc(u64 logical_size, u64 backing_size);
+
+    /** Raw driver free. Also illegal during capture. */
+    Status cudaFree(DeviceAddr addr);
+
+    /**
+     * Synchronous host-to-device copy of functional bytes; the clock
+     * advances by the PCIe time of @p logical_bytes.
+     */
+    Status memcpyH2D(DeviceAddr dst, const void *src, u64 functional_bytes,
+                     u64 logical_bytes);
+
+    /** Synchronous device-to-host copy (drains the default stream). */
+    Status memcpyD2H(void *dst, DeviceAddr src, u64 functional_bytes,
+                     u64 logical_bytes);
+
+    /** cudaMemset on functional bytes. */
+    Status cudaMemset(DeviceAddr addr, u8 value, u64 functional_bytes);
+
+    /** Device-wide synchronize; illegal during capture. */
+    Status deviceSynchronize();
+
+    // ---- module / symbol API (paper §5 surface) ------------------------
+
+    StatusOr<DsoSymbol> dlsym(const std::string &dso,
+                              const std::string &mangled_name);
+    StatusOr<KernelAddr> cudaGetFuncBySymbol(const DsoSymbol &symbol);
+    StatusOr<std::vector<KernelAddr>>
+    cuModuleEnumerateFunctions(const std::string &module_name);
+    StatusOr<std::string> cuFuncGetName(KernelAddr addr);
+
+    /**
+     * dladdr() analogue: the module (shared library) that owns the
+     * kernel at @p addr. Used offline to build the name -> library
+     * mapping the paper's §5 materializes.
+     */
+    StatusOr<std::string> cuFuncGetModule(KernelAddr addr);
+
+    // ---- capture -------------------------------------------------------
+
+    /** Begin stream capture on @p stream. One capture at a time. */
+    Status beginCapture(Stream &stream);
+
+    /** End capture on the origin stream; returns the built graph. */
+    StatusOr<CudaGraph> endCapture(Stream &stream);
+
+    bool captureActive() const { return capture_ != nullptr; }
+
+    // ---- graphs ----------------------------------------------------------
+
+    /**
+     * cudaGraphInstantiate: validates that every node's function address
+     * resolves to a loaded kernel and that the topology is acyclic.
+     */
+    StatusOr<GraphExec> instantiate(const CudaGraph &graph);
+
+    /**
+     * cudaGraphLaunch: one CPU-side launch, then the whole node set
+     * executes on the GPU pipeline of @p stream.
+     */
+    Status launchGraph(const GraphExec &exec, Stream &stream);
+
+    /**
+     * Execute a single kernel functionally against this process's
+     * memory without launch-path accounting. Used by the lockstep
+     * multi-GPU replayer (lockstep.h), which does its own timing and
+     * provides collective semantics.
+     */
+    Status executeKernel(KernelId kernel, const RawParams &params);
+
+    // ---- observers & stats -----------------------------------------------
+
+    void setLaunchObserver(LaunchObserver *observer)
+    {
+        launch_observer_ = observer;
+    }
+
+    u64 eagerLaunchCount() const { return eager_launches_; }
+    u64 capturedNodeCount() const { return captured_nodes_; }
+    u64 graphLaunchCount() const { return graph_launches_; }
+
+  private:
+    friend class Stream;
+
+    /** Shared implementation behind Stream::launch. */
+    Status launchOnStream(Stream &stream, KernelId kernel,
+                          RawParams params, const TimingInfo &timing);
+
+    /** Execute a kernel functionally against device memory. */
+    Status execute(KernelId kernel, const RawParams &params);
+
+    SimClock *clock_;
+    const CostModel *cost_;
+    DeviceMemoryManager memory_;
+    ModuleTable modules_;
+    std::vector<std::unique_ptr<Stream>> streams_;
+    std::unique_ptr<CaptureSession> capture_;
+    LaunchObserver *launch_observer_ = nullptr;
+
+    u64 eager_launches_ = 0;
+    u64 captured_nodes_ = 0;
+    u64 graph_launches_ = 0;
+};
+
+} // namespace medusa::simcuda
+
+#endif // MEDUSA_SIMCUDA_GPU_PROCESS_H

@@ -1,0 +1,47 @@
+#include "simcuda/graph.h"
+
+#include <functional>
+#include <queue>
+
+namespace medusa::simcuda {
+
+StatusOr<std::vector<NodeId>>
+CudaGraph::topoOrder() const
+{
+    const std::size_t n = nodes_.size();
+    std::vector<u32> indegree(n, 0);
+    std::vector<std::vector<NodeId>> succ(n);
+    for (const GraphEdge &e : edges_) {
+        if (e.src >= n || e.dst >= n) {
+            return invalidArgument("graph edge references unknown node");
+        }
+        ++indegree[e.dst];
+        succ[e.src].push_back(e.dst);
+    }
+    // Kahn's algorithm, preferring node-id order so replays are
+    // deterministic.
+    std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+    for (NodeId i = 0; i < n; ++i) {
+        if (indegree[i] == 0) {
+            ready.push(i);
+        }
+    }
+    std::vector<NodeId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const NodeId u = ready.top();
+        ready.pop();
+        order.push_back(u);
+        for (NodeId v : succ[u]) {
+            if (--indegree[v] == 0) {
+                ready.push(v);
+            }
+        }
+    }
+    if (order.size() != n) {
+        return invalidArgument("graph contains a dependency cycle");
+    }
+    return order;
+}
+
+} // namespace medusa::simcuda

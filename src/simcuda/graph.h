@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Simulated CUDA graphs.
+ *
+ * A CudaGraph is a DAG of kernel nodes. Each node records exactly what a
+ * real cudaGraphKernelNodeParams exposes: the kernel's (per-process,
+ * randomized) function address, and the raw bytes of every launch
+ * parameter. Graphs are built either by stream capture (gpu_process.h)
+ * or explicitly via addKernelNode() — the path Medusa's online
+ * restoration uses to reconstruct a materialized graph.
+ */
+
+#ifndef MEDUSA_SIMCUDA_GRAPH_H
+#define MEDUSA_SIMCUDA_GRAPH_H
+
+#include <vector>
+
+#include "common/status.h"
+#include "simcuda/kernel.h"
+#include "simtime/cost_model.h"
+
+namespace medusa::simcuda {
+
+/** Node index within one graph. */
+using NodeId = u32;
+
+/**
+ * One kernel node: function address + opaque parameter bytes, plus the
+ * logical-work metadata the timing model consumes (an intrinsic property
+ * of the kernel invocation, not a launch parameter — Medusa never
+ * inspects it).
+ */
+struct GraphNode
+{
+    KernelAddr fn = 0;
+    RawParams params;
+    TimingInfo timing;
+};
+
+/** A directed dependency edge: dst may only run after src. */
+struct GraphEdge
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+};
+
+/**
+ * The graph under construction / inspection. Mirrors the mutation and
+ * inspection API of the CUDA graph (cudaGraphAddKernelNode,
+ * cudaGraphKernelNodeGetParams/SetParams, cudaGraphGetEdges).
+ */
+class CudaGraph
+{
+  public:
+    CudaGraph() = default;
+
+    /**
+     * Add a kernel node.
+     * @param deps nodes this one depends on (must already exist).
+     */
+    NodeId
+    addKernelNode(KernelAddr fn, RawParams params, TimingInfo timing,
+                  const std::vector<NodeId> &deps)
+    {
+        const NodeId id = static_cast<NodeId>(nodes_.size());
+        nodes_.push_back(GraphNode{fn, std::move(params), timing});
+        for (NodeId d : deps) {
+            MEDUSA_CHECK(d < id, "graph dependency on future node " << d);
+            edges_.push_back(GraphEdge{d, id});
+        }
+        return id;
+    }
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t edgeCount() const { return edges_.size(); }
+
+    const GraphNode &node(NodeId id) const { return nodes_.at(id); }
+    const std::vector<GraphNode> &nodes() const { return nodes_; }
+    const std::vector<GraphEdge> &edges() const { return edges_; }
+
+    /** Replace one parameter's bytes (cudaGraphKernelNodeSetParams). */
+    void
+    setNodeParam(NodeId id, std::size_t param_index, std::vector<u8> bytes)
+    {
+        auto &params = nodes_.at(id).params;
+        MEDUSA_CHECK(param_index < params.size(),
+                     "param index out of range");
+        params[param_index] = std::move(bytes);
+    }
+
+    /** Replace a node's function address (for address restoration). */
+    void
+    setNodeKernel(NodeId id, KernelAddr fn)
+    {
+        nodes_.at(id).fn = fn;
+    }
+
+    /**
+     * Topological order of the nodes; error if the graph has a cycle
+     * (cannot happen via capture, can happen via a corrupt artifact).
+     */
+    StatusOr<std::vector<NodeId>> topoOrder() const;
+
+  private:
+    std::vector<GraphNode> nodes_;
+    std::vector<GraphEdge> edges_;
+};
+
+} // namespace medusa::simcuda
+
+#endif // MEDUSA_SIMCUDA_GRAPH_H

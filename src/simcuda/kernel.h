@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Simulated GPU kernels.
+ *
+ * A kernel is identified by a mangled name and grouped into a *module*
+ * (see module.h). Its launch parameters are carried as opaque raw bytes —
+ * exactly what a real cudaGraphKernelNodeParams exposes — so Medusa's
+ * analysis must classify pointers vs constants from the byte patterns,
+ * as in the paper (§4). The typed signature is only used by the
+ * functional executor to decode the bytes back into arguments.
+ */
+
+#ifndef MEDUSA_SIMCUDA_KERNEL_H
+#define MEDUSA_SIMCUDA_KERNEL_H
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "simtime/cost_model.h"
+
+namespace medusa::simcuda {
+
+class DeviceMemoryManager;
+
+/** Dense, process-independent identity of a kernel definition. */
+using KernelId = u32;
+
+constexpr KernelId kInvalidKernel = 0xffffffffu;
+
+/** The wire type of one kernel parameter. */
+enum class ParamKind : u8 {
+    kPointer = 0, ///< 8-byte device pointer
+    kI32 = 1,     ///< 4-byte integer constant
+    kI64 = 2,     ///< 8-byte integer constant
+    kF32 = 3,     ///< 4-byte float constant
+};
+
+/** Byte width of a parameter of the given kind. */
+constexpr u64
+paramKindSize(ParamKind kind)
+{
+    switch (kind) {
+      case ParamKind::kPointer: return 8;
+      case ParamKind::kI32: return 4;
+      case ParamKind::kI64: return 8;
+      case ParamKind::kF32: return 4;
+    }
+    return 0;
+}
+
+/**
+ * Raw launch parameters: one byte blob per argument, mirroring the
+ * void** kernelParams array of CUDA.
+ */
+using RawParams = std::vector<std::vector<u8>>;
+
+/**
+ * Builds a RawParams blob in call order. The helper is used by the
+ * forward-pass builder ("host code"); Medusa never sees the types.
+ */
+class ParamsBuilder
+{
+  public:
+    ParamsBuilder &
+    ptr(DeviceAddr addr)
+    {
+        append(&addr, sizeof(addr));
+        return *this;
+    }
+
+    ParamsBuilder &
+    i32(i32 v)
+    {
+        append(&v, sizeof(v));
+        return *this;
+    }
+
+    ParamsBuilder &
+    i64(i64 v)
+    {
+        append(&v, sizeof(v));
+        return *this;
+    }
+
+    ParamsBuilder &
+    f32(f32 v)
+    {
+        append(&v, sizeof(v));
+        return *this;
+    }
+
+    RawParams take() { return std::move(params_); }
+
+  private:
+    void
+    append(const void *data, u64 n)
+    {
+        std::vector<u8> bytes(n);
+        std::memcpy(bytes.data(), data, n);
+        params_.push_back(std::move(bytes));
+    }
+
+    RawParams params_;
+};
+
+/**
+ * Typed view over RawParams, decoded according to a kernel's signature.
+ */
+class KernelArgs
+{
+  public:
+    KernelArgs(const RawParams &raw, const std::vector<ParamKind> &kinds)
+        : raw_(raw), kinds_(kinds)
+    {
+    }
+
+    std::size_t size() const { return raw_.size(); }
+
+    DeviceAddr
+    ptrAt(std::size_t i) const
+    {
+        return readAs<DeviceAddr>(i, ParamKind::kPointer);
+    }
+
+    i32 i32At(std::size_t i) const { return readAs<i32>(i, ParamKind::kI32); }
+    i64 i64At(std::size_t i) const { return readAs<i64>(i, ParamKind::kI64); }
+    f32 f32At(std::size_t i) const { return readAs<f32>(i, ParamKind::kF32); }
+
+  private:
+    template <typename T>
+    T
+    readAs(std::size_t i, ParamKind kind) const
+    {
+        MEDUSA_CHECK(i < raw_.size(), "param index " << i << " out of range");
+        MEDUSA_CHECK(kinds_.at(i) == kind,
+                     "param " << i << " decoded with wrong kind");
+        MEDUSA_CHECK(raw_[i].size() == sizeof(T),
+                     "param " << i << " has " << raw_[i].size()
+                              << " bytes, expected " << sizeof(T));
+        T v;
+        std::memcpy(&v, raw_[i].data(), sizeof(T));
+        return v;
+    }
+
+    const RawParams &raw_;
+    const std::vector<ParamKind> &kinds_;
+};
+
+/** Functional body of a kernel: computes over simulated device memory. */
+using KernelFn =
+    std::function<Status(DeviceMemoryManager &, const KernelArgs &)>;
+
+/**
+ * Static definition of a kernel: identity, module membership, symbol
+ * visibility, signature and functional body.
+ */
+struct KernelDef
+{
+    /** Mangled name, e.g. "_ZN7simmath6rmsnormEv" or a cuBLAS-ish name. */
+    std::string mangled_name;
+    /** Module (and DSO) this kernel lives in, e.g. "libsimcublas.so". */
+    std::string module_name;
+    /**
+     * Whether dlsym() can find this kernel in the DSO's symbol table.
+     * Closed-source cuBLAS-like kernels are hidden (paper §5).
+     */
+    bool in_symbol_table = true;
+    std::vector<ParamKind> params;
+    KernelFn fn;
+};
+
+/**
+ * The global, process-independent table of kernel definitions. Real
+ * kernels live in .so files on disk; their definitions do not change
+ * between process launches — only their *addresses* do (module.h).
+ */
+class KernelRegistry
+{
+  public:
+    /** The singleton registry with all built-in kernels registered. */
+    static const KernelRegistry &instance();
+
+    /** Register a kernel; returns its dense id. Name must be unique. */
+    KernelId registerKernel(KernelDef def);
+
+    const KernelDef &def(KernelId id) const { return defs_.at(id); }
+    std::size_t kernelCount() const { return defs_.size(); }
+
+    /** Lookup by mangled name; returns kInvalidKernel if absent. */
+    KernelId findByName(const std::string &mangled_name) const;
+
+    /** All kernel ids belonging to the given module. */
+    std::vector<KernelId> kernelsInModule(const std::string &module) const;
+
+    /** All distinct module names. */
+    std::vector<std::string> moduleNames() const;
+
+    KernelRegistry() = default;
+
+  private:
+    std::vector<KernelDef> defs_;
+};
+
+/** Mutable accessor used only by builtin kernel registration. */
+KernelRegistry &mutableRegistry();
+
+} // namespace medusa::simcuda
+
+#endif // MEDUSA_SIMCUDA_KERNEL_H

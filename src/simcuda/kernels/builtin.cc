@@ -1,0 +1,741 @@
+#include "simcuda/kernels/builtin.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "simcuda/memory.h"
+
+namespace medusa::simcuda {
+
+namespace {
+
+using PK = ParamKind;
+
+/** Shorthand to fetch a mutable float span or propagate the error. */
+#define SPAN_F32(var, addr, count)                                           \
+    MEDUSA_ASSIGN_OR_RETURN(f32 *var, mem.f32Span((addr), (count)))
+
+#define SPAN_I32(var, addr, count)                                           \
+    MEDUSA_ASSIGN_OR_RETURN(i32 *var, mem.i32Span((addr), (count)))
+
+// ---------------------------------------------------------------- torch
+
+/**
+ * out[t, :] = weight[ids[t] % vocab, :]
+ * params: weight*, ids*, out*, n_tokens, hidden, vocab
+ */
+Status
+embeddingLookup(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 n = args.i32At(3);
+    const i32 h = args.i32At(4);
+    const i32 vocab = args.i32At(5);
+    if (n <= 0 || h <= 0 || vocab <= 0) {
+        return invalidArgument("bad embedding dims");
+    }
+    SPAN_F32(weight, args.ptrAt(0), static_cast<u64>(vocab) * h);
+    SPAN_I32(ids, args.ptrAt(1), static_cast<u64>(n));
+    SPAN_F32(out, args.ptrAt(2), static_cast<u64>(n) * h);
+    for (i32 t = 0; t < n; ++t) {
+        const i32 id = ((ids[t] % vocab) + vocab) % vocab;
+        for (i32 d = 0; d < h; ++d) {
+            out[t * h + d] = weight[id * h + d];
+        }
+    }
+    return Status::ok();
+}
+
+/**
+ * RMS normalization. params: in*, weight*, out*, n, h, eps
+ */
+Status
+rmsNorm(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 n = args.i32At(3);
+    const i32 h = args.i32At(4);
+    const f32 eps = args.f32At(5);
+    SPAN_F32(in, args.ptrAt(0), static_cast<u64>(n) * h);
+    SPAN_F32(weight, args.ptrAt(1), static_cast<u64>(h));
+    SPAN_F32(out, args.ptrAt(2), static_cast<u64>(n) * h);
+    for (i32 t = 0; t < n; ++t) {
+        f32 ss = 0;
+        for (i32 d = 0; d < h; ++d) {
+            ss += in[t * h + d] * in[t * h + d];
+        }
+        const f32 inv = 1.0f / std::sqrt(ss / static_cast<f32>(h) + eps);
+        for (i32 d = 0; d < h; ++d) {
+            out[t * h + d] = in[t * h + d] * inv * weight[d];
+        }
+    }
+    return Status::ok();
+}
+
+/**
+ * LayerNorm with bias (Falcon). params: in*, weight*, bias*, out*, n, h,
+ * eps
+ */
+Status
+layerNorm(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 n = args.i32At(4);
+    const i32 h = args.i32At(5);
+    const f32 eps = args.f32At(6);
+    SPAN_F32(in, args.ptrAt(0), static_cast<u64>(n) * h);
+    SPAN_F32(weight, args.ptrAt(1), static_cast<u64>(h));
+    SPAN_F32(bias, args.ptrAt(2), static_cast<u64>(h));
+    SPAN_F32(out, args.ptrAt(3), static_cast<u64>(n) * h);
+    for (i32 t = 0; t < n; ++t) {
+        f32 mean = 0;
+        for (i32 d = 0; d < h; ++d) {
+            mean += in[t * h + d];
+        }
+        mean /= static_cast<f32>(h);
+        f32 var = 0;
+        for (i32 d = 0; d < h; ++d) {
+            const f32 c = in[t * h + d] - mean;
+            var += c * c;
+        }
+        var /= static_cast<f32>(h);
+        const f32 inv = 1.0f / std::sqrt(var + eps);
+        for (i32 d = 0; d < h; ++d) {
+            out[t * h + d] = (in[t * h + d] - mean) * inv * weight[d] +
+                             bias[d];
+        }
+    }
+    return Status::ok();
+}
+
+/** params: inout*, bias*, n, dim */
+Status
+biasAdd(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 n = args.i32At(2);
+    const i32 dim = args.i32At(3);
+    SPAN_F32(inout, args.ptrAt(0), static_cast<u64>(n) * dim);
+    SPAN_F32(bias, args.ptrAt(1), static_cast<u64>(dim));
+    for (i32 t = 0; t < n; ++t) {
+        for (i32 d = 0; d < dim; ++d) {
+            inout[t * dim + d] += bias[d];
+        }
+    }
+    return Status::ok();
+}
+
+/**
+ * SwiGLU activation: out = silu(gate) * up where the input packs
+ * [gate | up] along the feature dim. params: gate_up*, out*, n, inter
+ */
+Status
+siluMul(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 n = args.i32At(2);
+    const i32 inter = args.i32At(3);
+    SPAN_F32(gu, args.ptrAt(0), static_cast<u64>(n) * inter * 2);
+    SPAN_F32(out, args.ptrAt(1), static_cast<u64>(n) * inter);
+    for (i32 t = 0; t < n; ++t) {
+        for (i32 d = 0; d < inter; ++d) {
+            const f32 g = gu[t * inter * 2 + d];
+            const f32 u = gu[t * inter * 2 + inter + d];
+            const f32 silu = g / (1.0f + std::exp(-g));
+            out[t * inter + d] = silu * u;
+        }
+    }
+    return Status::ok();
+}
+
+/** params: in*, out*, count (tanh-approx GELU) */
+Status
+gelu(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 count = args.i32At(2);
+    SPAN_F32(in, args.ptrAt(0), static_cast<u64>(count));
+    SPAN_F32(out, args.ptrAt(1), static_cast<u64>(count));
+    for (i32 i = 0; i < count; ++i) {
+        const f32 x = in[i];
+        const f32 c = 0.7978845608f * (x + 0.044715f * x * x * x);
+        out[i] = 0.5f * x * (1.0f + std::tanh(c));
+    }
+    return Status::ok();
+}
+
+/** params: inout*, residual*, count */
+Status
+residualAdd(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 count = args.i32At(2);
+    SPAN_F32(inout, args.ptrAt(0), static_cast<u64>(count));
+    SPAN_F32(res, args.ptrAt(1), static_cast<u64>(count));
+    for (i32 i = 0; i < count; ++i) {
+        inout[i] += res[i];
+    }
+    return Status::ok();
+}
+
+/** params: logits*, out_ids*, bs, vocab (greedy sampling) */
+Status
+sampleArgmax(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 bs = args.i32At(2);
+    const i32 vocab = args.i32At(3);
+    SPAN_F32(logits, args.ptrAt(0), static_cast<u64>(bs) * vocab);
+    SPAN_I32(out, args.ptrAt(1), static_cast<u64>(bs));
+    for (i32 b = 0; b < bs; ++b) {
+        i32 best = 0;
+        f32 best_v = -std::numeric_limits<f32>::infinity();
+        for (i32 v = 0; v < vocab; ++v) {
+            const f32 x = logits[b * vocab + v];
+            if (x > best_v) {
+                best_v = x;
+                best = v;
+            }
+        }
+        out[b] = best;
+    }
+    return Status::ok();
+}
+
+/** params: src*, dst*, count */
+Status
+copyF32(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 count = args.i32At(2);
+    SPAN_F32(src, args.ptrAt(0), static_cast<u64>(count));
+    SPAN_F32(dst, args.ptrAt(1), static_cast<u64>(count));
+    for (i32 i = 0; i < count; ++i) {
+        dst[i] = src[i];
+    }
+    return Status::ok();
+}
+
+// ----------------------------------------------------------------- attn
+
+/**
+ * Rotary position embedding applied in-place to q and k. The q/k
+ * pointers may point *into* a fused QKV buffer; @p q_stride/@p k_stride
+ * give the row stride in floats.
+ * params: q*, k*, pos*, n, q_heads, kv_heads, head_dim, q_stride,
+ *         k_stride, theta
+ */
+Status
+rope(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 n = args.i32At(3);
+    const i32 qh = args.i32At(4);
+    const i32 kvh = args.i32At(5);
+    const i32 hd = args.i32At(6);
+    const i32 q_stride = args.i32At(7);
+    const i32 k_stride = args.i32At(8);
+    const f32 theta = args.f32At(9);
+    SPAN_I32(pos, args.ptrAt(2), static_cast<u64>(n));
+    const i32 half = hd / 2;
+    auto rotate = [&](DeviceAddr base, i32 heads,
+                      i32 stride) -> Status {
+        for (i32 t = 0; t < n; ++t) {
+            SPAN_F32(row,
+                     base + static_cast<u64>(t) * stride * sizeof(f32),
+                     static_cast<u64>(heads) * hd);
+            for (i32 head = 0; head < heads; ++head) {
+                f32 *v = row + static_cast<u64>(head) * hd;
+                for (i32 d = 0; d < half; ++d) {
+                    const f32 freq = std::pow(
+                        theta, -2.0f * static_cast<f32>(d) /
+                                   static_cast<f32>(hd));
+                    const f32 angle = static_cast<f32>(pos[t]) * freq;
+                    const f32 c = std::cos(angle);
+                    const f32 s = std::sin(angle);
+                    const f32 x = v[d];
+                    const f32 y = v[half + d];
+                    v[d] = x * c - y * s;
+                    v[half + d] = x * s + y * c;
+                }
+            }
+        }
+        return Status::ok();
+    };
+    MEDUSA_RETURN_IF_ERROR(rotate(args.ptrAt(0), qh, q_stride));
+    return rotate(args.ptrAt(1), kvh, k_stride);
+}
+
+/**
+ * Scatter new K/V vectors into the paged cache. k/v point into a fused
+ * QKV buffer with @p kv_stride floats between token rows.
+ * Cache layout: [slot, kv_heads, head_dim] where
+ * slot = block_id * block_size + in-block offset.
+ * params: k*, v*, k_cache*, v_cache*, slots*, n, kv_heads, head_dim,
+ *         kv_stride
+ */
+Status
+kvWrite(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 n = args.i32At(5);
+    const i32 kvh = args.i32At(6);
+    const i32 hd = args.i32At(7);
+    const i32 stride = args.i32At(8);
+    SPAN_I32(slots, args.ptrAt(4), static_cast<u64>(n));
+    for (i32 t = 0; t < n; ++t) {
+        const i32 slot = slots[t];
+        if (slot < 0) {
+            return invalidArgument("negative KV slot");
+        }
+        SPAN_F32(k, args.ptrAt(0) +
+                        static_cast<u64>(t) * stride * sizeof(f32),
+                 static_cast<u64>(kvh) * hd);
+        SPAN_F32(v, args.ptrAt(1) +
+                        static_cast<u64>(t) * stride * sizeof(f32),
+                 static_cast<u64>(kvh) * hd);
+        const u64 row = static_cast<u64>(slot) * kvh * hd;
+        SPAN_F32(kc, args.ptrAt(2) + row * sizeof(f32),
+                 static_cast<u64>(kvh) * hd);
+        SPAN_F32(vc, args.ptrAt(3) + row * sizeof(f32),
+                 static_cast<u64>(kvh) * hd);
+        for (i32 i = 0; i < kvh * hd; ++i) {
+            kc[i] = k[i];
+            vc[i] = v[i];
+        }
+    }
+    return Status::ok();
+}
+
+/**
+ * Varlen causal attention over fresh q/k/v rows living in a fused QKV
+ * buffer with a shared row stride (in floats).
+ * params: q*, k*, v*, seq_starts*, out*, bs, q_heads, kv_heads,
+ *         head_dim, stride, scale
+ */
+Status
+attentionPrefill(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 bs = args.i32At(5);
+    const i32 qh = args.i32At(6);
+    const i32 kvh = args.i32At(7);
+    const i32 hd = args.i32At(8);
+    const i32 stride = args.i32At(9);
+    const f32 scale = args.f32At(10);
+    SPAN_I32(starts, args.ptrAt(3), static_cast<u64>(bs) + 1);
+    const i32 total = starts[bs];
+    SPAN_F32(out, args.ptrAt(4), static_cast<u64>(total) * qh * hd);
+    auto qRow = [&](i32 t) {
+        return mem.f32Span(args.ptrAt(0) +
+                               static_cast<u64>(t) * stride * sizeof(f32),
+                           static_cast<u64>(qh) * hd);
+    };
+    auto kRow = [&](i32 t) {
+        return mem.f32Span(args.ptrAt(1) +
+                               static_cast<u64>(t) * stride * sizeof(f32),
+                           static_cast<u64>(kvh) * hd);
+    };
+    auto vRow = [&](i32 t) {
+        return mem.f32Span(args.ptrAt(2) +
+                               static_cast<u64>(t) * stride * sizeof(f32),
+                           static_cast<u64>(kvh) * hd);
+    };
+    std::vector<f32> scores;
+    for (i32 b = 0; b < bs; ++b) {
+        const i32 s0 = starts[b];
+        const i32 s1 = starts[b + 1];
+        for (i32 t = s0; t < s1; ++t) {
+            MEDUSA_ASSIGN_OR_RETURN(f32 *qv_row, qRow(t));
+            for (i32 head = 0; head < qh; ++head) {
+                const i32 kv_head = head * kvh / qh;
+                const f32 *qv = qv_row + static_cast<u64>(head) * hd;
+                const i32 ctx = t - s0 + 1;
+                scores.assign(ctx, 0.0f);
+                f32 max_s = -std::numeric_limits<f32>::infinity();
+                for (i32 j = 0; j < ctx; ++j) {
+                    MEDUSA_ASSIGN_OR_RETURN(f32 *kv_row, kRow(s0 + j));
+                    const f32 *kv =
+                        kv_row + static_cast<u64>(kv_head) * hd;
+                    f32 dot = 0;
+                    for (i32 d = 0; d < hd; ++d) {
+                        dot += qv[d] * kv[d];
+                    }
+                    scores[j] = dot * scale;
+                    max_s = std::max(max_s, scores[j]);
+                }
+                f32 denom = 0;
+                for (i32 j = 0; j < ctx; ++j) {
+                    scores[j] = std::exp(scores[j] - max_s);
+                    denom += scores[j];
+                }
+                f32 *ov = out + (static_cast<u64>(t) * qh + head) * hd;
+                for (i32 d = 0; d < hd; ++d) {
+                    ov[d] = 0;
+                }
+                for (i32 j = 0; j < ctx; ++j) {
+                    const f32 w = scores[j] / denom;
+                    MEDUSA_ASSIGN_OR_RETURN(f32 *vv_row, vRow(s0 + j));
+                    const f32 *vv =
+                        vv_row + static_cast<u64>(kv_head) * hd;
+                    for (i32 d = 0; d < hd; ++d) {
+                        ov[d] += w * vv[d];
+                    }
+                }
+            }
+        }
+    }
+    return Status::ok();
+}
+
+/**
+ * Single-token decode attention over the paged KV cache.
+ * params: q*, k_cache*, v_cache*, block_tables*, seq_lens*, out*,
+ *         bs, q_heads, kv_heads, head_dim, block_size, max_blocks,
+ *         stream_tag (i64), scale
+ *
+ * stream_tag is an 8-byte *constant* whose value begins with a
+ * high-address-like prefix — a deliberate pointer-classification decoy
+ * (the "false positive candidates" of the paper's §4). The kernel
+ * validates its prefix, so a wrong restoration is caught functionally.
+ */
+Status
+pagedAttentionDecode(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 bs = args.i32At(6);
+    const i32 qh = args.i32At(7);
+    const i32 kvh = args.i32At(8);
+    const i32 hd = args.i32At(9);
+    const i32 block_size = args.i32At(10);
+    const i32 max_blocks = args.i32At(11);
+    const i32 q_stride = args.i32At(12);
+    const i64 stream_tag = args.i64At(13);
+    const f32 scale = args.f32At(14);
+    if ((static_cast<u64>(stream_tag) >> 32) != 0x7fabu) {
+        return invalidArgument("paged_attention: corrupted stream tag");
+    }
+    SPAN_I32(tables, args.ptrAt(3),
+             static_cast<u64>(bs) * max_blocks);
+    SPAN_I32(lens, args.ptrAt(4), static_cast<u64>(bs));
+    SPAN_F32(out, args.ptrAt(5), static_cast<u64>(bs) * qh * hd);
+    std::vector<f32> scores;
+    for (i32 b = 0; b < bs; ++b) {
+        const i32 len = lens[b];
+        if (len <= 0) {
+            // Padding slot in a fixed-batch graph replay: emit zeros.
+            for (i32 i = 0; i < qh * hd; ++i) {
+                out[b * qh * hd + i] = 0;
+            }
+            continue;
+        }
+        if ((len + block_size - 1) / block_size > max_blocks) {
+            return invalidArgument("sequence overflows block table");
+        }
+        SPAN_F32(q_row,
+                 args.ptrAt(0) +
+                     static_cast<u64>(b) * q_stride * sizeof(f32),
+                 static_cast<u64>(qh) * hd);
+        for (i32 head = 0; head < qh; ++head) {
+            const i32 kv_head = head * kvh / qh;
+            const f32 *qv = q_row + static_cast<u64>(head) * hd;
+            scores.assign(static_cast<std::size_t>(len), 0.0f);
+            f32 max_s = -std::numeric_limits<f32>::infinity();
+            for (i32 t = 0; t < len; ++t) {
+                const i32 block = tables[b * max_blocks + t / block_size];
+                if (block < 0) {
+                    return invalidArgument("unmapped block in table");
+                }
+                const u64 slot = static_cast<u64>(block) * block_size +
+                                 static_cast<u64>(t % block_size);
+                SPAN_F32(kc,
+                         args.ptrAt(1) +
+                             (slot * kvh + kv_head) * hd * sizeof(f32),
+                         static_cast<u64>(hd));
+                f32 dot = 0;
+                for (i32 d = 0; d < hd; ++d) {
+                    dot += qv[d] * kc[d];
+                }
+                scores[t] = dot * scale;
+                max_s = std::max(max_s, scores[t]);
+            }
+            f32 denom = 0;
+            for (i32 t = 0; t < len; ++t) {
+                scores[t] = std::exp(scores[t] - max_s);
+                denom += scores[t];
+            }
+            f32 *ov = out + (static_cast<u64>(b) * qh + head) * hd;
+            for (i32 d = 0; d < hd; ++d) {
+                ov[d] = 0;
+            }
+            for (i32 t = 0; t < len; ++t) {
+                const i32 block = tables[b * max_blocks + t / block_size];
+                const u64 slot = static_cast<u64>(block) * block_size +
+                                 static_cast<u64>(t % block_size);
+                SPAN_F32(vc,
+                         args.ptrAt(2) +
+                             (slot * kvh + kv_head) * hd * sizeof(f32),
+                         static_cast<u64>(hd));
+                const f32 w = scores[t] / denom;
+                for (i32 d = 0; d < hd; ++d) {
+                    ov[d] += w * vc[d];
+                }
+            }
+        }
+    }
+    return Status::ok();
+}
+
+/**
+ * Split-K reduction stage of large-batch decode attention (models the
+ * two-kernel split vLLM uses for big batches).
+ * params: partial*, out*, count
+ */
+Status
+pagedAttentionReduce(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    return copyF32(mem, args);
+}
+
+// --------------------------------------------------------------- cublas
+
+/**
+ * C[n, out] = A[n, k] x W[out, k]^T — the shared GEMM body.
+ * params: A*, W*, C*, n, out, k  (+ sem0*, sem1* for split-K)
+ */
+Status
+gemmBody(DeviceMemoryManager &mem, const KernelArgs &args, bool splitk)
+{
+    const std::size_t base = splitk ? 2 : 0;
+    const i32 n = args.i32At(base + 3);
+    const i32 out_dim = args.i32At(base + 4);
+    const i32 k = args.i32At(base + 5);
+    if (splitk) {
+        // Verify the persistent semaphore workspaces hold the magic —
+        // this is what makes permanent-buffer content restoration
+        // functionally necessary (paper §4.3).
+        for (std::size_t s = 0; s < 2; ++s) {
+            u32 magic = 0;
+            MEDUSA_RETURN_IF_ERROR(
+                mem.read(args.ptrAt(s), &magic, sizeof(magic)));
+            if (magic != kGemmWorkspaceMagic) {
+                return invalidArgument(
+                    "split-K GEMM: corrupted semaphore workspace");
+            }
+        }
+    }
+    SPAN_F32(a, args.ptrAt(base + 0), static_cast<u64>(n) * k);
+    SPAN_F32(w, args.ptrAt(base + 1), static_cast<u64>(out_dim) * k);
+    SPAN_F32(c, args.ptrAt(base + 2), static_cast<u64>(n) * out_dim);
+    for (i32 t = 0; t < n; ++t) {
+        for (i32 o = 0; o < out_dim; ++o) {
+            f32 acc = 0;
+            const f32 *wr = w + static_cast<u64>(o) * k;
+            const f32 *ar = a + static_cast<u64>(t) * k;
+            for (i32 d = 0; d < k; ++d) {
+                acc += ar[d] * wr[d];
+            }
+            c[t * out_dim + o] = acc;
+        }
+    }
+    return Status::ok();
+}
+
+Status
+gemmPlain(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    return gemmBody(mem, args, false);
+}
+
+Status
+gemmSplitK(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    return gemmBody(mem, args, true);
+}
+
+/**
+ * Batched GEMM: the first param points to a device array holding the
+ * three operand pointers [A, W, C] (cublasGemmBatchedEx-style). The
+ * indirection means restoring the *param* is not enough — the pointer
+ * words INSIDE the array buffer must be restored too (paper §8).
+ * params: ptr_array*, n, out, k
+ */
+Status
+gemmBatched(DeviceMemoryManager &mem, const KernelArgs &args)
+{
+    const i32 n = args.i32At(1);
+    const i32 out_dim = args.i32At(2);
+    const i32 k = args.i32At(3);
+    u64 operands[3];
+    MEDUSA_RETURN_IF_ERROR(
+        mem.read(args.ptrAt(0), operands, sizeof(operands)));
+    SPAN_F32(a, operands[0], static_cast<u64>(n) * k);
+    SPAN_F32(w, operands[1], static_cast<u64>(out_dim) * k);
+    SPAN_F32(c, operands[2], static_cast<u64>(n) * out_dim);
+    for (i32 t = 0; t < n; ++t) {
+        for (i32 o = 0; o < out_dim; ++o) {
+            f32 acc = 0;
+            const f32 *wr = w + static_cast<u64>(o) * k;
+            const f32 *ar = a + static_cast<u64>(t) * k;
+            for (i32 d = 0; d < k; ++d) {
+                acc += ar[d] * wr[d];
+            }
+            c[t * out_dim + o] = acc;
+        }
+    }
+    return Status::ok();
+}
+
+#undef SPAN_F32
+#undef SPAN_I32
+
+} // namespace
+
+void
+registerBuiltinKernels(KernelRegistry &reg)
+{
+    auto add = [&reg](const char *name, const char *module, bool visible,
+                      std::vector<PK> params, KernelFn fn) {
+        KernelDef def;
+        def.mangled_name = name;
+        def.module_name = module;
+        def.in_symbol_table = visible;
+        def.params = std::move(params);
+        def.fn = std::move(fn);
+        reg.registerKernel(std::move(def));
+    };
+
+    // libsimtorch.so — visible elementwise / norm / sampling kernels.
+    add("_ZN8simtorch16embedding_lookupEPKfPKiPfiii", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
+         PK::kI32},
+        embeddingLookup);
+    add("_ZN8simtorch7rmsnormEPKfS1_Pfiif", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
+         PK::kF32},
+        rmsNorm);
+    add("_ZN8simtorch9layernormEPKfS1_S1_Pfiif", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32,
+         PK::kI32, PK::kF32},
+        layerNorm);
+    add("_ZN8simtorch8bias_addEPfPKfii", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32}, biasAdd);
+    add("_ZN8simtorch8silu_mulEPKfPfii", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32}, siluMul);
+    add("_ZN8simtorch4geluEPKfPfi", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kI32}, gelu);
+    add("_ZN8simtorch12residual_addEPfPKfi", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kI32}, residualAdd);
+    add("_ZN8simtorch13sample_argmaxEPKfPiii", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32}, sampleArgmax);
+    add("_ZN8simtorch8copy_f32EPKfPfi", kTorchModule, true,
+        {PK::kPointer, PK::kPointer, PK::kI32}, copyF32);
+
+    // libsimattn.so — visible custom attention ops.
+    add("_ZN7simattn4ropeEPfS0_PKiiiiiiif", kAttnModule, true,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
+         PK::kI32, PK::kI32, PK::kI32, PK::kI32, PK::kF32},
+        rope);
+    add("_ZN7simattn8kv_writeEPKfS1_PfS2_PKiiiii", kAttnModule, true,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer,
+         PK::kPointer, PK::kI32, PK::kI32, PK::kI32, PK::kI32},
+        kvWrite);
+    add("_ZN7simattn16attention_prefilEPKfS1_S1_PKiPfiiiiif", kAttnModule,
+        true,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer,
+         PK::kPointer, PK::kI32, PK::kI32, PK::kI32, PK::kI32, PK::kI32,
+         PK::kF32},
+        attentionPrefill);
+    add("_ZN7simattn21paged_attention_v1_decEPKfS1_S1_PKiS3_Pfiiiiiiilf",
+        kAttnModule, true,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer,
+         PK::kPointer, PK::kPointer, PK::kI32, PK::kI32, PK::kI32,
+         PK::kI32, PK::kI32, PK::kI32, PK::kI32, PK::kI64, PK::kF32},
+        pagedAttentionDecode);
+    add("_ZN7simattn22paged_attention_reduceEPKfPfi", kAttnModule, true,
+        {PK::kPointer, PK::kPointer, PK::kI32}, pagedAttentionReduce);
+
+    // libsimcublas.so — HIDDEN GEMM kernels (cuBLAS-style names).
+    add("ampere_fp16_s16816gemm_fp16_128x128_ldg8_f2f_stages_64x3_tn",
+        kCublasModule, false,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
+         PK::kI32},
+        gemmPlain);
+    add("ampere_fp16_s16816gemm_fp16_64x64_ldg8_f2f_stages_64x5_tn",
+        kCublasModule, false,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
+         PK::kI32},
+        gemmPlain);
+    add("ampere_fp16_s16816gemm_fp16_64x64_sliced1x2_ldg8_f2f_stages_"
+        "64x5_splitk_tn",
+        kCublasModule, false,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer,
+         PK::kPointer, PK::kI32, PK::kI32, PK::kI32},
+        gemmSplitK);
+    add("ampere_fp16_s16816gemm_fp16_256x64_ldg8_f2f_stages_64x1_nn",
+        kCublasModule, false,
+        {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
+         PK::kI32},
+        gemmPlain);
+    add("ampere_fp16_s16816gemm_fp16_batched_64x64_ldg8_f2f_nn",
+        kCublasModule, false,
+        {PK::kPointer, PK::kI32, PK::kI32, PK::kI32}, gemmBatched);
+
+    // libsimnccl.so — the collective used by tensor parallelism.
+    // params: inout*, count, rank, world. Rank-local execution only
+    // validates the buffer; the lockstep replayer provides the
+    // cross-rank semantics.
+    add("_ZN7simnccl14all_reduce_sumEPfiii", kNcclModule, true,
+        {PK::kPointer, PK::kI32, PK::kI32, PK::kI32},
+        [](DeviceMemoryManager &mem, const KernelArgs &args) -> Status {
+            const i32 count = args.i32At(1);
+            const i32 rank = args.i32At(2);
+            const i32 world = args.i32At(3);
+            if (rank < 0 || world <= 0 || rank >= world) {
+                return invalidArgument("bad all-reduce rank/world");
+            }
+            MEDUSA_ASSIGN_OR_RETURN(
+                f32 *buf, mem.f32Span(args.ptrAt(0),
+                                      static_cast<u64>(count)));
+            (void)buf;
+            return Status::ok();
+        });
+}
+
+const BuiltinKernels &
+BuiltinKernels::get()
+{
+    static const BuiltinKernels kernels = [] {
+        const auto &reg = KernelRegistry::instance();
+        auto find = [&reg](const char *name) {
+            const KernelId id = reg.findByName(name);
+            MEDUSA_CHECK(id != kInvalidKernel,
+                         "builtin kernel missing: " << name);
+            return id;
+        };
+        BuiltinKernels k;
+        k.embedding_lookup =
+            find("_ZN8simtorch16embedding_lookupEPKfPKiPfiii");
+        k.rmsnorm = find("_ZN8simtorch7rmsnormEPKfS1_Pfiif");
+        k.layernorm = find("_ZN8simtorch9layernormEPKfS1_S1_Pfiif");
+        k.bias_add = find("_ZN8simtorch8bias_addEPfPKfii");
+        k.silu_mul = find("_ZN8simtorch8silu_mulEPKfPfii");
+        k.gelu = find("_ZN8simtorch4geluEPKfPfi");
+        k.residual_add = find("_ZN8simtorch12residual_addEPfPKfi");
+        k.sample_argmax = find("_ZN8simtorch13sample_argmaxEPKfPiii");
+        k.copy_f32 = find("_ZN8simtorch8copy_f32EPKfPfi");
+        k.rope = find("_ZN7simattn4ropeEPfS0_PKiiiiiiif");
+        k.kv_write = find("_ZN7simattn8kv_writeEPKfS1_PfS2_PKiiiii");
+        k.attention_prefill =
+            find("_ZN7simattn16attention_prefilEPKfS1_S1_PKiPfiiiiif");
+        k.paged_attention_decode = find(
+            "_ZN7simattn21paged_attention_v1_decEPKfS1_S1_PKiS3_Pfiiiiiii"
+            "lf");
+        k.paged_attention_reduce =
+            find("_ZN7simattn22paged_attention_reduceEPKfPfi");
+        k.gemm_128x128 = find(
+            "ampere_fp16_s16816gemm_fp16_128x128_ldg8_f2f_stages_64x3_tn");
+        k.gemm_64x64 = find(
+            "ampere_fp16_s16816gemm_fp16_64x64_ldg8_f2f_stages_64x5_tn");
+        k.gemm_splitk =
+            find("ampere_fp16_s16816gemm_fp16_64x64_sliced1x2_ldg8_f2f_"
+                 "stages_64x5_splitk_tn");
+        k.gemm_lmhead = find(
+            "ampere_fp16_s16816gemm_fp16_256x64_ldg8_f2f_stages_64x1_nn");
+        k.gemm_batched =
+            find("ampere_fp16_s16816gemm_fp16_batched_64x64_ldg8_f2f_nn");
+        k.all_reduce_sum = find("_ZN7simnccl14all_reduce_sumEPfiii");
+        return k;
+    }();
+    return kernels;
+}
+
+} // namespace medusa::simcuda

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The built-in kernel set of the simulated GPU stack.
+ *
+ * Kernels are grouped into three modules, mirroring the composition of a
+ * real vLLM process:
+ *
+ *  - "libsimcublas.so": GEMM variants with cuBLAS-style mangled names.
+ *    These are HIDDEN from the DSO symbol table (in_symbol_table=false),
+ *    reproducing the closed-source-kernel problem of the paper's §5: the
+ *    only way to learn their addresses is to force the module to load
+ *    and enumerate it.
+ *  - "libsimtorch.so": elementwise / normalization / sampling kernels,
+ *    visible via dlsym.
+ *  - "libsimattn.so": rotary embedding, KV-cache write and paged
+ *    attention (the vLLM custom ops), visible via dlsym.
+ *
+ * The split-K GEMM additionally takes two pointers to 4-byte semaphore
+ * workspaces that must contain kGemmWorkspaceMagic; these are the
+ * "permanent buffers" of the paper's §4.3 whose contents Medusa must
+ * materialize and restore (only ~9% of kernels use them).
+ */
+
+#ifndef MEDUSA_SIMCUDA_KERNELS_BUILTIN_H
+#define MEDUSA_SIMCUDA_KERNELS_BUILTIN_H
+
+#include "simcuda/kernel.h"
+
+namespace medusa::simcuda {
+
+/** Magic value required in split-K GEMM semaphore workspaces. */
+constexpr u32 kGemmWorkspaceMagic = 0x5f3c2a11u;
+
+/** Module (DSO) names. */
+inline constexpr const char *kCublasModule = "libsimcublas.so";
+inline constexpr const char *kTorchModule = "libsimtorch.so";
+inline constexpr const char *kAttnModule = "libsimattn.so";
+inline constexpr const char *kNcclModule = "libsimnccl.so";
+
+/**
+ * Dense ids of every built-in kernel, resolved once against the global
+ * registry.
+ */
+struct BuiltinKernels
+{
+    // libsimtorch.so (visible)
+    KernelId embedding_lookup;
+    KernelId rmsnorm;
+    KernelId layernorm;
+    KernelId bias_add;
+    KernelId silu_mul;
+    KernelId gelu;
+    KernelId residual_add;
+    KernelId sample_argmax;
+    KernelId copy_f32;
+
+    // libsimattn.so (visible)
+    KernelId rope;
+    KernelId kv_write;
+    KernelId attention_prefill;
+    KernelId paged_attention_decode;
+    KernelId paged_attention_reduce;
+
+    // libsimcublas.so (hidden from the symbol table)
+    KernelId gemm_128x128;
+    KernelId gemm_64x64;
+    KernelId gemm_splitk;
+    KernelId gemm_lmhead;
+    /**
+     * Batched GEMM taking a device array of pointers [A, W, C] — the
+     * *indirect pointer* case of the paper's §8 discussion, used by the
+     * optional batched-LM-head engine path.
+     */
+    KernelId gemm_batched;
+
+    // libsimnccl.so (visible)
+    /**
+     * In-place sum all-reduce across tensor-parallel ranks (§8
+     * multi-GPU). Collective semantics are executed by the lockstep
+     * replayer (lockstep.h), which plays the role of the NCCL runtime;
+     * launched eagerly (warm-up), the kernel is a rank-local no-op
+     * whose results are discarded, as warm-up outputs are.
+     */
+    KernelId all_reduce_sum;
+
+    /** The singleton, resolved against KernelRegistry::instance(). */
+    static const BuiltinKernels &get();
+};
+
+} // namespace medusa::simcuda
+
+#endif // MEDUSA_SIMCUDA_KERNELS_BUILTIN_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Lockstep multi-GPU graph replay (the §8 multi-GPU extension).
+ *
+ * Tensor-parallel ranks capture structurally identical graphs (one per
+ * GPU process). Replaying them in lockstep — step i of every rank
+ * before step i+1 of any — reproduces the synchronization collectives
+ * impose on real hardware, and lets the replayer play the NCCL
+ * runtime: when the current step is an all_reduce_sum node, it gathers
+ * each rank's buffer, sums element-wise, and scatters the result back,
+ * charging NVLink transfer time.
+ */
+
+#ifndef MEDUSA_SIMCUDA_LOCKSTEP_H
+#define MEDUSA_SIMCUDA_LOCKSTEP_H
+
+#include <vector>
+
+#include "common/status.h"
+#include "simcuda/gpu_process.h"
+
+namespace medusa::simcuda {
+
+/** One participating rank: its process and its instantiated graph. */
+struct LockstepRank
+{
+    GpuProcess *process = nullptr;
+    const GraphExec *exec = nullptr;
+};
+
+/** NVLink-ish interconnect model for the collective cost. */
+struct InterconnectModel
+{
+    f64 link_gbps = 200.0;
+    f64 collective_latency_us = 8.0;
+};
+
+/**
+ * Replay all ranks' graphs in lockstep; see file comment. All graphs
+ * must have the same node count and matching kernels at every step
+ * (symmetric tensor parallelism). Advances every rank's clock by the
+ * graph execution cost plus collective time.
+ */
+Status lockstepLaunch(const std::vector<LockstepRank> &ranks,
+                      const InterconnectModel &interconnect = {});
+
+} // namespace medusa::simcuda
+
+#endif // MEDUSA_SIMCUDA_LOCKSTEP_H

@@ -1,0 +1,141 @@
+#include "simcuda/memory.h"
+
+#include <cstring>
+
+namespace medusa::simcuda {
+
+DeviceMemoryManager::DeviceMemoryManager(u64 total_logical_bytes,
+                                         u64 aslr_seed, u32 device_index)
+    : total_logical_(total_logical_bytes), rng_(aslr_seed)
+{
+    MEDUSA_CHECK(device_index < 4, "device index out of range");
+    // Randomize the mapping base within a 128 GiB window, 2 MiB
+    // aligned — a fresh process launch never sees the same addresses.
+    // Each device slot is 224 GiB wide so up to four devices fit below
+    // the 0x8000'00000000 pointer-heuristic bound with headroom.
+    const u64 slide = (rng_.nextU64() % (128 * units::GiB)) &
+                      ~(2 * units::MiB - 1);
+    next_addr_ = kAddrBase + device_index * (224 * units::GiB) + slide;
+}
+
+StatusOr<DeviceAddr>
+DeviceMemoryManager::malloc(u64 logical_size, u64 backing_size)
+{
+    if (logical_size == 0) {
+        return invalidArgument("cudaMalloc of zero bytes");
+    }
+    // Functional backing is the scaled-down storage and is always far
+    // smaller than these bounds; reject absurd requests (e.g. from a
+    // corrupted artifact replay) before touching host memory.
+    if (backing_size > logical_size ||
+        backing_size > 256 * units::MiB) {
+        return invalidArgument("implausible functional backing size");
+    }
+    if (logical_size > freeLogicalBytes()) {
+        return outOfMemory("device OOM: requested " +
+                           std::to_string(logical_size) + " bytes, free " +
+                           std::to_string(freeLogicalBytes()));
+    }
+    // Small random gap between allocations keeps offsets non-constant
+    // across launches even within one process.
+    const u64 gap = 256 * (rng_.nextU64() % 4);
+    const DeviceAddr base = (next_addr_ + gap + 255) & ~255ull;
+    // Advance by the *logical* footprint so logical extents never overlap
+    // (findContaining relies on this).
+    next_addr_ = base + ((logical_size + 255) & ~255ull);
+
+    AllocationRecord rec;
+    rec.base = base;
+    rec.logical_size = logical_size;
+    rec.backing.assign(backing_size, 0);
+    allocs_.emplace(base, std::move(rec));
+    used_logical_ += logical_size;
+    return base;
+}
+
+Status
+DeviceMemoryManager::free(DeviceAddr base)
+{
+    auto it = allocs_.find(base);
+    if (it == allocs_.end()) {
+        return invalidArgument("cudaFree of unmapped address");
+    }
+    used_logical_ -= it->second.logical_size;
+    allocs_.erase(it);
+    return Status::ok();
+}
+
+StatusOr<std::pair<AllocationRecord *, u64>>
+DeviceMemoryManager::resolve(DeviceAddr addr, u64 bytes)
+{
+    auto it = allocs_.upper_bound(addr);
+    if (it == allocs_.begin()) {
+        return invalidArgument("illegal device access: unmapped address");
+    }
+    --it;
+    AllocationRecord &rec = it->second;
+    const u64 offset = addr - rec.base;
+    if (offset + bytes > rec.backing.size()) {
+        return invalidArgument(
+            "illegal device access: out of backing bounds (offset " +
+            std::to_string(offset) + " + " + std::to_string(bytes) +
+            " > " + std::to_string(rec.backing.size()) + ")");
+    }
+    return std::pair<AllocationRecord *, u64>{&rec, offset};
+}
+
+Status
+DeviceMemoryManager::write(DeviceAddr addr, const void *src, u64 n)
+{
+    MEDUSA_ASSIGN_OR_RETURN(auto loc, resolve(addr, n));
+    std::memcpy(loc.first->backing.data() + loc.second, src, n);
+    return Status::ok();
+}
+
+Status
+DeviceMemoryManager::read(DeviceAddr addr, void *dst, u64 n) const
+{
+    auto *self = const_cast<DeviceMemoryManager *>(this);
+    MEDUSA_ASSIGN_OR_RETURN(auto loc, self->resolve(addr, n));
+    std::memcpy(dst, loc.first->backing.data() + loc.second, n);
+    return Status::ok();
+}
+
+Status
+DeviceMemoryManager::memset(DeviceAddr addr, u8 value, u64 n)
+{
+    MEDUSA_ASSIGN_OR_RETURN(auto loc, resolve(addr, n));
+    std::memset(loc.first->backing.data() + loc.second, value, n);
+    return Status::ok();
+}
+
+StatusOr<f32 *>
+DeviceMemoryManager::f32Span(DeviceAddr addr, u64 count)
+{
+    MEDUSA_ASSIGN_OR_RETURN(auto loc, resolve(addr, count * sizeof(f32)));
+    return reinterpret_cast<f32 *>(loc.first->backing.data() + loc.second);
+}
+
+StatusOr<i32 *>
+DeviceMemoryManager::i32Span(DeviceAddr addr, u64 count)
+{
+    MEDUSA_ASSIGN_OR_RETURN(auto loc, resolve(addr, count * sizeof(i32)));
+    return reinterpret_cast<i32 *>(loc.first->backing.data() + loc.second);
+}
+
+const AllocationRecord *
+DeviceMemoryManager::findContaining(DeviceAddr addr) const
+{
+    auto it = allocs_.upper_bound(addr);
+    if (it == allocs_.begin()) {
+        return nullptr;
+    }
+    --it;
+    const AllocationRecord &rec = it->second;
+    if (addr < rec.base + rec.logical_size) {
+        return &rec;
+    }
+    return nullptr;
+}
+
+} // namespace medusa::simcuda

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Simulated GPU device memory.
+ *
+ * The manager hands out 64-bit device virtual addresses from an
+ * ASLR-randomized base, so addresses differ between GpuProcess launches —
+ * the non-determinism at the heart of Medusa's Challenge I. Allocations
+ * carry two sizes:
+ *
+ *  - a *logical* size: the bytes the real model would occupy; used for
+ *    free-memory accounting (KV-cache profiling) and address spacing, and
+ *  - a *backing* size: the bytes actually stored and touched by the
+ *    functional kernels (the simulation runs models with scaled-down
+ *    hidden dimensions; see DESIGN.md §2).
+ *
+ * Reads and writes are bounds-checked against the backing store, so a
+ * stale or wrongly-restored pointer faults or corrupts output just like
+ * on real hardware.
+ */
+
+#ifndef MEDUSA_SIMCUDA_MEMORY_H
+#define MEDUSA_SIMCUDA_MEMORY_H
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace medusa::simcuda {
+
+/** One live device allocation. */
+struct AllocationRecord
+{
+    DeviceAddr base = 0;
+    u64 logical_size = 0;
+    /** Functional backing bytes; indexed by (addr - base). */
+    std::vector<u8> backing;
+};
+
+/**
+ * The raw, driver-level allocator (cudaMalloc / cudaFree semantics).
+ *
+ * Addresses are assigned by a monotonic bump pointer starting at an
+ * ASLR-randomized base with small random gaps, so no two process launches
+ * see the same addresses. Address *reuse* — the false-positive hazard of
+ * the paper's Figure 6 — is produced one level up by CachingAllocator,
+ * which returns previously freed blocks.
+ */
+class DeviceMemoryManager
+{
+  public:
+    /** Canonical low bound of the simulated device address range. */
+    static constexpr DeviceAddr kAddrBase = 0x7f2000000000ull;
+
+    /**
+     * @param total_logical_bytes device capacity for accounting
+     *        (e.g. 40 GiB for the simulated A100-40GB).
+     * @param aslr_seed seed for the per-process address randomization.
+     * @param device_index shifts the address window so multi-GPU
+     *        ranks occupy disjoint ranges (must be < 4).
+     */
+    DeviceMemoryManager(u64 total_logical_bytes, u64 aslr_seed,
+                        u32 device_index = 0);
+
+    /**
+     * Allocate device memory.
+     * @param logical_size accounted (real-model) byte size; must be > 0.
+     * @param backing_size functional byte size actually stored; may be 0
+     *        for buffers no kernel will touch (pure reservations).
+     */
+    StatusOr<DeviceAddr> malloc(u64 logical_size, u64 backing_size);
+
+    /** Release an allocation by its base address. */
+    Status free(DeviceAddr base);
+
+    u64 totalLogicalBytes() const { return total_logical_; }
+    u64 usedLogicalBytes() const { return used_logical_; }
+    u64 freeLogicalBytes() const { return total_logical_ - used_logical_; }
+    u64 liveAllocations() const { return allocs_.size(); }
+
+    /** Copy @p n bytes into device memory at @p addr (bounds-checked). */
+    Status write(DeviceAddr addr, const void *src, u64 n);
+
+    /** Copy @p n bytes out of device memory at @p addr (bounds-checked). */
+    Status read(DeviceAddr addr, void *dst, u64 n) const;
+
+    /** Fill @p n bytes at @p addr with @p value. */
+    Status memset(DeviceAddr addr, u8 value, u64 n);
+
+    /**
+     * A mutable float view of [addr, addr + count*4) for kernel
+     * execution. Fails if the range is unmapped or exceeds backing.
+     */
+    StatusOr<f32 *> f32Span(DeviceAddr addr, u64 count);
+
+    /** A mutable i32 view, for index buffers (token ids, block tables). */
+    StatusOr<i32 *> i32Span(DeviceAddr addr, u64 count);
+
+    /**
+     * The allocation containing @p addr, or nullptr. Containment is
+     * judged by *logical* extent, matching how the paper's trace analysis
+     * matches pointers that land inside an allocated buffer.
+     */
+    const AllocationRecord *findContaining(DeviceAddr addr) const;
+
+  private:
+    /** Resolve addr to (record, byte offset), checked against backing. */
+    StatusOr<std::pair<AllocationRecord *, u64>>
+    resolve(DeviceAddr addr, u64 bytes);
+
+    u64 total_logical_;
+    u64 used_logical_ = 0;
+    DeviceAddr next_addr_;
+    Rng rng_;
+    std::map<DeviceAddr, AllocationRecord> allocs_;
+};
+
+} // namespace medusa::simcuda
+
+#endif // MEDUSA_SIMCUDA_MEMORY_H

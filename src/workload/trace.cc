@@ -1,0 +1,97 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medusa::workload {
+
+std::vector<Request>
+generateShareGptTrace(const TraceOptions &options)
+{
+    Rng rng(options.seed);
+    std::vector<Request> trace;
+    // Log-normal parameterization: mean = exp(mu + sigma^2/2).
+    const f64 sigma = options.length_sigma;
+    const f64 prompt_mu =
+        std::log(options.mean_prompt_tokens) - sigma * sigma / 2.0;
+    const f64 output_mu =
+        std::log(options.mean_output_tokens) - sigma * sigma / 2.0;
+
+    // Burst phases: a piecewise-constant rate multiplier, normalized so
+    // the long-run mean stays requests_per_sec.
+    const f64 quiet_w = options.quiet_phase_mean_sec;
+    const f64 burst_w = options.burst_phase_mean_sec;
+    const f64 mean_mult =
+        (options.quiet_rate_multiplier * quiet_w +
+         options.burst_rate_multiplier * burst_w) /
+        (quiet_w + burst_w);
+    bool in_burst = false;
+    f64 phase_end = options.bursty ? rng.nextExponential(1.0 / quiet_w)
+                                   : options.duration_sec;
+
+    f64 now = 0;
+    while (true) {
+        f64 rate = options.requests_per_sec;
+        if (options.bursty) {
+            const f64 mult = in_burst ? options.burst_rate_multiplier
+                                      : options.quiet_rate_multiplier;
+            rate *= mult / mean_mult;
+        }
+        const f64 gap = rng.nextExponential(rate);
+        if (options.bursty && now + gap >= phase_end) {
+            // Cross into the next phase and redraw from there (a
+            // slight thinning approximation at the boundary).
+            now = phase_end;
+            in_burst = !in_burst;
+            phase_end =
+                now + rng.nextExponential(
+                          1.0 / (in_burst ? burst_w : quiet_w));
+            if (now >= options.duration_sec) {
+                break;
+            }
+            continue;
+        }
+        now += gap;
+        if (now >= options.duration_sec) {
+            break;
+        }
+        Request r;
+        r.arrival_sec = now;
+        r.prompt_tokens = static_cast<u32>(std::clamp(
+            rng.nextLogNormal(prompt_mu, sigma), 1.0,
+            static_cast<f64>(options.max_prompt_tokens)));
+        r.output_tokens = static_cast<u32>(std::clamp(
+            rng.nextLogNormal(output_mu, sigma), 1.0,
+            static_cast<f64>(options.max_output_tokens)));
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+f64
+meanPromptLength(const std::vector<Request> &trace)
+{
+    if (trace.empty()) {
+        return 0;
+    }
+    f64 sum = 0;
+    for (const Request &r : trace) {
+        sum += r.prompt_tokens;
+    }
+    return sum / static_cast<f64>(trace.size());
+}
+
+f64
+meanOutputLength(const std::vector<Request> &trace)
+{
+    if (trace.empty()) {
+        return 0;
+    }
+    f64 sum = 0;
+    for (const Request &r : trace) {
+        sum += r.output_tokens;
+    }
+    return sum / static_cast<f64>(trace.size());
+}
+
+} // namespace medusa::workload

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Workload generation for the application-trace experiments (§7.5).
+ *
+ * The paper replays ShareGPT conversations with Poisson arrivals. The
+ * dataset itself is not redistributable here, so the generator produces
+ * a synthetic trace with the same published statistics: mean prompt
+ * length 161 tokens, mean output length 338 tokens (the averages the
+ * paper quotes), log-normal length spread, and exponential inter-arrival
+ * gaps at a configurable requests-per-second rate.
+ */
+
+#ifndef MEDUSA_WORKLOAD_TRACE_H
+#define MEDUSA_WORKLOAD_TRACE_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace medusa::workload {
+
+/** One inference request of a trace. */
+struct Request
+{
+    /** Arrival time since trace start (seconds). */
+    f64 arrival_sec = 0;
+    /** Real prompt length in tokens. */
+    u32 prompt_tokens = 0;
+    /** Real output length in tokens. */
+    u32 output_tokens = 0;
+};
+
+/** Generator configuration. */
+struct TraceOptions
+{
+    f64 duration_sec = 300;
+    /** Mean arrival rate (Poisson). */
+    f64 requests_per_sec = 2;
+    u64 seed = 1;
+    /** ShareGPT statistics (paper §2.2). */
+    f64 mean_prompt_tokens = 161;
+    f64 mean_output_tokens = 338;
+    /** Log-normal shape parameter of the length distributions. */
+    f64 length_sigma = 0.9;
+    u32 max_prompt_tokens = 2048;
+    u32 max_output_tokens = 2048;
+
+    /**
+     * Burst modulation. LLM inference traffic is highly bursty — the
+     * paper cites rate swings of 10-20x within 30-second windows — so
+     * the Poisson rate alternates between a quiet and a burst phase
+     * whose multipliers average out to requests_per_sec.
+     */
+    bool bursty = true;
+    f64 quiet_rate_multiplier = 0.2;
+    f64 burst_rate_multiplier = 4.0;
+    /** Mean duration of each phase (exponentially distributed). */
+    f64 quiet_phase_mean_sec = 24.0;
+    f64 burst_phase_mean_sec = 8.0;
+};
+
+/** Generate a ShareGPT-like trace. */
+std::vector<Request> generateShareGptTrace(const TraceOptions &options);
+
+/** Empirical mean of prompt lengths over a trace. */
+f64 meanPromptLength(const std::vector<Request> &trace);
+
+/** Empirical mean of output lengths over a trace. */
+f64 meanOutputLength(const std::vector<Request> &trace);
+
+} // namespace medusa::workload
+
+#endif // MEDUSA_WORKLOAD_TRACE_H

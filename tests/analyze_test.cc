@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests of the analysis stage: pointer-vs-constant classification,
+ * decoy (false-positive candidate) demotion, interior-pointer offsets,
+ * trace-based matching under address reuse, the §4.3 buffer-content
+ * classes — and the adversarial proof that NAIVE matching corrupts
+ * data across process launches (the paper's Figure 6), while
+ * trace-based matching restores correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "medusa/analyze.h"
+#include "simcuda/caching_allocator.h"
+#include "simcuda/kernels/builtin.h"
+
+namespace medusa::core {
+namespace {
+
+using simcuda::BuiltinKernels;
+using simcuda::CachingAllocator;
+using simcuda::CudaGraph;
+using simcuda::GpuProcess;
+using simcuda::GpuProcessOptions;
+using simcuda::ParamsBuilder;
+
+/** A tiny offline "process" with interception wired up. */
+struct Offline
+{
+    explicit Offline(u64 seed = 1)
+        : process(options(seed), &clock, &cost), alloc(&process, seed)
+    {
+        alloc.setObserver(&recorder);
+        process.setLaunchObserver(&recorder);
+        recorder.markOrganicBoundary();
+        recorder.markCaptureStageBegin();
+    }
+
+    static GpuProcessOptions
+    options(u64 seed)
+    {
+        GpuProcessOptions o;
+        o.aslr_seed = seed;
+        return o;
+    }
+
+    /** Capture a one-node copy_f32 graph with the given params. */
+    StatusOr<CudaGraph>
+    captureCopy(DeviceAddr src, DeviceAddr dst, i32 count)
+    {
+        const auto &k = BuiltinKernels::get();
+        // Warm the module outside capture.
+        ParamsBuilder warm;
+        warm.ptr(src).ptr(dst).i32(0);
+        MEDUSA_RETURN_IF_ERROR(process.defaultStream().launch(
+            k.copy_f32, warm.take(), {}));
+        recorder.beginGraph(1);
+        MEDUSA_RETURN_IF_ERROR(
+            process.beginCapture(process.defaultStream()));
+        ParamsBuilder pb;
+        pb.ptr(src).ptr(dst).i32(count);
+        Status st = process.defaultStream().launch(k.copy_f32,
+                                                   pb.take(), {});
+        auto graph = process.endCapture(process.defaultStream());
+        recorder.endGraph();
+        if (!st.isOk()) {
+            return st;
+        }
+        return graph;
+    }
+
+    StatusOr<AnalysisResult>
+    analyzeGraph(const CudaGraph &graph, bool trace_based)
+    {
+        AnalyzeOptions opts;
+        opts.trace_based_matching = trace_based;
+        std::vector<std::pair<u32, CudaGraph>> graphs = {{1, graph}};
+        return analyze(recorder, process, "test-model", 1, graphs,
+                       units::GiB, opts);
+    }
+
+    SimClock clock;
+    CostModel cost;
+    GpuProcess process;
+    CachingAllocator alloc;
+    Recorder recorder;
+};
+
+TEST(AnalyzeTest, PointerHeuristic)
+{
+    EXPECT_TRUE(looksLikeDevicePointer(0x7f2000001000ull));
+    EXPECT_TRUE(looksLikeDevicePointer(0x7fab00000008ull)); // decoy range
+    EXPECT_FALSE(looksLikeDevicePointer(64));
+    EXPECT_FALSE(looksLikeDevicePointer(0x800000000000ull));
+}
+
+TEST(AnalyzeTest, ClassifiesConstantsAndPointers)
+{
+    Offline off;
+    auto src = off.alloc.allocate(4096, 64);
+    auto dst = off.alloc.allocate(4096, 64);
+    auto graph = off.captureCopy(*src, *dst, 7);
+    ASSERT_TRUE(graph.isOk());
+    auto result = off.analyzeGraph(*graph, true);
+    ASSERT_TRUE(result.isOk());
+
+    const auto &node = result->artifact.graphs[0].nodes[0];
+    ASSERT_EQ(node.params.size(), 3u);
+    EXPECT_EQ(node.params[0].kind, ParamSpec::kIndirect);
+    EXPECT_EQ(node.params[0].alloc_index, 0u);
+    EXPECT_EQ(node.params[1].kind, ParamSpec::kIndirect);
+    EXPECT_EQ(node.params[1].alloc_index, 1u);
+    EXPECT_EQ(node.params[2].kind, ParamSpec::kConstant);
+    EXPECT_EQ(result->artifact.stats.pointer_params, 2u);
+    EXPECT_EQ(result->artifact.stats.constant_params, 1u);
+    EXPECT_EQ(node.kernel_name,
+              simcuda::KernelRegistry::instance()
+                  .def(BuiltinKernels::get().copy_f32)
+                  .mangled_name);
+    EXPECT_EQ(node.module_name, simcuda::kTorchModule);
+}
+
+TEST(AnalyzeTest, InteriorPointerGetsOffset)
+{
+    Offline off;
+    auto src = off.alloc.allocate(4096, 256);
+    auto dst = off.alloc.allocate(4096, 256);
+    auto graph = off.captureCopy(*src + 128, *dst, 4);
+    ASSERT_TRUE(graph.isOk());
+    auto result = off.analyzeGraph(*graph, true);
+    ASSERT_TRUE(result.isOk());
+    const auto &p = result->artifact.graphs[0].nodes[0].params[0];
+    EXPECT_EQ(p.kind, ParamSpec::kIndirect);
+    EXPECT_EQ(p.alloc_index, 0u);
+    EXPECT_EQ(p.offset, 128u);
+}
+
+TEST(AnalyzeTest, DecoyCandidateDemotedToConstant)
+{
+    // An 8-byte constant in the device-address-looking range that
+    // matches no allocation: the paper's rare false-positive case,
+    // resolved by trace search coming up empty.
+    Offline off;
+    auto src = off.alloc.allocate(4096, 64);
+    auto dst = off.alloc.allocate(4096, 64);
+    const auto &k = BuiltinKernels::get();
+    ParamsBuilder warm;
+    warm.ptr(*src).ptr(*dst).i32(0);
+    ASSERT_TRUE(off.process.defaultStream()
+                    .launch(k.copy_f32, warm.take(), {})
+                    .isOk());
+
+    // Hand-build a one-node "graph" whose i32 param is widened to a
+    // decoy i64 via a synthetic launch record: easiest is a real graph
+    // plus checking the stats path through paged attention's stream
+    // tag in the integration tests; here we test the matcher directly.
+    off.recorder.beginGraph(1);
+    ASSERT_TRUE(
+        off.process.beginCapture(off.process.defaultStream()).isOk());
+    ParamsBuilder pb;
+    pb.ptr(*src).ptr(0x7fab00000001ull).i32(4); // dst "pointer" is decoy
+    Status st = off.process.defaultStream().launch(k.copy_f32,
+                                                   pb.take(), {});
+    auto graph = off.process.endCapture(off.process.defaultStream());
+    off.recorder.endGraph();
+    ASSERT_TRUE(st.isOk());
+    ASSERT_TRUE(graph.isOk());
+
+    auto result = off.analyzeGraph(*graph, true);
+    ASSERT_TRUE(result.isOk());
+    const auto &node = result->artifact.graphs[0].nodes[0];
+    EXPECT_EQ(node.params[1].kind, ParamSpec::kConstant);
+    EXPECT_EQ(result->artifact.stats.decoy_candidates, 1u);
+}
+
+TEST(AnalyzeTest, TraceBasedMatchingPicksLiveAllocationUnderReuse)
+{
+    Offline off;
+    // Buffer X allocated, freed; Y reuses the same address. The graph
+    // uses Y: trace-based matching must bind to Y's event (index 1),
+    // naive matching binds to X's (index 0) — Figure 6's setup.
+    auto x = off.alloc.allocate(2048, 64);
+    ASSERT_TRUE(off.alloc.free(*x).isOk());
+    auto y = off.alloc.allocate(2048, 64);
+    ASSERT_EQ(*x, *y);
+    auto dst = off.alloc.allocate(512, 64);
+
+    auto graph = off.captureCopy(*y, *dst, 4);
+    ASSERT_TRUE(graph.isOk());
+
+    auto traced = off.analyzeGraph(*graph, true);
+    ASSERT_TRUE(traced.isOk());
+    EXPECT_EQ(traced->artifact.graphs[0].nodes[0].params[0].alloc_index,
+              1u);
+
+    auto naive = off.analyzeGraph(*graph, false);
+    ASSERT_TRUE(naive.isOk());
+    EXPECT_EQ(naive->artifact.graphs[0].nodes[0].params[0].alloc_index,
+              0u);
+}
+
+TEST(AnalyzeTest, BufferContentClasses)
+{
+    // A bespoke harness so we control the capture-stage marker.
+    SimClock clock;
+    CostModel cost;
+    GpuProcess process(Offline::options(3), &clock, &cost);
+    CachingAllocator alloc(&process, 3);
+    Recorder recorder;
+    alloc.setObserver(&recorder);
+    process.setLaunchObserver(&recorder);
+    recorder.markOrganicBoundary();
+
+    auto weight = alloc.allocate(4096, 16); // before capture stage
+    recorder.markCaptureStageBegin();
+    auto temp = alloc.allocate(512, 16);   // freed later: temporary
+    auto perm = alloc.allocate(512, 16);   // kept: permanent
+    const u32 magic = 0xbeefcafe;
+    ASSERT_TRUE(
+        process.memory().write(*perm, &magic, sizeof(magic)).isOk());
+
+    // Warm + capture one node touching all three buffers... copy has
+    // only two pointers; capture two nodes.
+    const auto &k = BuiltinKernels::get();
+    ParamsBuilder warm;
+    warm.ptr(*weight).ptr(*temp).i32(0);
+    ASSERT_TRUE(process.defaultStream()
+                    .launch(k.copy_f32, warm.take(), {})
+                    .isOk());
+    recorder.beginGraph(1);
+    ASSERT_TRUE(process.beginCapture(process.defaultStream()).isOk());
+    ParamsBuilder n1;
+    n1.ptr(*weight).ptr(*temp).i32(4);
+    ASSERT_TRUE(process.defaultStream()
+                    .launch(k.copy_f32, n1.take(), {})
+                    .isOk());
+    ParamsBuilder n2;
+    n2.ptr(*temp).ptr(*perm).i32(4);
+    ASSERT_TRUE(process.defaultStream()
+                    .launch(k.copy_f32, n2.take(), {})
+                    .isOk());
+    auto graph = process.endCapture(process.defaultStream());
+    recorder.endGraph();
+    ASSERT_TRUE(graph.isOk());
+    ASSERT_TRUE(alloc.free(*temp).isOk()); // temp deallocated after
+
+    AnalyzeOptions opts;
+    std::vector<std::pair<u32, CudaGraph>> graphs = {{1, *graph}};
+    auto result = analyze(recorder, process, "m", 1, graphs, 1, opts);
+    ASSERT_TRUE(result.isOk());
+    const auto &stats = result->artifact.stats;
+    EXPECT_EQ(stats.model_param_buffers, 1u);
+    EXPECT_EQ(stats.temp_buffers, 1u);
+    EXPECT_EQ(stats.permanent_buffers, 1u);
+    ASSERT_EQ(result->artifact.permanent.size(), 1u);
+    // The permanent buffer's contents (the magic) are materialized.
+    const auto &contents = result->artifact.permanent[0].contents;
+    ASSERT_EQ(contents.size(), 16u);
+    u32 stored = 0;
+    std::memcpy(&stored, contents.data(), 4);
+    EXPECT_EQ(stored, 0xbeefcafeu);
+}
+
+TEST(AnalyzeTest, NaiveMatchingCorruptsReusedBuffer)
+{
+    // The functional Figure 6 proof. Offline: two same-class buffers
+    // T0, T1 are allocated and freed; Q then reuses ONE of them
+    // (process-dependent choice) and carries real data into a captured
+    // copy kernel. Naive matching binds Q's pointer to the stale T
+    // event at the same address. Online (a different process), the
+    // replay's reuse choice differs for some seed, so the naive
+    // binding resolves to the WRONG buffer and the kernel reads stale
+    // zeros, while the trace-based binding always restores the data.
+    Offline off(1);
+    auto t0 = off.alloc.allocate(1024, 32); // event 0
+    auto t1 = off.alloc.allocate(1024, 32); // event 1
+    ASSERT_TRUE(off.alloc.free(*t0).isOk());
+    ASSERT_TRUE(off.alloc.free(*t1).isOk());
+    auto q = off.alloc.allocate(1024, 32); // event 2: reuses t0 or t1
+    auto out = off.alloc.allocate(1024, 32); // event 3
+    const std::vector<f32> data = {1.5f, -2.5f, 3.5f, 4.5f};
+    ASSERT_TRUE(
+        off.process.memory().write(*q, data.data(), 16).isOk());
+
+    auto graph = off.captureCopy(*q, *out, 4);
+    ASSERT_TRUE(graph.isOk());
+
+    auto traced = off.analyzeGraph(*graph, true);
+    auto naive = off.analyzeGraph(*graph, false);
+    ASSERT_TRUE(traced.isOk() && naive.isOk());
+    ASSERT_EQ(
+        traced->artifact.graphs[0].nodes[0].params[0].alloc_index, 2u);
+    const u64 naive_index =
+        naive->artifact.graphs[0].nodes[0].params[0].alloc_index;
+    EXPECT_LT(naive_index, 2u); // bound to a stale T event
+
+    // Mini online restore: replay the op sequence in a fresh process,
+    // restore permanent contents, patch the pointer per the spec, run
+    // the kernel, and read the output back.
+    auto restoreAndRun = [&](const Artifact &artifact,
+                             u64 seed) -> std::vector<f32> {
+        SimClock clock;
+        CostModel cost;
+        GpuProcess process(Offline::options(seed), &clock, &off.cost);
+        CachingAllocator alloc(&process, seed);
+        std::vector<DeviceAddr> addr_of;
+        for (const AllocOp &op : artifact.ops) {
+            if (op.kind == AllocOp::kAlloc) {
+                addr_of.push_back(*alloc.allocate(op.logical_size,
+                                                  op.backing_size));
+            } else {
+                MEDUSA_CHECK(
+                    alloc.free(addr_of[op.freed_alloc_index]).isOk(),
+                    "replay free");
+            }
+        }
+        for (const PermanentBuffer &pb : artifact.permanent) {
+            MEDUSA_CHECK(process.memory()
+                             .write(addr_of[pb.alloc_index],
+                                    pb.contents.data(),
+                                    pb.contents.size())
+                             .isOk(),
+                         "content restore");
+        }
+        const auto &node = artifact.graphs[0].nodes[0];
+        simcuda::RawParams params;
+        for (const ParamSpec &spec : node.params) {
+            if (spec.kind == ParamSpec::kConstant) {
+                params.push_back(spec.constant_bytes);
+            } else {
+                const u64 value =
+                    addr_of[spec.alloc_index] + spec.offset;
+                std::vector<u8> bytes(8);
+                std::memcpy(bytes.data(), &value, 8);
+                params.push_back(std::move(bytes));
+            }
+        }
+        const auto &k = BuiltinKernels::get();
+        MEDUSA_CHECK(process.defaultStream()
+                         .launch(k.copy_f32, std::move(params), {})
+                         .isOk(),
+                     "restored kernel run");
+        // Output is event 3.
+        std::vector<f32> got(4);
+        MEDUSA_CHECK(
+            process.memory().read(addr_of[3], got.data(), 16).isOk(),
+            "read output");
+        return got;
+    };
+
+    bool naive_corrupted_somewhere = false;
+    for (u64 seed = 100; seed < 130; ++seed) {
+        const auto traced_out = restoreAndRun(traced->artifact, seed);
+        // Trace-based restoration is correct in EVERY process layout.
+        ASSERT_EQ(traced_out, data) << "seed " << seed;
+        const auto naive_out = restoreAndRun(naive->artifact, seed);
+        if (naive_out != data) {
+            naive_corrupted_somewhere = true;
+        }
+    }
+    EXPECT_TRUE(naive_corrupted_somewhere)
+        << "naive matching never diverged across 30 process layouts";
+}
+
+} // namespace
+} // namespace medusa::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests of the materialized-artifact serialization: full-fidelity
+ * round-trips and rejection of corrupt inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "medusa/artifact.h"
+
+namespace medusa::core {
+namespace {
+
+Artifact
+sampleArtifact()
+{
+    Artifact a;
+    a.model_name = "Qwen1.5-4B";
+    a.model_seed = 106;
+    a.free_gpu_memory = 25ull * units::GiB;
+    a.organic_op_count = 2;
+    a.organic_alloc_count = 2;
+
+    AllocOp alloc1;
+    alloc1.kind = AllocOp::kAlloc;
+    alloc1.logical_size = 4096;
+    alloc1.backing_size = 64;
+    AllocOp alloc2 = alloc1;
+    alloc2.logical_size = 512;
+    AllocOp free1;
+    free1.kind = AllocOp::kFree;
+    free1.freed_alloc_index = 0;
+    a.ops = {alloc1, alloc2, free1};
+
+    GraphBlueprint g;
+    g.batch_size = 8;
+    NodeBlueprint n1;
+    n1.kernel_name = "kernel_a";
+    n1.module_name = "libsimtorch.so";
+    n1.timing.flops = 123.5;
+    n1.timing.bytes = 456.25;
+    ParamSpec constant;
+    constant.kind = ParamSpec::kConstant;
+    constant.constant_bytes = {1, 2, 3, 4};
+    ParamSpec indirect;
+    indirect.kind = ParamSpec::kIndirect;
+    indirect.alloc_index = 1;
+    indirect.offset = 128;
+    n1.params = {constant, indirect};
+    g.nodes = {n1, n1};
+    g.edges = {{0, 1}};
+    a.graphs = {g};
+
+    PermanentBuffer pb;
+    pb.alloc_index = 1;
+    pb.contents = {0x11, 0x2a, 0x3c, 0x5f};
+    a.permanent = {pb};
+    a.tags = {{"token_ids", 0}, {"logits", 1}};
+
+    a.stats.total_nodes = 2;
+    a.stats.total_params = 4;
+    a.stats.pointer_params = 2;
+    a.stats.constant_params = 2;
+    a.stats.decoy_candidates = 1;
+    a.stats.permanent_buffers = 1;
+    a.stats.materialized_content_bytes = 4;
+    return a;
+}
+
+TEST(ArtifactTest, RoundTripPreservesEverything)
+{
+    const Artifact a = sampleArtifact();
+    auto bytes = a.serialize();
+    auto out = Artifact::deserialize(bytes);
+    ASSERT_TRUE(out.isOk()) << out.status().toString();
+    const Artifact &b = *out;
+
+    EXPECT_EQ(b.model_name, a.model_name);
+    EXPECT_EQ(b.model_seed, a.model_seed);
+    EXPECT_EQ(b.free_gpu_memory, a.free_gpu_memory);
+    EXPECT_EQ(b.organic_op_count, a.organic_op_count);
+    EXPECT_EQ(b.organic_alloc_count, a.organic_alloc_count);
+
+    ASSERT_EQ(b.ops.size(), 3u);
+    EXPECT_EQ(b.ops[0].kind, AllocOp::kAlloc);
+    EXPECT_EQ(b.ops[0].logical_size, 4096u);
+    EXPECT_EQ(b.ops[0].backing_size, 64u);
+    EXPECT_EQ(b.ops[2].kind, AllocOp::kFree);
+    EXPECT_EQ(b.ops[2].freed_alloc_index, 0u);
+
+    ASSERT_EQ(b.graphs.size(), 1u);
+    EXPECT_EQ(b.graphs[0].batch_size, 8u);
+    ASSERT_EQ(b.graphs[0].nodes.size(), 2u);
+    const NodeBlueprint &n = b.graphs[0].nodes[0];
+    EXPECT_EQ(n.kernel_name, "kernel_a");
+    EXPECT_EQ(n.module_name, "libsimtorch.so");
+    EXPECT_DOUBLE_EQ(n.timing.flops, 123.5);
+    ASSERT_EQ(n.params.size(), 2u);
+    EXPECT_EQ(n.params[0].kind, ParamSpec::kConstant);
+    EXPECT_EQ(n.params[0].constant_bytes,
+              (std::vector<u8>{1, 2, 3, 4}));
+    EXPECT_EQ(n.params[1].kind, ParamSpec::kIndirect);
+    EXPECT_EQ(n.params[1].alloc_index, 1u);
+    EXPECT_EQ(n.params[1].offset, 128u);
+    EXPECT_EQ(b.graphs[0].edges,
+              (std::vector<std::pair<u32, u32>>{{0, 1}}));
+
+    ASSERT_EQ(b.permanent.size(), 1u);
+    EXPECT_EQ(b.permanent[0].contents,
+              (std::vector<u8>{0x11, 0x2a, 0x3c, 0x5f}));
+    EXPECT_EQ(b.tags.at("token_ids"), 0u);
+    EXPECT_EQ(b.tags.at("logits"), 1u);
+
+    EXPECT_EQ(b.stats.total_nodes, 2u);
+    EXPECT_EQ(b.stats.decoy_candidates, 1u);
+    EXPECT_EQ(b.totalNodes(), 2u);
+}
+
+TEST(ArtifactTest, RejectsBadMagic)
+{
+    auto bytes = sampleArtifact().serialize();
+    bytes[0] ^= 0xff;
+    EXPECT_FALSE(Artifact::deserialize(bytes).isOk());
+}
+
+TEST(ArtifactTest, RejectsWrongVersion)
+{
+    auto bytes = sampleArtifact().serialize();
+    bytes[4] += 1;
+    EXPECT_FALSE(Artifact::deserialize(bytes).isOk());
+}
+
+TEST(ArtifactTest, RejectsTruncation)
+{
+    auto bytes = sampleArtifact().serialize();
+    // Truncations anywhere must produce errors, never crashes.
+    for (std::size_t cut :
+         {bytes.size() - 1, bytes.size() / 2, bytes.size() / 4,
+          std::size_t{9}}) {
+        std::vector<u8> truncated(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(cut));
+        EXPECT_FALSE(Artifact::deserialize(truncated).isOk())
+            << "cut=" << cut;
+    }
+}
+
+TEST(ArtifactTest, EmptyArtifactRoundTrips)
+{
+    Artifact a;
+    a.model_name = "x";
+    auto out = Artifact::deserialize(a.serialize());
+    ASSERT_TRUE(out.isOk());
+    EXPECT_EQ(out->model_name, "x");
+    EXPECT_TRUE(out->graphs.empty());
+    EXPECT_EQ(out->totalNodes(), 0u);
+}
+
+TEST(ArtifactTest, SerializedSizeScalesWithNodes)
+{
+    Artifact small = sampleArtifact();
+    Artifact big = sampleArtifact();
+    const GraphBlueprint extra = big.graphs[0];
+    for (int i = 0; i < 10; ++i) {
+        big.graphs.push_back(extra);
+    }
+    EXPECT_GT(big.serialize().size(), small.serialize().size() * 2);
+}
+
+} // namespace
+} // namespace medusa::core

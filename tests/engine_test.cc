@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the baseline strategy drivers and the loading-latency
+ * composition arithmetic (§7's vLLM / vLLM+ASYNC / w/o-CUDA-GRAPH).
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/engine.h"
+
+namespace medusa::llm {
+namespace {
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m = findModel("Qwen1.5-1.8B").value();
+    m.num_layers = 3;
+    return m;
+}
+
+TEST(ComposeLoadingTest, VllmIsSerialSum)
+{
+    StageTimes t;
+    t.struct_init = 1;
+    t.weights = 2;
+    t.tokenizer = 0.5;
+    t.kv_init = 1.5;
+    t.capture = 3;
+    CostModel cost;
+    EXPECT_DOUBLE_EQ(composeLoading(Strategy::kVllm, t, cost), 8.0);
+    EXPECT_DOUBLE_EQ(composeLoading(Strategy::kNoCudaGraph, t, cost),
+                     8.0);
+}
+
+TEST(ComposeLoadingTest, AsyncOverlapsWeightsWithTokKv)
+{
+    CostModel cost;
+    cost.weights_profiling_interference = 1.5;
+    StageTimes t;
+    t.struct_init = 1;
+    t.weights = 2;
+    t.tokenizer = 1;
+    t.kv_init = 1;
+    t.capture = 3;
+    // weights*1.5 = 3 > tok+kv = 2 -> weights-bound window.
+    EXPECT_DOUBLE_EQ(composeLoading(Strategy::kVllmAsync, t, cost),
+                     1 + 3 + 3);
+    // Bubble case: tok+kv exceed the slowed weights.
+    t.tokenizer = 4;
+    EXPECT_DOUBLE_EQ(composeLoading(Strategy::kVllmAsync, t, cost),
+                     1 + 5 + 3);
+}
+
+TEST(EngineTest, ColdStartProducesServableEngine)
+{
+    BaselineEngine::Options opts;
+    opts.model = tinyModel();
+    opts.strategy = Strategy::kVllm;
+    auto engine = BaselineEngine::coldStart(opts);
+    ASSERT_TRUE(engine.isOk()) << engine.status().toString();
+    EXPECT_EQ((*engine)->runtime().graphCount(), 35u);
+    auto out = (*engine)->runtime().generate({1, 2, 3}, 4);
+    ASSERT_TRUE(out.isOk());
+    EXPECT_EQ(out->size(), 4u);
+}
+
+TEST(EngineTest, NoCudaGraphSkipsCapture)
+{
+    BaselineEngine::Options opts;
+    opts.model = tinyModel();
+    opts.strategy = Strategy::kNoCudaGraph;
+    auto engine = BaselineEngine::coldStart(opts);
+    ASSERT_TRUE(engine.isOk());
+    EXPECT_EQ((*engine)->runtime().graphCount(), 0u);
+    EXPECT_DOUBLE_EQ((*engine)->times().capture, 0.0);
+    // Serving still works, eagerly.
+    auto out = (*engine)->runtime().generate({5}, 3);
+    EXPECT_TRUE(out.isOk());
+}
+
+TEST(EngineTest, AsyncLoadsFasterThanVllmButNotWithoutCapture)
+{
+    BaselineEngine::Options opts;
+    opts.model = tinyModel();
+    opts.strategy = Strategy::kVllm;
+    auto vllm = BaselineEngine::coldStart(opts);
+    opts.strategy = Strategy::kVllmAsync;
+    auto async = BaselineEngine::coldStart(opts);
+    opts.strategy = Strategy::kNoCudaGraph;
+    auto nograph = BaselineEngine::coldStart(opts);
+    ASSERT_TRUE(vllm.isOk() && async.isOk() && nograph.isOk());
+
+    EXPECT_LT((*async)->times().loading, (*vllm)->times().loading);
+    EXPECT_LT((*nograph)->times().loading, (*async)->times().loading);
+    // Raw stage durations are strategy-independent.
+    EXPECT_NEAR((*async)->times().struct_init,
+                (*vllm)->times().struct_init, 1e-9);
+    EXPECT_NEAR((*async)->times().kv_init, (*vllm)->times().kv_init,
+                0.02);
+}
+
+TEST(EngineTest, WarmContainerEliminatesRuntimeInit)
+{
+    BaselineEngine::Options opts;
+    opts.model = tinyModel();
+    opts.warm_container = true;
+    auto warm = BaselineEngine::coldStart(opts);
+    opts.warm_container = false;
+    auto cold = BaselineEngine::coldStart(opts);
+    ASSERT_TRUE(warm.isOk() && cold.isOk());
+    EXPECT_DOUBLE_EQ((*warm)->times().runtime_init, 0.0);
+    EXPECT_GT((*cold)->times().runtime_init, 0.5);
+    EXPECT_NEAR((*cold)->times().coldStart(),
+                (*cold)->times().runtime_init +
+                    (*cold)->times().loading,
+                1e-9);
+}
+
+TEST(EngineTest, StrategyNames)
+{
+    EXPECT_STREQ(strategyName(Strategy::kVllm), "vLLM");
+    EXPECT_STREQ(strategyName(Strategy::kVllmAsync), "vLLM+ASYNC");
+    EXPECT_STREQ(strategyName(Strategy::kNoCudaGraph), "w/o CUDA GRAPH");
+    EXPECT_STREQ(strategyName(Strategy::kMedusa), "Medusa");
+}
+
+} // namespace
+} // namespace medusa::llm

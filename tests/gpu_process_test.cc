@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests of the GpuProcess driver surface not covered elsewhere: memcpy
+ * semantics and timing, memset, device-wide synchronization across
+ * streams, launch statistics and error propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simcuda/gpu_process.h"
+#include "simcuda/kernels/builtin.h"
+
+namespace medusa::simcuda {
+namespace {
+
+class GpuProcessTest : public ::testing::Test
+{
+  protected:
+    GpuProcessTest() : process_(GpuProcessOptions{}, &clock_, &cost_) {}
+
+    SimClock clock_;
+    CostModel cost_;
+    GpuProcess process_;
+};
+
+TEST_F(GpuProcessTest, MemcpyRoundTripAndTiming)
+{
+    auto buf = process_.memory().malloc(1024, 64);
+    ASSERT_TRUE(buf.isOk());
+    const std::vector<f32> data = {1, 2, 3, 4};
+    const SimTimeNs t0 = clock_.now();
+    // 24 GB logical at 24 GB/s = 1 s of PCIe time.
+    ASSERT_TRUE(process_
+                    .memcpyH2D(*buf, data.data(), 16,
+                               24ull * 1000 * 1000 * 1000)
+                    .isOk());
+    EXPECT_NEAR(units::nsToSec(clock_.now() - t0), 1.0, 0.01);
+
+    std::vector<f32> out(4);
+    ASSERT_TRUE(process_.memcpyD2H(out.data(), *buf, 16, 16).isOk());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(GpuProcessTest, MemcpyZeroLogicalChargesNothing)
+{
+    auto buf = process_.memory().malloc(64, 64);
+    const u32 v = 7;
+    const SimTimeNs t0 = clock_.now();
+    ASSERT_TRUE(process_.memcpyH2D(*buf, &v, 4, 0).isOk());
+    EXPECT_EQ(clock_.now(), t0);
+}
+
+TEST_F(GpuProcessTest, MemcpyOutOfBoundsFails)
+{
+    auto buf = process_.memory().malloc(1024, 8);
+    std::vector<u8> big(64, 0);
+    EXPECT_FALSE(
+        process_.memcpyH2D(*buf, big.data(), big.size(), 0).isOk());
+}
+
+TEST_F(GpuProcessTest, MemsetFillsBacking)
+{
+    auto buf = process_.memory().malloc(64, 16);
+    ASSERT_TRUE(process_.cudaMemset(*buf, 0xab, 16).isOk());
+    std::vector<u8> out(16);
+    ASSERT_TRUE(process_.memory().read(*buf, out.data(), 16).isOk());
+    for (u8 b : out) {
+        EXPECT_EQ(b, 0xab);
+    }
+}
+
+TEST_F(GpuProcessTest, DeviceSynchronizeDrainsAllStreams)
+{
+    const auto &k = BuiltinKernels::get();
+    auto buf = process_.memory().malloc(64, 64);
+    Stream &a = process_.defaultStream();
+    Stream &b = process_.createStream();
+    // Warm the module on stream a.
+    ParamsBuilder w;
+    w.ptr(*buf).ptr(*buf).i32(1);
+    ASSERT_TRUE(a.launch(k.copy_f32, w.take(), {}).isOk());
+    // A long kernel on stream b.
+    TimingInfo slow;
+    slow.bytes = 1e9; // ~0.7 ms
+    ParamsBuilder pb;
+    pb.ptr(*buf).ptr(*buf).i32(1);
+    ASSERT_TRUE(b.launch(k.copy_f32, pb.take(), slow).isOk());
+    const SimTimeNs t0 = clock_.now();
+    ASSERT_TRUE(process_.deviceSynchronize().isOk());
+    EXPECT_GT(clock_.now() - t0, units::usToNs(500.0));
+}
+
+TEST_F(GpuProcessTest, LaunchCountersTrackPaths)
+{
+    const auto &k = BuiltinKernels::get();
+    auto buf = process_.memory().malloc(64, 64);
+    auto launchOnce = [&]() {
+        ParamsBuilder pb;
+        pb.ptr(*buf).ptr(*buf).i32(1);
+        return process_.defaultStream().launch(k.copy_f32, pb.take(),
+                                               {});
+    };
+    ASSERT_TRUE(launchOnce().isOk());
+    ASSERT_TRUE(launchOnce().isOk());
+    EXPECT_EQ(process_.eagerLaunchCount(), 2u);
+    EXPECT_EQ(process_.capturedNodeCount(), 0u);
+
+    ASSERT_TRUE(process_.beginCapture(process_.defaultStream()).isOk());
+    ASSERT_TRUE(launchOnce().isOk());
+    auto graph = process_.endCapture(process_.defaultStream());
+    ASSERT_TRUE(graph.isOk());
+    EXPECT_EQ(process_.capturedNodeCount(), 1u);
+    EXPECT_EQ(process_.eagerLaunchCount(), 2u);
+
+    auto exec = process_.instantiate(*graph);
+    ASSERT_TRUE(exec.isOk());
+    ASSERT_TRUE(
+        process_.launchGraph(*exec, process_.defaultStream()).isOk());
+    EXPECT_EQ(process_.graphLaunchCount(), 1u);
+}
+
+TEST_F(GpuProcessTest, KernelErrorsNameTheKernel)
+{
+    const auto &k = BuiltinKernels::get();
+    // rmsnorm with an unmapped pointer fails and identifies itself.
+    ParamsBuilder pb;
+    pb.ptr(0x7f2000000000ull)
+        .ptr(0x7f2000000000ull)
+        .ptr(0x7f2000000000ull)
+        .i32(1)
+        .i32(4)
+        .f32(1e-5f);
+    Status st = process_.defaultStream().launch(k.rmsnorm, pb.take(),
+                                                {});
+    ASSERT_FALSE(st.isOk());
+    EXPECT_NE(st.message().find("rmsnorm"), std::string::npos);
+}
+
+TEST_F(GpuProcessTest, UnknownKernelIdRejected)
+{
+    EXPECT_FALSE(process_.defaultStream()
+                     .launch(static_cast<KernelId>(0xffff), {}, {})
+                     .isOk());
+}
+
+TEST_F(GpuProcessTest, DeviceIndexSeparatesAddressWindows)
+{
+    SimClock clock2;
+    GpuProcessOptions o;
+    o.aslr_seed = 1; // same seed, different device
+    o.device_index = 1;
+    GpuProcess other(o, &clock2, &cost_);
+    auto a = process_.memory().malloc(4096, 0);
+    auto b = other.memory().malloc(4096, 0);
+    ASSERT_TRUE(a.isOk() && b.isOk());
+    EXPECT_GT(*b, *a);
+    EXPECT_GE(*b - *a, 64ull * units::GiB);
+    // Both stay under the pointer-heuristic bound.
+    EXPECT_LT(*b, 0x800000000000ull);
+}
+
+} // namespace
+} // namespace medusa::simcuda

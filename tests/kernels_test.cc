@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Functional correctness of the simulated kernels against small
+ * hand-computed or brute-force references. These are the kernels whose
+ * outputs Medusa's validation compares, so their math must be solid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simcuda/gpu_process.h"
+#include "simcuda/kernels/builtin.h"
+
+namespace medusa::simcuda {
+namespace {
+
+class KernelsTest : public ::testing::Test
+{
+  protected:
+    KernelsTest() : process_(GpuProcessOptions{}, &clock_, &cost_) {}
+
+    DeviceAddr
+    floats(const std::vector<f32> &values)
+    {
+        auto addr =
+            process_.memory().malloc(std::max<u64>(values.size(), 1) * 4,
+                                     std::max<u64>(values.size(), 1) * 4);
+        MEDUSA_CHECK(addr.isOk(), "alloc");
+        if (!values.empty()) {
+            MEDUSA_CHECK(process_.memory()
+                             .write(*addr, values.data(),
+                                    values.size() * 4)
+                             .isOk(),
+                         "write");
+        }
+        return *addr;
+    }
+
+    DeviceAddr
+    ints(const std::vector<i32> &values)
+    {
+        auto addr =
+            process_.memory().malloc(std::max<u64>(values.size(), 1) * 4,
+                                     std::max<u64>(values.size(), 1) * 4);
+        MEDUSA_CHECK(addr.isOk(), "alloc");
+        if (!values.empty()) {
+            MEDUSA_CHECK(process_.memory()
+                             .write(*addr, values.data(),
+                                    values.size() * 4)
+                             .isOk(),
+                         "write");
+        }
+        return *addr;
+    }
+
+    std::vector<f32>
+    readF(DeviceAddr addr, std::size_t n)
+    {
+        std::vector<f32> out(n);
+        MEDUSA_CHECK(
+            process_.memory().read(addr, out.data(), n * 4).isOk(),
+            "read");
+        return out;
+    }
+
+    std::vector<i32>
+    readI(DeviceAddr addr, std::size_t n)
+    {
+        std::vector<i32> out(n);
+        MEDUSA_CHECK(
+            process_.memory().read(addr, out.data(), n * 4).isOk(),
+            "read");
+        return out;
+    }
+
+    Status
+    launch(KernelId id, RawParams params)
+    {
+        return process_.defaultStream().launch(id, std::move(params),
+                                               TimingInfo{});
+    }
+
+    SimClock clock_;
+    CostModel cost_;
+    GpuProcess process_;
+    const BuiltinKernels &k_ = BuiltinKernels::get();
+};
+
+TEST_F(KernelsTest, EmbeddingLookupGathersRows)
+{
+    // vocab=3, hidden=2
+    const DeviceAddr w = floats({10, 11, 20, 21, 30, 31});
+    const DeviceAddr ids = ints({2, 0});
+    const DeviceAddr out = floats({0, 0, 0, 0});
+    ParamsBuilder pb;
+    pb.ptr(w).ptr(ids).ptr(out).i32(2).i32(2).i32(3);
+    ASSERT_TRUE(launch(k_.embedding_lookup, pb.take()).isOk());
+    EXPECT_EQ(readF(out, 4), (std::vector<f32>{30, 31, 10, 11}));
+}
+
+TEST_F(KernelsTest, RmsNormMatchesReference)
+{
+    const std::vector<f32> x = {1, 2, 3, 4};
+    const DeviceAddr in = floats(x);
+    const DeviceAddr w = floats({1, 1, 2, 0.5f});
+    const DeviceAddr out = floats({0, 0, 0, 0});
+    ParamsBuilder pb;
+    pb.ptr(in).ptr(w).ptr(out).i32(1).i32(4).f32(1e-5f);
+    ASSERT_TRUE(launch(k_.rmsnorm, pb.take()).isOk());
+    f32 ss = 0;
+    for (f32 v : x) {
+        ss += v * v;
+    }
+    const f32 inv = 1.0f / std::sqrt(ss / 4 + 1e-5f);
+    const auto got = readF(out, 4);
+    EXPECT_FLOAT_EQ(got[0], 1 * inv * 1);
+    EXPECT_FLOAT_EQ(got[2], 3 * inv * 2);
+    EXPECT_FLOAT_EQ(got[3], 4 * inv * 0.5f);
+}
+
+TEST_F(KernelsTest, LayerNormMatchesReference)
+{
+    const DeviceAddr in = floats({1, 3});
+    const DeviceAddr w = floats({2, 2});
+    const DeviceAddr b = floats({0.5f, -0.5f});
+    const DeviceAddr out = floats({0, 0});
+    ParamsBuilder pb;
+    pb.ptr(in).ptr(w).ptr(b).ptr(out).i32(1).i32(2).f32(0.0f);
+    ASSERT_TRUE(launch(k_.layernorm, pb.take()).isOk());
+    // mean 2, var 1 -> normalized {-1, 1}
+    const auto got = readF(out, 2);
+    EXPECT_NEAR(got[0], -2 + 0.5f, 1e-5);
+    EXPECT_NEAR(got[1], 2 - 0.5f, 1e-5);
+}
+
+TEST_F(KernelsTest, GemmMatchesManual)
+{
+    // C[1x2] = A[1x3] * W[2x3]^T
+    const DeviceAddr a = floats({1, 2, 3});
+    const DeviceAddr w = floats({1, 0, 1, /*row1*/ 2, 1, 0});
+    const DeviceAddr c = floats({0, 0});
+    ParamsBuilder pb;
+    pb.ptr(a).ptr(w).ptr(c).i32(1).i32(2).i32(3);
+    ASSERT_TRUE(launch(k_.gemm_128x128, pb.take()).isOk());
+    EXPECT_EQ(readF(c, 2), (std::vector<f32>{4, 4}));
+}
+
+TEST_F(KernelsTest, GemmVariantsAgree)
+{
+    const DeviceAddr a = floats({0.5f, -1, 2, 0.25f});
+    const DeviceAddr w = floats({1, 2, 3, 4, 5, 6, 7, 8});
+    const DeviceAddr c1 = floats({0, 0, 0, 0});
+    const DeviceAddr c2 = floats({0, 0, 0, 0});
+    ParamsBuilder p1;
+    p1.ptr(a).ptr(w).ptr(c1).i32(2).i32(2).i32(2);
+    ASSERT_TRUE(launch(k_.gemm_128x128, p1.take()).isOk());
+    ParamsBuilder p2;
+    p2.ptr(a).ptr(w).ptr(c2).i32(2).i32(2).i32(2);
+    ASSERT_TRUE(launch(k_.gemm_64x64, p2.take()).isOk());
+    EXPECT_EQ(readF(c1, 4), readF(c2, 4));
+}
+
+TEST_F(KernelsTest, SplitKGemmRequiresMagicSemaphores)
+{
+    const u32 magic = kGemmWorkspaceMagic;
+    const DeviceAddr sem_good = floats({0});
+    ASSERT_TRUE(process_.memory()
+                    .write(sem_good, &magic, sizeof(magic))
+                    .isOk());
+    const DeviceAddr sem_bad = floats({0}); // zeroed: corrupt
+    const DeviceAddr a = floats({1, 1});
+    const DeviceAddr w = floats({1, 1});
+    const DeviceAddr c = floats({0});
+
+    ParamsBuilder ok;
+    ok.ptr(sem_good).ptr(sem_good).ptr(a).ptr(w).ptr(c).i32(1).i32(1)
+        .i32(2);
+    EXPECT_TRUE(launch(k_.gemm_splitk, ok.take()).isOk());
+    EXPECT_EQ(readF(c, 1), (std::vector<f32>{2}));
+
+    ParamsBuilder bad;
+    bad.ptr(sem_good).ptr(sem_bad).ptr(a).ptr(w).ptr(c).i32(1).i32(1)
+        .i32(2);
+    // A permanent buffer whose contents were not restored fails loudly
+    // (this is what makes §4.3 content restoration functionally
+    // necessary).
+    EXPECT_FALSE(launch(k_.gemm_splitk, bad.take()).isOk());
+}
+
+TEST_F(KernelsTest, BiasAddAndResidualAdd)
+{
+    const DeviceAddr x = floats({1, 2, 3, 4});
+    const DeviceAddr b = floats({10, 20});
+    ParamsBuilder pb;
+    pb.ptr(x).ptr(b).i32(2).i32(2);
+    ASSERT_TRUE(launch(k_.bias_add, pb.take()).isOk());
+    EXPECT_EQ(readF(x, 4), (std::vector<f32>{11, 22, 13, 24}));
+
+    const DeviceAddr r = floats({1, 1, 1, 1});
+    ParamsBuilder pr;
+    pr.ptr(x).ptr(r).i32(4);
+    ASSERT_TRUE(launch(k_.residual_add, pr.take()).isOk());
+    EXPECT_EQ(readF(x, 4), (std::vector<f32>{12, 23, 14, 25}));
+}
+
+TEST_F(KernelsTest, SiluMulMatchesReference)
+{
+    // n=1, inter=2: input packs [gate0 gate1 | up0 up1]
+    const DeviceAddr gu = floats({1, -1, 2, 3});
+    const DeviceAddr out = floats({0, 0});
+    ParamsBuilder pb;
+    pb.ptr(gu).ptr(out).i32(1).i32(2);
+    ASSERT_TRUE(launch(k_.silu_mul, pb.take()).isOk());
+    auto silu = [](f32 v) { return v / (1 + std::exp(-v)); };
+    const auto got = readF(out, 2);
+    EXPECT_NEAR(got[0], silu(1) * 2, 1e-6);
+    EXPECT_NEAR(got[1], silu(-1) * 3, 1e-6);
+}
+
+TEST_F(KernelsTest, GeluIsMonotoneAndMatchesTanhApprox)
+{
+    const DeviceAddr in = floats({-2, 0, 2});
+    const DeviceAddr out = floats({0, 0, 0});
+    ParamsBuilder pb;
+    pb.ptr(in).ptr(out).i32(3);
+    ASSERT_TRUE(launch(k_.gelu, pb.take()).isOk());
+    const auto got = readF(out, 3);
+    EXPECT_NEAR(got[1], 0.0f, 1e-6);
+    EXPECT_LT(got[0], got[1]);
+    EXPECT_LT(got[1], got[2]);
+    EXPECT_NEAR(got[2], 1.9546f, 1e-3);
+}
+
+TEST_F(KernelsTest, SampleArgmaxPicksMaxPerRow)
+{
+    const DeviceAddr logits = floats({0.1f, 0.9f, 0.5f, /*row1*/ 7, 1, 2});
+    const DeviceAddr ids = ints({0, 0});
+    ParamsBuilder pb;
+    pb.ptr(logits).ptr(ids).i32(2).i32(3);
+    ASSERT_TRUE(launch(k_.sample_argmax, pb.take()).isOk());
+    EXPECT_EQ(readI(ids, 2), (std::vector<i32>{1, 0}));
+}
+
+TEST_F(KernelsTest, RopePreservesPairNorms)
+{
+    // One token, one head, head_dim 4, contiguous stride.
+    const DeviceAddr q = floats({1, 2, 3, 4});
+    const DeviceAddr k = floats({0.5f, 0, 0, 0.5f});
+    const DeviceAddr pos = ints({3});
+    ParamsBuilder pb;
+    pb.ptr(q).ptr(k).ptr(pos).i32(1).i32(1).i32(1).i32(4).i32(4).i32(4)
+        .f32(10000.0f);
+    ASSERT_TRUE(launch(k_.rope, pb.take()).isOk());
+    const auto got = readF(q, 4);
+    // Rotation preserves the norm of each (d, d+half) pair.
+    EXPECT_NEAR(got[0] * got[0] + got[2] * got[2], 1 + 9, 1e-4);
+    EXPECT_NEAR(got[1] * got[1] + got[3] * got[3], 4 + 16, 1e-4);
+    // Position 0 would be identity; position 3 is not.
+    EXPECT_GT(std::abs(got[0] - 1.0f), 1e-3);
+}
+
+TEST_F(KernelsTest, RopeAtPositionZeroIsIdentity)
+{
+    const DeviceAddr q = floats({1, 2, 3, 4});
+    const DeviceAddr k = floats({5, 6, 7, 8});
+    const DeviceAddr pos = ints({0});
+    ParamsBuilder pb;
+    pb.ptr(q).ptr(k).ptr(pos).i32(1).i32(1).i32(1).i32(4).i32(4).i32(4)
+        .f32(10000.0f);
+    ASSERT_TRUE(launch(k_.rope, pb.take()).isOk());
+    EXPECT_EQ(readF(q, 4), (std::vector<f32>{1, 2, 3, 4}));
+    EXPECT_EQ(readF(k, 4), (std::vector<f32>{5, 6, 7, 8}));
+}
+
+TEST_F(KernelsTest, KvWriteScattersToSlots)
+{
+    // 2 tokens, kvh=1, hd=2, fused stride 6 (e.g. q=2, k=2, v=2).
+    const DeviceAddr fused = floats({/*t0*/ 0, 0, 10, 11, 20, 21,
+                                     /*t1*/ 0, 0, 12, 13, 22, 23});
+    const DeviceAddr kc = floats(std::vector<f32>(16, 0));
+    const DeviceAddr vc = floats(std::vector<f32>(16, 0));
+    const DeviceAddr slots = ints({3, 1});
+    ParamsBuilder pb;
+    pb.ptr(fused + 2 * 4) // k section
+        .ptr(fused + 4 * 4) // v section
+        .ptr(kc)
+        .ptr(vc)
+        .ptr(slots)
+        .i32(2)
+        .i32(1)
+        .i32(2)
+        .i32(6);
+    ASSERT_TRUE(launch(k_.kv_write, pb.take()).isOk());
+    const auto kcache = readF(kc, 16);
+    EXPECT_FLOAT_EQ(kcache[3 * 2 + 0], 10);
+    EXPECT_FLOAT_EQ(kcache[3 * 2 + 1], 11);
+    EXPECT_FLOAT_EQ(kcache[1 * 2 + 0], 12);
+    const auto vcache = readF(vc, 16);
+    EXPECT_FLOAT_EQ(vcache[3 * 2 + 0], 20);
+    EXPECT_FLOAT_EQ(vcache[1 * 2 + 1], 23);
+}
+
+TEST_F(KernelsTest, PagedAttentionDecodeMatchesBruteForce)
+{
+    // bs=1, qh=1, kvh=1, hd=2, block_size=2, seq len 3.
+    const i32 hd = 2;
+    const std::vector<f32> keys = {1, 0, 0, 1, 1, 1};
+    const std::vector<f32> vals = {10, 0, 0, 10, 5, 5};
+    // Cache layout [slot, kvh, hd]; seq occupies blocks 2 and 5:
+    // slots 4,5 then 10.
+    std::vector<f32> kcache(32, 0), vcache(32, 0);
+    for (int t = 0; t < 3; ++t) {
+        const int slot = t < 2 ? 4 + t : 10;
+        for (int d = 0; d < hd; ++d) {
+            kcache[slot * hd + d] = keys[t * hd + d];
+            vcache[slot * hd + d] = vals[t * hd + d];
+        }
+    }
+    const DeviceAddr kc = floats(kcache);
+    const DeviceAddr vc = floats(vcache);
+    const DeviceAddr q = floats({2, 1});
+    const DeviceAddr tables = ints({2, 5, -1, -1});
+    const DeviceAddr lens = ints({3});
+    const DeviceAddr out = floats({0, 0});
+    const f32 scale = 0.7f;
+    ParamsBuilder pb;
+    pb.ptr(q).ptr(kc).ptr(vc).ptr(tables).ptr(lens).ptr(out).i32(1).i32(
+          1).i32(1).i32(hd).i32(2).i32(4).i32(hd)
+        .i64(static_cast<i64>(0x7fabull << 32))
+        .f32(scale);
+    ASSERT_TRUE(launch(k_.paged_attention_decode, pb.take()).isOk());
+
+    // Brute-force reference.
+    std::vector<f32> scores(3);
+    f32 max_s = -1e30f;
+    for (int t = 0; t < 3; ++t) {
+        f32 dot = 0;
+        for (int d = 0; d < hd; ++d) {
+            dot += (d == 0 ? 2.0f : 1.0f) * keys[t * hd + d];
+        }
+        scores[t] = dot * scale;
+        max_s = std::max(max_s, scores[t]);
+    }
+    f32 denom = 0;
+    for (auto &s : scores) {
+        s = std::exp(s - max_s);
+        denom += s;
+    }
+    std::vector<f32> expect(hd, 0);
+    for (int t = 0; t < 3; ++t) {
+        for (int d = 0; d < hd; ++d) {
+            expect[d] += scores[t] / denom * vals[t * hd + d];
+        }
+    }
+    const auto got = readF(out, hd);
+    EXPECT_NEAR(got[0], expect[0], 1e-4);
+    EXPECT_NEAR(got[1], expect[1], 1e-4);
+}
+
+TEST_F(KernelsTest, PagedAttentionZeroLengthEmitsZeros)
+{
+    const DeviceAddr kc = floats(std::vector<f32>(8, 1));
+    const DeviceAddr vc = floats(std::vector<f32>(8, 1));
+    const DeviceAddr q = floats({9, 9});
+    const DeviceAddr tables = ints({0});
+    const DeviceAddr lens = ints({0});
+    const DeviceAddr out = floats({7, 7});
+    ParamsBuilder pb;
+    pb.ptr(q).ptr(kc).ptr(vc).ptr(tables).ptr(lens).ptr(out).i32(1).i32(
+          1).i32(1).i32(2).i32(2).i32(1).i32(2)
+        .i64(static_cast<i64>(0x7fabull << 32))
+        .f32(1.0f);
+    ASSERT_TRUE(launch(k_.paged_attention_decode, pb.take()).isOk());
+    EXPECT_EQ(readF(out, 2), (std::vector<f32>{0, 0}));
+}
+
+TEST_F(KernelsTest, PagedAttentionRejectsCorruptStreamTag)
+{
+    const DeviceAddr kc = floats(std::vector<f32>(8, 1));
+    const DeviceAddr q = floats({1, 1});
+    const DeviceAddr tables = ints({0});
+    const DeviceAddr lens = ints({1});
+    const DeviceAddr out = floats({0, 0});
+    ParamsBuilder pb;
+    pb.ptr(q).ptr(kc).ptr(kc).ptr(tables).ptr(lens).ptr(out).i32(1).i32(
+          1).i32(1).i32(2).i32(2).i32(1).i32(2)
+        .i64(0x1234) // wrong prefix: a misrestored "pointer"
+        .f32(1.0f);
+    EXPECT_FALSE(launch(k_.paged_attention_decode, pb.take()).isOk());
+}
+
+TEST_F(KernelsTest, AttentionPrefillIsCausal)
+{
+    // 1 seq of 2 tokens, qh=kvh=1, hd=1, fused stride 3 [q|k|v].
+    const DeviceAddr fused = floats({/*t0*/ 1, 1, 10, /*t1*/ 1, 5, 20});
+    const DeviceAddr starts = ints({0, 2});
+    const DeviceAddr out = floats({0, 0});
+    ParamsBuilder pb;
+    pb.ptr(fused)
+        .ptr(fused + 4)
+        .ptr(fused + 8)
+        .ptr(starts)
+        .ptr(out)
+        .i32(1)
+        .i32(1)
+        .i32(1)
+        .i32(1)
+        .i32(3)
+        .f32(1.0f);
+    ASSERT_TRUE(launch(k_.attention_prefill, pb.take()).isOk());
+    const auto got = readF(out, 2);
+    // Token 0 attends only to itself -> exactly v0 = 10.
+    EXPECT_FLOAT_EQ(got[0], 10);
+    // Token 1 attends to both, with key 5 >> 1 it leans to v1 = 20.
+    EXPECT_GT(got[1], 15);
+    EXPECT_LT(got[1], 20);
+}
+
+TEST_F(KernelsTest, WrongParamCountRejected)
+{
+    ParamsBuilder pb;
+    pb.i32(1);
+    EXPECT_FALSE(launch(k_.rmsnorm, pb.take()).isOk());
+}
+
+TEST_F(KernelsTest, WrongParamSizeRejected)
+{
+    RawParams params;
+    params.push_back(std::vector<u8>(3, 0)); // bogus 3-byte param
+    for (int i = 0; i < 5; ++i) {
+        params.push_back(std::vector<u8>(4, 0));
+    }
+    EXPECT_FALSE(launch(k_.rmsnorm, std::move(params)).isOk());
+}
+
+} // namespace
+} // namespace medusa::simcuda

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests of the paged KV cache: block manager semantics and the
+ * free-memory-driven cache reservation of stage ❹.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/kv_cache.h"
+
+namespace medusa::llm {
+namespace {
+
+TEST(BlockManagerTest, DummyBlockReserved)
+{
+    BlockManager bm(8);
+    EXPECT_EQ(bm.totalBlocks(), 8u);
+    EXPECT_EQ(bm.freeBlocks(), 7u); // block 0 is the padding dummy
+    for (int i = 0; i < 7; ++i) {
+        auto b = bm.allocate();
+        ASSERT_TRUE(b.isOk());
+        EXPECT_GT(*b, 0);
+    }
+}
+
+TEST(BlockManagerTest, ExhaustionAndRecycle)
+{
+    BlockManager bm(3);
+    auto a = bm.allocate();
+    auto b = bm.allocate();
+    ASSERT_TRUE(a.isOk() && b.isOk());
+    auto c = bm.allocate();
+    EXPECT_EQ(c.status().code(), StatusCode::kOutOfMemory);
+    ASSERT_TRUE(bm.free(*a).isOk());
+    EXPECT_TRUE(bm.allocate().isOk());
+}
+
+TEST(BlockManagerTest, InvalidFreesRejected)
+{
+    BlockManager bm(4);
+    EXPECT_FALSE(bm.free(0).isOk());  // dummy block
+    EXPECT_FALSE(bm.free(-1).isOk());
+    EXPECT_FALSE(bm.free(4).isOk());  // out of range
+}
+
+TEST(BlockManagerTest, AllocationIsDeterministic)
+{
+    BlockManager a(16), b(16);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(*a.allocate(), *b.allocate());
+    }
+}
+
+class KvCacheTest : public ::testing::Test
+{
+  protected:
+    KvCacheTest()
+        : process_(simcuda::GpuProcessOptions{}, &clock_, &cost_),
+          alloc_(&process_)
+    {
+    }
+
+    SimClock clock_;
+    CostModel cost_;
+    simcuda::GpuProcess process_;
+    simcuda::CachingAllocator alloc_;
+};
+
+TEST_F(KvCacheTest, ReservesPerLayerTensors)
+{
+    ModelConfig m = findModel("Llama2-7B").value();
+    m.num_layers = 4;
+    const u64 free_bytes = 8ull * units::GiB;
+    auto cache = allocateKvCache(alloc_, m, free_bytes);
+    ASSERT_TRUE(cache.isOk());
+    EXPECT_EQ(cache->k_layers.size(), 4u);
+    EXPECT_EQ(cache->v_layers.size(), 4u);
+    EXPECT_TRUE(cache->initialized());
+
+    // 90% utilization of the free memory, block-quantized.
+    const u64 expected_blocks =
+        static_cast<u64>(free_bytes * 0.9) / m.kvBlockBytes();
+    EXPECT_EQ(cache->real_num_blocks, expected_blocks);
+    EXPECT_EQ(cache->logical_bytes,
+              expected_blocks * m.kvBlockBytes());
+    // The reservation is accounted against device memory.
+    EXPECT_GE(process_.memory().usedLogicalBytes(),
+              cache->logical_bytes * 9 / 10);
+}
+
+TEST_F(KvCacheTest, FailsWhenNoRoom)
+{
+    ModelConfig m = findModel("Llama2-7B").value();
+    auto cache = allocateKvCache(alloc_, m, 1000); // less than one block
+    EXPECT_EQ(cache.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST_F(KvCacheTest, SameFreeMemorySameBlockCount)
+{
+    // The §6 invariant: the same <GPU, model> free-memory value yields
+    // the same cache geometry — what makes KV-init materializable.
+    ModelConfig m = findModel("Qwen1.5-0.5B").value();
+    m.num_layers = 2;
+    auto c1 = allocateKvCache(alloc_, m, 4 * units::GiB);
+    auto c2 = allocateKvCache(alloc_, m, 4 * units::GiB);
+    ASSERT_TRUE(c1.isOk() && c2.isOk());
+    EXPECT_EQ(c1->real_num_blocks, c2->real_num_blocks);
+}
+
+} // namespace
+} // namespace medusa::llm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * End-to-end tests of Medusa for tensor-parallel serving (§8 future
+ * work): per-rank materialization, per-rank restoration in fresh
+ * processes, lockstep validation against a reference cluster, and
+ * equivalence with the single-GPU engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "medusa/tp.h"
+
+namespace medusa::core {
+namespace {
+
+llm::ModelConfig
+tpModel(const char *name = "Llama2-7B", u32 layers = 3)
+{
+    llm::ModelConfig m = llm::findModel(name).value();
+    m.num_layers = layers;
+    return m;
+}
+
+TpOfflineResult
+materialized(const llm::ModelConfig &m,
+             std::vector<u32> batch_sizes = {1, 8, 64})
+{
+    TpOfflineOptions opts;
+    opts.model = m;
+    opts.world = 2;
+    opts.batch_sizes = std::move(batch_sizes);
+    auto result = materializeTp(opts);
+    MEDUSA_CHECK(result.isOk(),
+                 "tp offline failed: " << result.status().toString());
+    return std::move(result).value();
+}
+
+TEST(MedusaTpTest, OfflineProducesOneArtifactPerRank)
+{
+    const llm::ModelConfig m = tpModel();
+    auto offline = materialized(m);
+    ASSERT_EQ(offline.rank_artifacts.size(), 2u);
+    for (const Artifact &a : offline.rank_artifacts) {
+        EXPECT_EQ(a.graphs.size(), 3u);
+        EXPECT_GT(a.stats.pointer_params, 0u);
+        // The collectives appear as graph nodes on every rank.
+        u64 collectives = 0;
+        for (const auto &g : a.graphs) {
+            for (const auto &n : g.nodes) {
+                if (n.kernel_name.find("all_reduce") !=
+                    std::string::npos) {
+                    ++collectives;
+                }
+            }
+        }
+        EXPECT_EQ(collectives, 3u * 2 * m.num_layers);
+    }
+    // The two ranks' allocation sequences are independent tables (the
+    // §8 "indirect index pointer table across multiple GPU instances").
+    EXPECT_EQ(offline.rank_artifacts[0].ops.size(),
+              offline.rank_artifacts[1].ops.size());
+}
+
+TEST(MedusaTpTest, RestoreValidatesAgainstReferenceCluster)
+{
+    const llm::ModelConfig m = tpModel();
+    auto offline = materialized(m);
+
+    TpMedusaEngine::Options opts;
+    opts.model = m;
+    opts.world = 2;
+    opts.aslr_seed = 20250707;
+    opts.restore.validate = true;
+    opts.restore.validate_batch_sizes = {1, 64};
+    auto engine = TpMedusaEngine::coldStart(opts,
+                                            offline.rank_artifacts);
+    ASSERT_TRUE(engine.isOk()) << engine.status().toString();
+    for (u32 r = 0; r < 2; ++r) {
+        EXPECT_TRUE((*engine)->report(r).validated);
+        EXPECT_EQ((*engine)->report(r).graphs_restored, 3u);
+        EXPECT_GT((*engine)->report(r).kernels_via_enumeration, 0u);
+    }
+    EXPECT_GT((*engine)->loadingSec(), 0.0);
+}
+
+TEST(MedusaTpTest, RestoredClusterMatchesSingleGpuNumerics)
+{
+    const llm::ModelConfig m = tpModel("Yi-6B", 2);
+    auto offline = materialized(m, {4});
+
+    TpMedusaEngine::Options opts;
+    opts.model = m;
+    opts.world = 2;
+    auto engine = TpMedusaEngine::coldStart(opts,
+                                            offline.rank_artifacts);
+    ASSERT_TRUE(engine.isOk()) << engine.status().toString();
+    ASSERT_TRUE((*engine)->cluster().stageValidationState(4).isOk());
+    auto tp_logits = (*engine)->cluster().lockstepDecodeLogits(4);
+    ASSERT_TRUE(tp_logits.isOk()) << tp_logits.status().toString();
+
+    llm::ModelRuntime::Options sopts;
+    sopts.model = m;
+    llm::ModelRuntime single(sopts);
+    ASSERT_TRUE(single.initStructure().isOk());
+    ASSERT_TRUE(single.loadWeights().isOk());
+    auto free_bytes = single.profileFreeMemory();
+    ASSERT_TRUE(free_bytes.isOk());
+    ASSERT_TRUE(single.initKvCache(*free_bytes).isOk());
+    ASSERT_TRUE(single.stageValidationState(4).isOk());
+    auto ref = single.eagerDecodeLogits(4);
+    ASSERT_TRUE(ref.isOk());
+
+    f64 max_err = 0;
+    for (std::size_t i = 0; i < ref->size(); ++i) {
+        max_err = std::max(max_err,
+                           static_cast<f64>(std::abs(
+                               (*tp_logits)[i] - (*ref)[i])));
+    }
+    EXPECT_LT(max_err, 1e-3);
+}
+
+TEST(MedusaTpTest, WrongWorldSizeRejected)
+{
+    const llm::ModelConfig m = tpModel();
+    auto offline = materialized(m, {1});
+    TpMedusaEngine::Options opts;
+    opts.model = m;
+    opts.world = 4; // but only 2 artifacts
+    auto engine = TpMedusaEngine::coldStart(opts,
+                                            offline.rank_artifacts);
+    EXPECT_FALSE(engine.isOk());
+}
+
+TEST(MedusaTpTest, ContentSkipBreaksTpRestoreToo)
+{
+    const llm::ModelConfig m = tpModel("Qwen1.5-0.5B", 2);
+    auto offline = materialized(m, {1});
+    TpMedusaEngine::Options opts;
+    opts.model = m;
+    opts.world = 2;
+    opts.restore.restore_contents = false;
+    opts.restore.validate = true;
+    opts.restore.validate_batch_sizes = {1};
+    auto engine = TpMedusaEngine::coldStart(opts,
+                                            offline.rank_artifacts);
+    ASSERT_FALSE(engine.isOk());
+    EXPECT_EQ(engine.status().code(), StatusCode::kValidationFailure);
+}
+
+} // namespace
+} // namespace medusa::core

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests of the model zoo configuration (Table 1's ten models) and the
+ * capture batch-size schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/model_config.h"
+
+namespace medusa::llm {
+namespace {
+
+TEST(ModelConfigTest, ZooHasTenModelsInPaperOrder)
+{
+    const auto zoo = modelZoo();
+    ASSERT_EQ(zoo.size(), 10u);
+    EXPECT_EQ(zoo[0].name, "Falcon-7B");
+    EXPECT_EQ(zoo[2].name, "Llama2-13B");
+    EXPECT_EQ(zoo[9].name, "Yi-9B");
+}
+
+TEST(ModelConfigTest, CaptureBatchSizesMatchVllm)
+{
+    const auto sizes = captureBatchSizes();
+    ASSERT_EQ(sizes.size(), 35u); // the paper's "35 different batch sizes"
+    EXPECT_EQ(sizes[0], 1u);
+    EXPECT_EQ(sizes[1], 2u);
+    EXPECT_EQ(sizes[2], 4u);
+    EXPECT_EQ(sizes[3], 8u);
+    EXPECT_EQ(sizes.back(), 256u);
+    for (std::size_t i = 4; i < sizes.size(); ++i) {
+        EXPECT_EQ(sizes[i] - sizes[i - 1], 8u);
+    }
+}
+
+TEST(ModelConfigTest, FindModelByName)
+{
+    auto m = findModel("Qwen1.5-4B");
+    ASSERT_TRUE(m.isOk());
+    EXPECT_EQ(m->num_layers, 40u);
+    EXPECT_EQ(m->arch, ModelArch::kQwen);
+    EXPECT_FALSE(findModel("GPT-5").isOk());
+}
+
+TEST(ModelConfigTest, ArchitecturesAssigned)
+{
+    EXPECT_EQ(findModel("Falcon-7B")->arch, ModelArch::kFalcon);
+    EXPECT_EQ(findModel("Llama2-7B")->arch, ModelArch::kLlama);
+    EXPECT_EQ(findModel("Yi-6B")->arch, ModelArch::kLlama);
+    EXPECT_EQ(findModel("Qwen1.5-0.5B")->arch, ModelArch::kQwen);
+}
+
+TEST(ModelConfigTest, GqaMqaRatiosMirrored)
+{
+    // Falcon is MQA, Yi is GQA, the rest are MHA; the functional dims
+    // mirror the ratio class.
+    auto falcon = findModel("Falcon-7B");
+    EXPECT_EQ(falcon->kv_heads, 1u);
+    EXPECT_EQ(falcon->func.kv_heads, 1u);
+    auto yi = findModel("Yi-6B");
+    EXPECT_LT(yi->kv_heads, yi->heads);
+    EXPECT_LT(yi->func.kv_heads, yi->func.heads);
+    auto llama = findModel("Llama2-7B");
+    EXPECT_EQ(llama->kv_heads, llama->heads);
+    EXPECT_EQ(llama->func.kv_heads, llama->func.heads);
+}
+
+TEST(ModelConfigTest, HeadDimsConsistent)
+{
+    for (const ModelConfig &m : modelZoo()) {
+        EXPECT_EQ(m.head_dim * m.heads, m.hidden) << m.name;
+        EXPECT_EQ(m.func.head_dim * m.func.heads, m.func.hidden)
+            << m.name;
+        EXPECT_GT(m.vocab, 0u) << m.name;
+        EXPECT_GT(m.seed, 0u) << m.name;
+    }
+}
+
+TEST(ModelConfigTest, KvBlockBytesFormula)
+{
+    auto m = findModel("Llama2-7B");
+    // 16 tokens/block * kv_dim * (K+V) * fp16 * layers
+    const u64 expected = 16ull * 4096 * 2 * 2 * 32;
+    EXPECT_EQ(m->kvBlockBytes(), expected);
+}
+
+TEST(ModelConfigTest, UniqueSeedsAcrossZoo)
+{
+    const auto zoo = modelZoo();
+    for (std::size_t i = 0; i < zoo.size(); ++i) {
+        for (std::size_t j = i + 1; j < zoo.size(); ++j) {
+            EXPECT_NE(zoo[i].seed, zoo[j].seed);
+        }
+    }
+}
+
+} // namespace
+} // namespace medusa::llm

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests of the ModelRuntime engine: loading-phase stage ordering, the
+ * §6 free-memory invariance, graph capture across all 35 batch sizes,
+ * eager-vs-graph output equivalence, generation determinism across
+ * process launches, and latency measurement helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/runtime.h"
+
+namespace medusa::llm {
+namespace {
+
+ModelConfig
+tinyModel(u32 layers = 2)
+{
+    ModelConfig m = findModel("Qwen1.5-0.5B").value();
+    m.num_layers = layers;
+    return m;
+}
+
+std::unique_ptr<ModelRuntime>
+freshRuntime(const ModelConfig &m, u64 seed = 1)
+{
+    ModelRuntime::Options opts;
+    opts.model = m;
+    opts.aslr_seed = seed;
+    return std::make_unique<ModelRuntime>(opts);
+}
+
+std::unique_ptr<ModelRuntime>
+loadedRuntime(const ModelConfig &m, u64 seed = 1, bool graphs = false)
+{
+    auto rt = freshRuntime(m, seed);
+    MEDUSA_CHECK(rt->initStructure().isOk(), "struct");
+    MEDUSA_CHECK(rt->loadWeights().isOk(), "weights");
+    MEDUSA_CHECK(rt->loadTokenizer().isOk(), "tokenizer");
+    auto free_bytes = rt->profileFreeMemory();
+    MEDUSA_CHECK(free_bytes.isOk(), "profile");
+    MEDUSA_CHECK(rt->initKvCache(*free_bytes).isOk(), "kv");
+    if (graphs) {
+        MEDUSA_CHECK(rt->captureDecodeGraphs().isOk(), "capture");
+    }
+    return rt;
+}
+
+TEST(RuntimeTest, StageOrderingEnforced)
+{
+    auto rt = freshRuntime(tinyModel());
+    EXPECT_FALSE(rt->loadWeights().isOk());       // needs structure
+    EXPECT_FALSE(rt->profileFreeMemory().isOk()); // needs structure
+    EXPECT_FALSE(rt->warmupDecode(1).isOk());     // needs KV cache
+    ASSERT_TRUE(rt->initStructure().isOk());
+    EXPECT_FALSE(rt->initStructure().isOk()); // no double init
+}
+
+TEST(RuntimeTest, ProfiledFreeMemoryIsInvariantAcrossLaunches)
+{
+    // §6: "given the same model and GPU type, the profiling forwarding
+    // would result in the same available free GPU memory" — the
+    // invariance that makes KV-init materializable.
+    const ModelConfig m = tinyModel();
+    u64 values[2];
+    for (u64 seed : {0u, 1u}) {
+        auto rt = freshRuntime(m, seed * 1234 + 5);
+        ASSERT_TRUE(rt->initStructure().isOk());
+        ASSERT_TRUE(rt->loadWeights().isOk());
+        auto fm = rt->profileFreeMemory();
+        ASSERT_TRUE(fm.isOk());
+        values[seed] = *fm;
+    }
+    EXPECT_EQ(values[0], values[1]);
+}
+
+TEST(RuntimeTest, CapturesAll35BatchSizes)
+{
+    auto rt = loadedRuntime(tinyModel(), 1, /*graphs=*/true);
+    EXPECT_EQ(rt->graphCount(), 35u);
+    for (u32 bs : captureBatchSizes()) {
+        EXPECT_TRUE(rt->hasGraph(bs)) << bs;
+    }
+    EXPECT_FALSE(rt->hasGraph(3));
+    u64 expected_nodes = 0;
+    for (u32 bs : captureBatchSizes()) {
+        expected_nodes += ForwardPass::decodeNodeCount(rt->model(), bs);
+    }
+    EXPECT_EQ(rt->totalGraphNodes(), expected_nodes);
+}
+
+TEST(RuntimeTest, GraphReplayBitExactWithEager)
+{
+    auto rt = loadedRuntime(tinyModel(), 7, /*graphs=*/true);
+    for (u32 bs : {1u, 8u, 64u}) {
+        ASSERT_TRUE(rt->stageValidationState(bs).isOk());
+        auto eager = rt->eagerDecodeLogits(bs);
+        ASSERT_TRUE(eager.isOk());
+        ASSERT_TRUE(rt->stageValidationState(bs).isOk());
+        auto graph = rt->graphDecodeLogits(bs);
+        ASSERT_TRUE(graph.isOk());
+        EXPECT_EQ(*eager, *graph) << "bs=" << bs;
+    }
+}
+
+TEST(RuntimeTest, GenerateProducesRequestedTokens)
+{
+    auto rt = loadedRuntime(tinyModel(), 1, /*graphs=*/true);
+    auto out = rt->generate({3, 1, 4, 1, 5}, 10);
+    ASSERT_TRUE(out.isOk());
+    EXPECT_EQ(out->size(), 10u);
+    for (i32 t : *out) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, static_cast<i32>(rt->model().func.vocab));
+    }
+}
+
+TEST(RuntimeTest, GenerationIdenticalAcrossProcessLaunches)
+{
+    // Two cold starts with different ASLR layouts must generate the
+    // same text: the model is the same "files on disk".
+    const ModelConfig m = tinyModel();
+    auto rt1 = loadedRuntime(m, 11, /*graphs=*/true);
+    auto rt2 = loadedRuntime(m, 22, /*graphs=*/true);
+    const std::vector<i32> prompt = {9, 8, 7};
+    auto o1 = rt1->generate(prompt, 8);
+    auto o2 = rt2->generate(prompt, 8);
+    ASSERT_TRUE(o1.isOk() && o2.isOk());
+    EXPECT_EQ(*o1, *o2);
+}
+
+TEST(RuntimeTest, GenerateGraphVsEagerSameTokens)
+{
+    const ModelConfig m = tinyModel();
+    auto with_graphs = loadedRuntime(m, 1, /*graphs=*/true);
+    auto without = loadedRuntime(m, 1, /*graphs=*/false);
+    const std::vector<i32> prompt = {42, 17};
+    auto a = with_graphs->generate(prompt, 6);
+    auto b = without->generate(prompt, 6);
+    ASSERT_TRUE(a.isOk() && b.isOk());
+    EXPECT_EQ(*a, *b);
+}
+
+TEST(RuntimeTest, GenerateValidatesInput)
+{
+    auto rt = loadedRuntime(tinyModel());
+    EXPECT_FALSE(rt->generate({}, 4).isOk());
+    const std::vector<i32> huge(10000, 1);
+    EXPECT_FALSE(rt->generate(huge, 4).isOk());
+}
+
+TEST(RuntimeTest, GenerateReleasesKvBlocks)
+{
+    auto rt = loadedRuntime(tinyModel());
+    const u32 free_before = rt->kv().blocks.freeBlocks();
+    ASSERT_TRUE(rt->generate({1, 2, 3}, 5).isOk());
+    EXPECT_EQ(rt->kv().blocks.freeBlocks(), free_before);
+}
+
+TEST(RuntimeTest, TokenizerLoadedAndFunctional)
+{
+    auto rt = loadedRuntime(tinyModel());
+    const auto ids = rt->tokenizer().encode("serverless inference");
+    EXPECT_FALSE(ids.empty());
+    EXPECT_EQ(rt->tokenizer().decode(ids), "serverless inference");
+}
+
+TEST(RuntimeTest, MeasureDecodeStepGraphFasterThanEager)
+{
+    auto rt = loadedRuntime(tinyModel(8), 1, /*graphs=*/true);
+    auto graph = rt->measureDecodeStepSec(1, true);
+    auto eager = rt->measureDecodeStepSec(1, false);
+    ASSERT_TRUE(graph.isOk() && eager.isOk());
+    EXPECT_GT(*graph, 0.0);
+    EXPECT_LT(*graph, *eager);
+}
+
+TEST(RuntimeTest, MeasurePrefillMonotonicInTokens)
+{
+    auto rt = loadedRuntime(tinyModel(4));
+    auto small = rt->measurePrefillSec(64);
+    auto large = rt->measurePrefillSec(2048);
+    ASSERT_TRUE(small.isOk() && large.isOk());
+    EXPECT_LT(*small, *large);
+}
+
+TEST(RuntimeTest, CaptureChargesLessThanWarmupPlusCapture)
+{
+    // Sanity on stage accounting: capturing all graphs advances the
+    // clock, and the per-size cost is dominated by warm-up + record.
+    auto rt = loadedRuntime(tinyModel());
+    const f64 before = rt->clock().nowSec();
+    ASSERT_TRUE(rt->captureDecodeGraphs().isOk());
+    EXPECT_GT(rt->clock().nowSec(), before);
+}
+
+} // namespace
+} // namespace medusa::llm

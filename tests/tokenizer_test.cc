@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests of the BPE tokenizer substrate: training, exact round-trip
+ * encode/decode, determinism and compression behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/tokenizer.h"
+
+namespace medusa::llm {
+namespace {
+
+TEST(TokenizerTest, UntrainedIsByteLevel)
+{
+    BpeTokenizer tok = BpeTokenizer::train("", 256);
+    EXPECT_EQ(tok.vocabSize(), 256u);
+    const auto ids = tok.encode("ab");
+    EXPECT_EQ(ids, (std::vector<i32>{'a', 'b'}));
+    EXPECT_EQ(tok.decode(ids), "ab");
+}
+
+TEST(TokenizerTest, TrainingGrowsVocabAndCompresses)
+{
+    const std::string corpus = syntheticCorpus(3, 8192);
+    BpeTokenizer tok = BpeTokenizer::train(corpus, 512);
+    EXPECT_GT(tok.vocabSize(), 300u);
+    EXPECT_LE(tok.vocabSize(), 512u);
+    const std::string text = syntheticCorpus(3, 512);
+    const auto ids = tok.encode(text);
+    // BPE must compress text drawn from the training distribution.
+    EXPECT_LT(ids.size(), text.size() / 2);
+}
+
+TEST(TokenizerTest, RoundTripIsExact)
+{
+    const std::string corpus = syntheticCorpus(7, 4096);
+    BpeTokenizer tok = BpeTokenizer::train(corpus, 400);
+    for (u64 seed : {1ull, 2ull, 3ull}) {
+        const std::string text = syntheticCorpus(seed, 300);
+        EXPECT_EQ(tok.decode(tok.encode(text)), text);
+    }
+}
+
+TEST(TokenizerTest, RoundTripSurvivesUnseenBytes)
+{
+    BpeTokenizer tok = BpeTokenizer::train(syntheticCorpus(1, 2048), 320);
+    std::string weird;
+    for (int b = 0; b < 256; ++b) {
+        weird.push_back(static_cast<char>(b));
+    }
+    EXPECT_EQ(tok.decode(tok.encode(weird)), weird);
+}
+
+TEST(TokenizerTest, TrainingIsDeterministic)
+{
+    const std::string corpus = syntheticCorpus(5, 4096);
+    BpeTokenizer a = BpeTokenizer::train(corpus, 384);
+    BpeTokenizer b = BpeTokenizer::train(corpus, 384);
+    EXPECT_EQ(a.vocabSize(), b.vocabSize());
+    const std::string text = syntheticCorpus(9, 256);
+    EXPECT_EQ(a.encode(text), b.encode(text));
+}
+
+TEST(TokenizerTest, MergedTokensExpandCorrectly)
+{
+    BpeTokenizer tok = BpeTokenizer::train("aaaaaaaaaa", 260);
+    // "aa" must have been merged.
+    ASSERT_GT(tok.vocabSize(), 256u);
+    auto bytes = tok.tokenBytes(256);
+    ASSERT_TRUE(bytes.isOk());
+    EXPECT_EQ(*bytes, "aa");
+    EXPECT_FALSE(tok.tokenBytes(-1).isOk());
+    EXPECT_FALSE(
+        tok.tokenBytes(static_cast<i32>(tok.vocabSize())).isOk());
+}
+
+TEST(TokenizerTest, EmptyInputYieldsEmptyOutput)
+{
+    BpeTokenizer tok = BpeTokenizer::train(syntheticCorpus(1, 1024), 300);
+    EXPECT_TRUE(tok.encode("").empty());
+    EXPECT_EQ(tok.decode({}), "");
+}
+
+TEST(TokenizerTest, SyntheticCorpusDeterministicAndSized)
+{
+    const std::string a = syntheticCorpus(11, 1000);
+    const std::string b = syntheticCorpus(11, 1000);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a.size(), 1000u);
+    EXPECT_LT(a.size(), 1100u);
+    EXPECT_NE(a, syntheticCorpus(12, 1000));
+}
+
+} // namespace
+} // namespace medusa::llm

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests of stage ❶/❷: tensor inventory per architecture, deterministic
+ * allocation order (the control-flow determinism Medusa relies on),
+ * role wiring, and cross-process weight-content determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/weights.h"
+
+namespace medusa::llm {
+namespace {
+
+ModelConfig
+tiny(ModelArch arch)
+{
+    ModelConfig m = findModel(arch == ModelArch::kFalcon ? "Falcon-7B"
+                              : arch == ModelArch::kQwen
+                                  ? "Qwen1.5-0.5B"
+                                  : "Llama2-7B")
+                        .value();
+    m.num_layers = 3;
+    return m;
+}
+
+struct Harness
+{
+    explicit Harness(u64 seed = 1)
+        : process(opts(seed), &clock, &cost), alloc(&process, seed)
+    {
+    }
+
+    static simcuda::GpuProcessOptions
+    opts(u64 seed)
+    {
+        simcuda::GpuProcessOptions o;
+        o.aslr_seed = seed;
+        return o;
+    }
+
+    SimClock clock;
+    CostModel cost;
+    simcuda::GpuProcess process;
+    simcuda::CachingAllocator alloc;
+};
+
+TEST(WeightsTest, SpecCountsPerArch)
+{
+    // llama: embed + 3 * 6 + final + lm_head = 21
+    EXPECT_EQ(buildTensorSpecs(tiny(ModelArch::kLlama)).size(), 21u);
+    // qwen adds qkv bias: embed + 3 * 7 + final + lm_head = 24
+    EXPECT_EQ(buildTensorSpecs(tiny(ModelArch::kQwen)).size(), 24u);
+    // falcon: embed + 3 * 6 + final(w+b) + lm_head = 22
+    EXPECT_EQ(buildTensorSpecs(tiny(ModelArch::kFalcon)).size(), 22u);
+}
+
+TEST(WeightsTest, SpecsAreDeterministic)
+{
+    const auto a = buildTensorSpecs(tiny(ModelArch::kQwen));
+    const auto b = buildTensorSpecs(tiny(ModelArch::kQwen));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].logical_bytes, b[i].logical_bytes);
+        EXPECT_EQ(a[i].func_elems, b[i].func_elems);
+    }
+}
+
+TEST(WeightsTest, StructureInitWiresAllRoles)
+{
+    Harness h;
+    const ModelConfig m = tiny(ModelArch::kLlama);
+    auto weights = initModelStructure(h.alloc, m);
+    ASSERT_TRUE(weights.isOk());
+    EXPECT_NE(weights->embed, 0u);
+    EXPECT_NE(weights->final_norm, 0u);
+    EXPECT_NE(weights->lm_head, 0u);
+    EXPECT_EQ(weights->final_norm_bias, 0u); // llama has no final bias
+    ASSERT_EQ(weights->layers.size(), 3u);
+    for (const LayerWeights &lw : weights->layers) {
+        EXPECT_NE(lw.input_norm, 0u);
+        EXPECT_NE(lw.qkv_w, 0u);
+        EXPECT_EQ(lw.qkv_b, 0u); // llama has no qkv bias
+        EXPECT_NE(lw.o_proj, 0u);
+        EXPECT_NE(lw.post_norm, 0u);
+        EXPECT_NE(lw.gate_up, 0u);
+        EXPECT_NE(lw.down, 0u);
+        EXPECT_EQ(lw.mlp_up, 0u);
+    }
+    EXPECT_EQ(weights->tensorCount(), 21u);
+    EXPECT_GT(weights->total_logical_bytes, units::GiB / 2);
+}
+
+TEST(WeightsTest, FalconWiring)
+{
+    Harness h;
+    auto weights = initModelStructure(h.alloc, tiny(ModelArch::kFalcon));
+    ASSERT_TRUE(weights.isOk());
+    EXPECT_NE(weights->final_norm_bias, 0u);
+    for (const LayerWeights &lw : weights->layers) {
+        EXPECT_NE(lw.input_norm_bias, 0u);
+        EXPECT_NE(lw.mlp_up, 0u);
+        EXPECT_NE(lw.mlp_down, 0u);
+        EXPECT_EQ(lw.gate_up, 0u);
+        EXPECT_EQ(lw.post_norm, 0u);
+    }
+}
+
+TEST(WeightsTest, AllocationOrderDeterministicWithinProcess)
+{
+    // The control flow allocates each layer's tensors in order: this
+    // is the determinism Medusa's indirect-index analysis exploits.
+    Harness h1(1), h2(1);
+    const ModelConfig m = tiny(ModelArch::kQwen);
+    auto w1 = initModelStructure(h1.alloc, m);
+    auto w2 = initModelStructure(h2.alloc, m);
+    ASSERT_TRUE(w1.isOk() && w2.isOk());
+    EXPECT_EQ(w1->addrs, w2->addrs); // same seed: identical layout
+}
+
+TEST(WeightsTest, AddressesDifferAcrossProcessLaunches)
+{
+    Harness h1(1), h2(2);
+    const ModelConfig m = tiny(ModelArch::kQwen);
+    auto w1 = initModelStructure(h1.alloc, m);
+    auto w2 = initModelStructure(h2.alloc, m);
+    ASSERT_TRUE(w1.isOk() && w2.isOk());
+    EXPECT_NE(w1->embed, w2->embed);
+    EXPECT_NE(w1->layers[0].qkv_w, w2->layers[0].qkv_w);
+}
+
+TEST(WeightsTest, ContentsDeterministicAcrossProcesses)
+{
+    // Weights are "files on disk": both processes must see identical
+    // contents, or Medusa's output validation could never be bit-exact.
+    const ModelConfig m = tiny(ModelArch::kLlama);
+    Harness h1(1), h2(99);
+    auto w1 = initModelStructure(h1.alloc, m);
+    auto w2 = initModelStructure(h2.alloc, m);
+    ASSERT_TRUE(loadModelWeights(h1.process, m, *w1).isOk());
+    ASSERT_TRUE(loadModelWeights(h2.process, m, *w2).isOk());
+    for (std::size_t i = 0; i < w1->specs.size(); ++i) {
+        const u64 n = w1->specs[i].func_elems;
+        std::vector<f32> c1(n), c2(n);
+        ASSERT_TRUE(h1.process.memory()
+                        .read(w1->addrs[i], c1.data(), n * 4)
+                        .isOk());
+        ASSERT_TRUE(h2.process.memory()
+                        .read(w2->addrs[i], c2.data(), n * 4)
+                        .isOk());
+        EXPECT_EQ(c1, c2) << w1->specs[i].name;
+    }
+}
+
+TEST(WeightsTest, NormWeightsNearOne)
+{
+    const ModelConfig m = tiny(ModelArch::kLlama);
+    Harness h;
+    auto w = initModelStructure(h.alloc, m);
+    ASSERT_TRUE(loadModelWeights(h.process, m, *w).isOk());
+    std::vector<f32> norm(m.func.hidden);
+    ASSERT_TRUE(h.process.memory()
+                    .read(w->layers[0].input_norm, norm.data(),
+                          norm.size() * 4)
+                    .isOk());
+    for (f32 v : norm) {
+        EXPECT_GT(v, 0.9f);
+        EXPECT_LT(v, 1.1f);
+    }
+}
+
+TEST(WeightsTest, LoadingChargesSsdTime)
+{
+    const ModelConfig m = tiny(ModelArch::kLlama);
+    Harness h;
+    auto w = initModelStructure(h.alloc, m);
+    const SimTimeNs before = h.clock.now();
+    ASSERT_TRUE(loadModelWeights(h.process, m, *w).isOk());
+    const f64 expected_sec =
+        static_cast<f64>(w->total_logical_bytes) /
+        (h.cost.ssd_read_gbps * 1e9);
+    EXPECT_NEAR(units::nsToSec(h.clock.now() - before), expected_sec,
+                expected_sec * 0.1);
+}
+
+} // namespace
+} // namespace medusa::llm

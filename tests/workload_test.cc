@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the ShareGPT-like workload generator: length statistics
+ * matching the paper's published means, Poisson-like arrivals, burst
+ * modulation, bounds and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.h"
+
+namespace medusa::workload {
+namespace {
+
+TraceOptions
+longOptions(bool bursty)
+{
+    TraceOptions o;
+    o.duration_sec = 4000;
+    o.requests_per_sec = 5;
+    o.seed = 77;
+    o.bursty = bursty;
+    return o;
+}
+
+TEST(WorkloadTest, MeanLengthsMatchShareGpt)
+{
+    const auto trace = generateShareGptTrace(longOptions(false));
+    // Paper: average 161 prompt tokens, 338 output tokens.
+    EXPECT_NEAR(meanPromptLength(trace), 161.0, 12.0);
+    EXPECT_NEAR(meanOutputLength(trace), 338.0, 25.0);
+}
+
+TEST(WorkloadTest, RateApproximatesTarget)
+{
+    const auto trace = generateShareGptTrace(longOptions(false));
+    const f64 rate = static_cast<f64>(trace.size()) / 4000.0;
+    EXPECT_NEAR(rate, 5.0, 0.25);
+}
+
+TEST(WorkloadTest, BurstyRatePreservesMean)
+{
+    const auto trace = generateShareGptTrace(longOptions(true));
+    const f64 rate = static_cast<f64>(trace.size()) / 4000.0;
+    EXPECT_NEAR(rate, 5.0, 0.6);
+}
+
+TEST(WorkloadTest, BurstsActuallyFluctuate)
+{
+    // Count arrivals in 10-second windows; bursty traffic must show a
+    // large max/median ratio (the paper cites 10-20x in 30 s windows).
+    const auto trace = generateShareGptTrace(longOptions(true));
+    std::vector<u32> windows(401, 0);
+    for (const Request &r : trace) {
+        ++windows[static_cast<std::size_t>(r.arrival_sec / 10.0)];
+    }
+    std::vector<u32> sorted = windows;
+    std::sort(sorted.begin(), sorted.end());
+    const u32 median = sorted[sorted.size() / 2];
+    const u32 max = sorted.back();
+    EXPECT_GE(max, median * 3);
+
+    const auto smooth = generateShareGptTrace(longOptions(false));
+    std::vector<u32> windows2(401, 0);
+    for (const Request &r : smooth) {
+        ++windows2[static_cast<std::size_t>(r.arrival_sec / 10.0)];
+    }
+    std::sort(windows2.begin(), windows2.end());
+    EXPECT_LT(windows2.back(), windows2[windows2.size() / 2] * 3);
+}
+
+TEST(WorkloadTest, ArrivalsSortedAndInRange)
+{
+    const auto trace = generateShareGptTrace(longOptions(true));
+    f64 prev = 0;
+    for (const Request &r : trace) {
+        EXPECT_GE(r.arrival_sec, prev);
+        EXPECT_LT(r.arrival_sec, 4000.0);
+        prev = r.arrival_sec;
+        EXPECT_GE(r.prompt_tokens, 1u);
+        EXPECT_LE(r.prompt_tokens, 2048u);
+        EXPECT_GE(r.output_tokens, 1u);
+        EXPECT_LE(r.output_tokens, 2048u);
+    }
+}
+
+TEST(WorkloadTest, DeterministicBySeed)
+{
+    TraceOptions o;
+    o.duration_sec = 100;
+    o.seed = 5;
+    const auto a = generateShareGptTrace(o);
+    const auto b = generateShareGptTrace(o);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_sec, b[i].arrival_sec);
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+    }
+    o.seed = 6;
+    const auto c = generateShareGptTrace(o);
+    EXPECT_NE(a.size(), c.size());
+}
+
+TEST(WorkloadTest, InterArrivalIsExponentialLike)
+{
+    // For a Poisson process, the inter-arrival CV is ~1.
+    TraceOptions o = longOptions(false);
+    const auto trace = generateShareGptTrace(o);
+    std::vector<f64> gaps;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        gaps.push_back(trace[i].arrival_sec - trace[i - 1].arrival_sec);
+    }
+    f64 mean = 0;
+    for (f64 g : gaps) {
+        mean += g;
+    }
+    mean /= static_cast<f64>(gaps.size());
+    f64 var = 0;
+    for (f64 g : gaps) {
+        var += (g - mean) * (g - mean);
+    }
+    var /= static_cast<f64>(gaps.size());
+    const f64 cv = std::sqrt(var) / mean;
+    EXPECT_NEAR(cv, 1.0, 0.1);
+}
+
+TEST(WorkloadTest, EmptyWhenDurationZero)
+{
+    TraceOptions o;
+    o.duration_sec = 0;
+    EXPECT_TRUE(generateShareGptTrace(o).empty());
+    EXPECT_DOUBLE_EQ(meanPromptLength({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOutputLength({}), 0.0);
+}
+
+} // namespace
+} // namespace medusa::workload
