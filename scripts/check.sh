@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# The repository hygiene gate: formatting, static analysis, sanitizers
+# and static artifact verification. Steps whose tools are not installed
+# are skipped with a notice, so the script is useful on minimal images.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-check}"
+FAILURES=0
+
+note() { printf '\n== %s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*"; FAILURES=$((FAILURES + 1)); }
+skip() { printf 'SKIP: %s\n' "$*"; }
+
+cd "$ROOT" || exit 2
+SOURCES=$(git ls-files 'src/**/*.cc' 'src/**/*.h' 'tests/*.cc' \
+                       'tools/*.cc' 'examples/*.cpp' 2>/dev/null)
+
+note "clang-format (dry run)"
+if command -v clang-format >/dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    if ! clang-format --dry-run --Werror $SOURCES; then
+        fail "clang-format found formatting differences"
+    fi
+else
+    skip "clang-format not installed"
+fi
+
+note "configure + build (ASan + UBSan)"
+if ! cmake -B "$BUILD" -S "$ROOT" \
+        -DMEDUSA_SANITIZE=address,undefined \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null; then
+    fail "cmake configure failed"
+elif ! cmake --build "$BUILD" -j "$(nproc)" >/dev/null; then
+    fail "sanitized build failed"
+else
+    note "tests under ASan + UBSan"
+    if ! ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"; then
+        fail "sanitized test run failed"
+    fi
+fi
+
+note "clang-tidy (src/common, src/medusa)"
+if command -v clang-tidy >/dev/null 2>&1; then
+    TIDY_SOURCES=$(git ls-files 'src/common/*.cc' 'src/medusa/**/*.cc' \
+                                'src/medusa/*.cc')
+    # shellcheck disable=SC2086
+    if ! clang-tidy -p "$BUILD" --quiet $TIDY_SOURCES; then
+        fail "clang-tidy reported diagnostics"
+    fi
+else
+    skip "clang-tidy not installed"
+fi
+
+note "medusa_lint over a freshly materialized artifact"
+if [ -x "$BUILD/examples/offline_materialize" ] &&
+   [ -x "$BUILD/tools/medusa_lint" ]; then
+    ARTIFACT="$BUILD/check-artifact.medusa"
+    if ! "$BUILD/examples/offline_materialize" Qwen1.5-0.5B \
+            "$ARTIFACT" >/dev/null; then
+        fail "offline_materialize failed"
+    elif ! "$BUILD/tools/medusa_lint" "$ARTIFACT"; then
+        fail "medusa_lint reported errors on a pipeline artifact"
+    fi
+else
+    fail "offline_materialize / medusa_lint binaries missing"
+fi
+
+note "summary"
+if [ "$FAILURES" -ne 0 ]; then
+    echo "$FAILURES check(s) failed"
+    exit 1
+fi
+echo "all checks passed"

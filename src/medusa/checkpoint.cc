@@ -1,5 +1,7 @@
 #include "medusa/checkpoint.h"
 
+#include "simcuda/memory.h"
+
 namespace medusa::core {
 
 namespace {
@@ -34,6 +36,22 @@ StatusOr<std::unique_ptr<CheckpointEngine>>
 CheckpointEngine::restore(const CheckpointImage &image,
                           const CostModel *cost, bool warm_container)
 {
+    // Static pre-restore sanity check, mirroring medusa-lint's
+    // pre-restore gate on artifacts: reject an image that could not
+    // have come from a ready instance before paying the full-image
+    // read. A CRIU-style image records the complete device footprint,
+    // so a zero or beyond-capacity figure means corruption.
+    if (image.device_bytes == 0) {
+        return validationFailure(
+            "checkpoint image records no device state");
+    }
+    if (image.device_bytes >
+        simcuda::DeviceMemoryManager::kDefaultDeviceBytes) {
+        return validationFailure(
+            "checkpoint image device footprint exceeds the device "
+            "capacity; the image is corrupt or from a larger device");
+    }
+
     // Functionally, restoring bits into the identical address layout is
     // equivalent to re-running the deterministic cold start with the
     // checkpointed seed; only the *cost* differs: one sequential image

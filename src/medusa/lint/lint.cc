@@ -1,0 +1,133 @@
+#include "medusa/lint/lint.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace medusa::core::lint {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::kInfo: return "info";
+      case Severity::kWarning: return "warning";
+      case Severity::kError: return "error";
+    }
+    return "unknown";
+}
+
+u64
+LintReport::errorCount() const
+{
+    u64 n = 0;
+    for (const Diagnostic &d : diagnostics) {
+        if (d.severity == Severity::kError) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+u64
+LintReport::warningCount() const
+{
+    u64 n = 0;
+    for (const Diagnostic &d : diagnostics) {
+        if (d.severity == Severity::kWarning) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+LintReport::toText() const
+{
+    std::ostringstream out;
+    for (const Diagnostic &d : diagnostics) {
+        out << severityName(d.severity) << " " << d.rule << " "
+            << d.location << ": " << d.message;
+        if (!d.fix_hint.empty()) {
+            out << " [fix: " << d.fix_hint << "]";
+        }
+        out << "\n";
+    }
+    out << diagnostics.size() << " diagnostic(s): " << errorCount()
+        << " error(s), " << warningCount() << " warning(s)\n";
+    return out.str();
+}
+
+namespace {
+
+void
+appendJsonString(std::ostringstream &out, const std::string &s)
+{
+    out << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out << buf;
+            } else {
+                out << c;
+            }
+        }
+    }
+    out << '"';
+}
+
+} // namespace
+
+std::string
+LintReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"diagnostics\":[";
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic &d = diagnostics[i];
+        if (i > 0) {
+            out << ",";
+        }
+        out << "{\"rule\":";
+        appendJsonString(out, d.rule);
+        out << ",\"severity\":";
+        appendJsonString(out, severityName(d.severity));
+        out << ",\"location\":";
+        appendJsonString(out, d.location);
+        out << ",\"message\":";
+        appendJsonString(out, d.message);
+        out << ",\"fix_hint\":";
+        appendJsonString(out, d.fix_hint);
+        out << "}";
+    }
+    out << "],\"errors\":" << errorCount()
+        << ",\"warnings\":" << warningCount() << "}";
+    return out.str();
+}
+
+std::string
+LintReport::firstError() const
+{
+    for (const Diagnostic &d : diagnostics) {
+        if (d.severity == Severity::kError) {
+            return d.rule + " " + d.location + ": " + d.message;
+        }
+    }
+    return "";
+}
+
+void
+LintReport::merge(LintReport other)
+{
+    diagnostics.insert(diagnostics.end(),
+                       std::make_move_iterator(other.diagnostics.begin()),
+                       std::make_move_iterator(other.diagnostics.end()));
+}
+
+} // namespace medusa::core::lint

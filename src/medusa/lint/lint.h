@@ -1,0 +1,146 @@
+/**
+ * @file
+ * medusa-lint: static analysis of materialized artifacts.
+ *
+ * A materialized Artifact is a long-lived cross-process contract: the
+ * online phase instantiates graphs from it *without* re-deriving any of
+ * the recorded state, so a corrupt (or wrongly analyzed) artifact
+ * silently corrupts a replay — the paper's Figure 6 failure mode. The
+ * linter proves replay-safety properties of an artifact WITHOUT
+ * executing the online phase, and reports violations as rule-tagged
+ * diagnostics.
+ *
+ * Rule families (see DESIGN.md §9 for the paper mapping):
+ *  - MDL1xx  allocation-sequence well-formedness (double-free, free of
+ *            an unknown index, replay-boundary violations, impossible
+ *            sizes),
+ *  - MDL2xx  indirect-index coverage: every pointer-classified kernel
+ *            parameter must resolve to an allocation that is live at
+ *            the launch's (inferred or exact) trace position — the
+ *            static detector for Figure 6's naive-matching hazard,
+ *  - MDL3xx  kernel-name-table completeness against the module
+ *            registry's symbol set (incl. hidden symbols reachable
+ *            only via triggering-kernels) and graph topology sanity,
+ *  - MDL4xx  permanent-buffer content safety: pointer-shaped words not
+ *            covered by a PointerWordFix, and fix-table validity,
+ *  - MDL5xx  free-memory-number consistency: the materialized KV-init
+ *            figure must be reproducible from the allocation sequence
+ *            within the device memory model,
+ *  - MDL6xx  cross-rank tensor-parallel consistency (topology, batch
+ *            sets, collective-kernel ordering).
+ *
+ * Severity: kError rules make instantiation unsafe (replay would fault
+ * or corrupt); kWarning rules flag suspicious-but-possibly-benign
+ * state; kInfo is advisory. An artifact produced by the default
+ * offline pipeline lints clean (zero diagnostics).
+ */
+
+#ifndef MEDUSA_MEDUSA_LINT_LINT_H
+#define MEDUSA_MEDUSA_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+#include "medusa/artifact.h"
+#include "simcuda/caching_allocator.h"
+#include "simcuda/memory.h"
+
+namespace medusa::core {
+
+class Recorder; // record.h; only needed for trace-exact liveness
+
+namespace lint {
+
+/** How bad a finding is for replay safety. */
+enum class Severity : u8 {
+    kInfo = 0,
+    kWarning = 1,
+    kError = 2,
+};
+
+const char *severityName(Severity s);
+
+/** One rule violation. */
+struct Diagnostic
+{
+    /** Rule tag, e.g. "MDL202". */
+    std::string rule;
+    Severity severity = Severity::kError;
+    /** Artifact coordinates, e.g. "graph[bs=4].node[3].param[1]". */
+    std::string location;
+    /** What is wrong. */
+    std::string message;
+    /** How to repair the artifact (or the pipeline that produced it). */
+    std::string fix_hint;
+};
+
+/** Linter configuration. */
+struct LintOptions
+{
+    /**
+     * Device capacity of the memory model the artifact was recorded
+     * against (rule MDL5xx). Artifacts do not record it; defaults to
+     * the simulator's device size.
+     */
+    u64 device_memory_bytes =
+        simcuda::DeviceMemoryManager::kDefaultDeviceBytes;
+    /**
+     * Free-list size-class rounding of the caching allocator, used to
+     * reproduce the free-memory figure from logical sizes.
+     */
+    u64 alloc_round_bytes = simcuda::CachingAllocator::kRoundBytes;
+    /**
+     * Check kernel names against the in-process KernelRegistry
+     * (MDL3xx). Disable when linting an artifact for a foreign kernel
+     * zoo.
+     */
+    bool check_kernel_registry = true;
+    /** Module whose kernels are collectives (MDL604 ordering). */
+    std::string collective_module = "libsimnccl.so";
+    /**
+     * Optional raw offline recorder trace. When present, MDL202 uses
+     * each captured launch's exact trace position instead of the
+     * per-graph inferred lower bound, and MDL4xx can verify pointer
+     * words against the real allocation map.
+     */
+    const Recorder *trace = nullptr;
+};
+
+/** The linter's output. */
+struct LintReport
+{
+    std::vector<Diagnostic> diagnostics;
+
+    u64 errorCount() const;
+    u64 warningCount() const;
+    /** True iff no error-severity diagnostics (warnings allowed). */
+    bool replaySafe() const { return errorCount() == 0; }
+    /** True iff there are no diagnostics at all. */
+    bool clean() const { return diagnostics.empty(); }
+
+    /** Render one line per diagnostic, "severity rule location: ...". */
+    std::string toText() const;
+    /** Render as a JSON object for tooling. */
+    std::string toJson() const;
+    /** The first error's "rule location: message", or "". */
+    std::string firstError() const;
+
+    void merge(LintReport other);
+};
+
+/** Run every single-artifact rule family (MDL1xx-MDL5xx). */
+LintReport lintArtifact(const Artifact &artifact,
+                        const LintOptions &options = {});
+
+/**
+ * Run the cross-rank tensor-parallel rules (MDL6xx) over per-rank
+ * artifacts, PLUS the single-artifact rules on each rank (locations
+ * prefixed with "rank[i].").
+ */
+LintReport lintTpArtifacts(const std::vector<Artifact> &rank_artifacts,
+                           const LintOptions &options = {});
+
+} // namespace lint
+} // namespace medusa::core
+
+#endif // MEDUSA_MEDUSA_LINT_LINT_H

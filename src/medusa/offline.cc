@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "medusa/lint/lint.h"
 #include "medusa/record.h"
 #include "medusa/restore.h"
 
@@ -130,6 +131,21 @@ materialize(const OfflineOptions &opts)
             spec.constant_bytes =
                 graph->node(ref.node).params.at(ref.param);
             ++result.artifact.stats.validation_repairs;
+        }
+    }
+
+    // ---- static lint gate -----------------------------------------------
+    // Unlike the dry-run above this executes nothing: it proves
+    // replay-safety properties of the (possibly repaired) artifact
+    // directly, using the raw trace for exact per-launch liveness.
+    if (opts.lint) {
+        lint::LintOptions lopts;
+        lopts.trace = &recorder;
+        const lint::LintReport report =
+            lint::lintArtifact(result.artifact, lopts);
+        if (!report.replaySafe()) {
+            return validationFailure("artifact failed lint: " +
+                                     report.firstError());
         }
     }
     return result;

@@ -31,6 +31,13 @@ struct OfflineOptions
     std::vector<u32> validate_batch_sizes = {1, 4, 64};
     /** Bound on validation/repair iterations. */
     u32 max_repair_attempts = 16;
+    /**
+     * Run medusa-lint over the final artifact (with the raw recorder
+     * trace, so indirect-index liveness is checked at each launch's
+     * exact trace position) and fail materialization on any
+     * error-severity diagnostic. Static, unlike the dry-run.
+     */
+    bool lint = false;
 };
 
 /** The offline phase's output. */

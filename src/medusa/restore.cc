@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "medusa/lint/lint.h"
 #include "medusa/replay.h"
 
 namespace medusa::core {
@@ -17,6 +18,16 @@ MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
         artifact.model_seed != opts.model.seed) {
         return validationFailure("artifact was materialized for model " +
                                  artifact.model_name);
+    }
+
+    // Optional static pre-restore check: refuse to replay an artifact
+    // that provably faults or corrupts, before touching device state.
+    if (opts.restore.lint) {
+        const lint::LintReport lint_report = lint::lintArtifact(artifact);
+        if (!lint_report.replaySafe()) {
+            return validationFailure("artifact failed pre-restore lint: " +
+                                     lint_report.firstError());
+        }
     }
 
     auto table = std::make_unique<ReplayTable>(&artifact);

@@ -27,6 +27,12 @@ struct RestoreOptions
     bool validate = false;
     /** Batch sizes to validate when validate is set. */
     std::vector<u32> validate_batch_sizes = {1, 4, 64};
+    /**
+     * Run medusa-lint over the artifact before restoring and refuse to
+     * replay on any error-severity diagnostic — a fast static check
+     * that catches corrupt artifacts before they touch device state.
+     */
+    bool lint = false;
 };
 
 /** What the restoration did (for benches and tests). */

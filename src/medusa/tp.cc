@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "medusa/analyze.h"
+#include "medusa/lint/lint.h"
 #include "medusa/record.h"
 
 namespace medusa::core {
@@ -115,6 +116,19 @@ TpMedusaEngine::coldStart(const Options &opts,
             return validationFailure(
                 "rank artifact was materialized for model " +
                 a.model_name);
+        }
+    }
+
+    // Optional static pre-restore check: per-rank rules plus the
+    // cross-rank MDL6xx family (topology, batch sets, collective
+    // ordering) — a divergent rank would deadlock lockstep replay.
+    if (opts.restore.lint) {
+        const lint::LintReport lint_report =
+            lint::lintTpArtifacts(rank_artifacts);
+        if (!lint_report.replaySafe()) {
+            return validationFailure(
+                "rank artifacts failed pre-restore lint: " +
+                lint_report.firstError());
         }
     }
 

@@ -64,6 +64,21 @@ class AllocObserver
 class CachingAllocator
 {
   public:
+    /** Free-list size-class rounding (PyTorch's small-block granule). */
+    static constexpr u64 kRoundBytes = 512;
+
+    /**
+     * The size-class a request of @p size lands in — the granule at
+     * which the driver is charged. Exposed as a memory-model query so
+     * offline tooling (medusa-lint's MDL5xx free-memory rule) can
+     * reproduce free-memory accounting from recorded logical sizes.
+     */
+    static constexpr u64
+    roundSize(u64 size)
+    {
+        return (size + kRoundBytes - 1) & ~(kRoundBytes - 1);
+    }
+
     /**
      * @param reuse_seed seeds the process-dependent free-block
      *        selection; derive it from the process launch (ASLR) seed.
@@ -103,8 +118,6 @@ class CachingAllocator
         u64 rounded_size = 0;
         u64 backing_size = 0;
     };
-
-    static u64 roundSize(u64 size) { return (size + 511) & ~511ull; }
 
     GpuProcess *process_;
     AllocObserver *observer_ = nullptr;

@@ -172,7 +172,7 @@ class GraphExec
 struct GpuProcessOptions
 {
     /** Device capacity for logical accounting (A100-40GB default). */
-    u64 device_memory_bytes = 40ull * units::GiB;
+    u64 device_memory_bytes = DeviceMemoryManager::kDefaultDeviceBytes;
     /** Seed for all per-process address randomization. */
     u64 aslr_seed = 1;
     /**

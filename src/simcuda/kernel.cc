@@ -58,6 +58,31 @@ KernelRegistry::kernelsInModule(const std::string &module) const
     return out;
 }
 
+bool
+KernelRegistry::hasModule(const std::string &module) const
+{
+    for (const auto &d : defs_) {
+        if (d.module_name == module) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+KernelRegistry::symbolsInModule(const std::string &module,
+                                bool include_hidden) const
+{
+    std::vector<std::string> out;
+    for (const auto &d : defs_) {
+        if (d.module_name == module &&
+            (include_hidden || d.in_symbol_table)) {
+            out.push_back(d.mangled_name);
+        }
+    }
+    return out;
+}
+
 std::vector<std::string>
 KernelRegistry::moduleNames() const
 {

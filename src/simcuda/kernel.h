@@ -199,6 +199,19 @@ class KernelRegistry
     /** All distinct module names. */
     std::vector<std::string> moduleNames() const;
 
+    /** True if any kernel is registered under this module name. */
+    bool hasModule(const std::string &module) const;
+
+    /**
+     * The full symbol set of a module: every mangled name it defines,
+     * optionally including dlsym-hidden kernels (reachable online only
+     * via triggering-kernels + cuModuleEnumerateFunctions). Used by
+     * medusa-lint's kernel-name-table completeness rules (MDL3xx).
+     */
+    std::vector<std::string>
+    symbolsInModule(const std::string &module,
+                    bool include_hidden = true) const;
+
     KernelRegistry() = default;
 
   private:

@@ -57,7 +57,16 @@ lockstepLaunch(const std::vector<LockstepRank> &ranks,
                 const RawParams &params =
                     ranks[r].exec->paramsAtStep(step);
                 KernelArgs args(params, kinds);
-                count = args.i32At(1);
+                if (r == 0) {
+                    count = args.i32At(1);
+                } else if (args.i32At(1) != count) {
+                    // A collective must move the same element count on
+                    // every rank; divergent graphs would otherwise
+                    // read past the shorter contributions below.
+                    return invalidArgument(
+                        "all-reduce element count mismatch at step " +
+                        std::to_string(step));
+                }
                 if (args.i32At(3) != static_cast<i32>(ranks.size())) {
                     return invalidArgument(
                         "all-reduce world size mismatch");

@@ -55,6 +55,13 @@ class DeviceMemoryManager
     static constexpr DeviceAddr kAddrBase = 0x7f2000000000ull;
 
     /**
+     * Default device capacity (the simulated A100-40GB). Exposed as a
+     * memory-model query so offline tooling (medusa-lint's MDL5xx
+     * free-memory rule) can reason about capacity without a process.
+     */
+    static constexpr u64 kDefaultDeviceBytes = 40ull * units::GiB;
+
+    /**
      * @param total_logical_bytes device capacity for accounting
      *        (e.g. 40 GiB for the simulated A100-40GB).
      * @param aslr_seed seed for the per-process address randomization.

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Error-path tests for the binary serialization layer and artifact
+ * deserialization: truncated buffers, bad magic/version, and oversized
+ * length fields must come back as Status errors, never crashes — a
+ * corrupted on-disk artifact is a recoverable cold-start failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/serialize.h"
+#include "medusa/artifact.h"
+
+namespace medusa {
+namespace {
+
+TEST(SerializeRobustness, EmptyBufferFailsEveryPrimitive)
+{
+    BinaryReader r({});
+    EXPECT_FALSE(r.readU8().isOk());
+    EXPECT_FALSE(r.readU32().isOk());
+    EXPECT_FALSE(r.readU64().isOk());
+    EXPECT_FALSE(r.readI64().isOk());
+    EXPECT_FALSE(r.readF32().isOk());
+    EXPECT_FALSE(r.readF64().isOk());
+    EXPECT_FALSE(r.readBool().isOk());
+    EXPECT_FALSE(r.readString().isOk());
+    EXPECT_FALSE(r.readBytes().isOk());
+}
+
+TEST(SerializeRobustness, MidValueTruncationFails)
+{
+    BinaryWriter w;
+    w.writeU64(0x0123456789abcdefull);
+    std::vector<u8> bytes = w.takeBytes();
+    bytes.resize(5); // cut inside the u64
+    BinaryReader r(std::move(bytes));
+    auto v = r.readU64();
+    ASSERT_FALSE(v.isOk());
+    EXPECT_NE(v.status().message().find("truncated"),
+              std::string::npos);
+}
+
+TEST(SerializeRobustness, StringLengthBeyondDataFails)
+{
+    BinaryWriter w;
+    w.writeU64(1ull << 40); // claims a terabyte of string
+    BinaryReader r(w.takeBytes());
+    auto s = r.readString();
+    ASSERT_FALSE(s.isOk());
+    EXPECT_NE(s.status().message().find("truncated"),
+              std::string::npos);
+}
+
+TEST(SerializeRobustness, BytesLengthBeyondDataFails)
+{
+    BinaryWriter w;
+    w.writeU64(0xffffffffffffffffull); // overflow-bait length
+    w.writeU32(0);
+    BinaryReader r(w.takeBytes());
+    EXPECT_FALSE(r.readBytes().isOk());
+}
+
+TEST(SerializeRobustness, VectorCountBeyondDataFails)
+{
+    BinaryWriter w;
+    w.writeU64(1ull << 50); // element count far beyond the stream
+    BinaryReader r(w.takeBytes());
+    auto v = r.readVector<u64>(
+        [](BinaryReader &rr) { return rr.readU64(); });
+    ASSERT_FALSE(v.isOk());
+    EXPECT_NE(v.status().message().find("count exceeds"),
+              std::string::npos);
+}
+
+TEST(SerializeRobustness, VectorElementTruncationFails)
+{
+    BinaryWriter w;
+    w.writeU64(3); // three u64 elements promised...
+    w.writeU64(1);
+    w.writeU64(2); // ...but the third is missing
+    BinaryReader r(w.takeBytes());
+    auto v = r.readVector<u64>(
+        [](BinaryReader &rr) { return rr.readU64(); });
+    EXPECT_FALSE(v.isOk());
+}
+
+TEST(SerializeRobustness, RoundTripSurvivesAndEndsExactly)
+{
+    BinaryWriter w;
+    w.writeU32(7);
+    w.writeString("medusa");
+    w.writeBytes({1, 2, 3});
+    w.writeBool(true);
+    BinaryReader r(w.takeBytes());
+    EXPECT_EQ(r.readU32().value(), 7u);
+    EXPECT_EQ(r.readString().value(), "medusa");
+    EXPECT_EQ(r.readBytes().value(), (std::vector<u8>{1, 2, 3}));
+    EXPECT_TRUE(r.readBool().value());
+    EXPECT_TRUE(r.atEnd());
+}
+
+/** A small but structurally complete artifact for corruption tests. */
+core::Artifact
+sampleArtifact()
+{
+    core::Artifact a;
+    a.model_name = "robustness-model";
+    a.model_seed = 3;
+    a.free_gpu_memory = 1024;
+    core::AllocOp alloc;
+    alloc.kind = core::AllocOp::kAlloc;
+    alloc.logical_size = 512;
+    alloc.backing_size = 512;
+    a.ops.push_back(alloc);
+    core::GraphBlueprint g;
+    g.batch_size = 1;
+    core::NodeBlueprint n;
+    n.kernel_name = "k";
+    n.module_name = "m";
+    core::ParamSpec p;
+    p.kind = core::ParamSpec::kIndirect;
+    a.tags["input"] = 0;
+    n.params.push_back(p);
+    g.nodes.push_back(n);
+    a.graphs.push_back(g);
+    return a;
+}
+
+TEST(SerializeRobustness, ArtifactRoundTrips)
+{
+    const core::Artifact a = sampleArtifact();
+    auto back = core::Artifact::deserialize(a.serialize());
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_EQ(back->model_name, a.model_name);
+    EXPECT_EQ(back->ops.size(), 1u);
+    EXPECT_EQ(back->graphs.size(), 1u);
+    EXPECT_EQ(back->tags.at("input"), 0u);
+}
+
+TEST(SerializeRobustness, ArtifactBadMagicFails)
+{
+    std::vector<u8> bytes = sampleArtifact().serialize();
+    bytes[0] ^= 0xff;
+    auto a = core::Artifact::deserialize(std::move(bytes));
+    ASSERT_FALSE(a.isOk());
+    EXPECT_NE(a.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SerializeRobustness, ArtifactBadVersionFails)
+{
+    std::vector<u8> bytes = sampleArtifact().serialize();
+    const u32 wrong = core::Artifact::kVersion + 1;
+    std::memcpy(bytes.data() + 4, &wrong, 4);
+    auto a = core::Artifact::deserialize(std::move(bytes));
+    ASSERT_FALSE(a.isOk());
+    EXPECT_NE(a.status().message().find("version"), std::string::npos);
+}
+
+TEST(SerializeRobustness, TruncatedArtifactAtEveryPrefixFails)
+{
+    // Chopping the stream at ANY point must produce a Status error —
+    // never a crash, hang or silently short artifact.
+    const std::vector<u8> bytes = sampleArtifact().serialize();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        std::vector<u8> prefix(bytes.begin(), bytes.begin() + len);
+        auto a = core::Artifact::deserialize(std::move(prefix));
+        EXPECT_FALSE(a.isOk()) << "prefix length " << len;
+    }
+}
+
+TEST(SerializeRobustness, CorruptedInteriorLengthFieldFails)
+{
+    // Blow up the model-name length field (first field after the
+    // 8-byte header): claims more bytes than the stream holds.
+    std::vector<u8> bytes = sampleArtifact().serialize();
+    const u64 huge = 1ull << 60;
+    std::memcpy(bytes.data() + 8, &huge, 8);
+    auto a = core::Artifact::deserialize(std::move(bytes));
+    EXPECT_FALSE(a.isOk());
+}
+
+} // namespace
+} // namespace medusa

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * medusa_lint: static artifact verification from the command line.
+ *
+ * Analyzes one or more serialized artifacts WITHOUT executing replay
+ * and reports rule-tagged diagnostics (see src/medusa/lint/lint.h and
+ * DESIGN.md §9). With several inputs the cross-rank tensor-parallel
+ * rules (MDL6xx) also run, treating the files as ranks 0..N-1.
+ *
+ * Usage:
+ *   medusa_lint [options] <artifact.medusa> [rank1.medusa ...]
+ *
+ * Options:
+ *   --json                 emit a JSON report instead of text
+ *   --no-registry          skip kernel-registry rules (MDL301/302)
+ *   --device-bytes <n>     device capacity for MDL5xx (default 40 GiB)
+ *   --collective <module>  collective module for MDL604
+ *                          (default libsimnccl.so)
+ *
+ * Exit status: 0 lint-clean or warnings only, 1 any error-severity
+ * diagnostic, 2 usage or I/O failure.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "medusa/lint/lint.h"
+
+using namespace medusa;
+using core::lint::LintOptions;
+using core::lint::LintReport;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--json] [--no-registry] [--device-bytes N]\n"
+        "       [--collective MODULE] <artifact.medusa> [rank1 ...]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LintOptions options;
+    bool json = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--no-registry") {
+            options.check_kernel_registry = false;
+        } else if (arg == "--device-bytes") {
+            if (++i >= argc) {
+                return usage(argv[0]);
+            }
+            options.device_memory_bytes =
+                std::strtoull(argv[i], nullptr, 0);
+        } else if (arg == "--collective") {
+            if (++i >= argc) {
+                return usage(argv[0]);
+            }
+            options.collective_module = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        return usage(argv[0]);
+    }
+
+    std::vector<core::Artifact> artifacts;
+    for (const std::string &path : paths) {
+        auto bytes = readFile(path);
+        if (!bytes.isOk()) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         bytes.status().toString().c_str());
+            return 2;
+        }
+        auto artifact = core::Artifact::deserialize(std::move(*bytes));
+        if (!artifact.isOk()) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         artifact.status().toString().c_str());
+            return 2;
+        }
+        artifacts.push_back(std::move(*artifact));
+    }
+
+    const LintReport report =
+        artifacts.size() == 1
+            ? core::lint::lintArtifact(artifacts[0], options)
+            : core::lint::lintTpArtifacts(artifacts, options);
+    if (json) {
+        std::printf("%s\n", report.toJson().c_str());
+    } else {
+        if (artifacts.size() == 1) {
+            std::printf("%s: model %s, %zu graphs, %zu ops\n",
+                        paths[0].c_str(),
+                        artifacts[0].model_name.c_str(),
+                        artifacts[0].graphs.size(),
+                        artifacts[0].ops.size());
+        }
+        std::printf("%s", report.toText().c_str());
+    }
+    return report.replaySafe() ? 0 : 1;
+}
