@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_traces"
+  "../bench/bench_fig10_traces.pdb"
+  "CMakeFiles/bench_fig10_traces.dir/bench_fig10_traces.cc.o"
+  "CMakeFiles/bench_fig10_traces.dir/bench_fig10_traces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_cudagraph"
+  "../bench/bench_fig3_cudagraph.pdb"
+  "CMakeFiles/bench_fig3_cudagraph.dir/bench_fig3_cudagraph.cc.o"
+  "CMakeFiles/bench_fig3_cudagraph.dir/bench_fig3_cudagraph.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cudagraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_overall"
+  "../bench/bench_fig7_overall.pdb"
+  "CMakeFiles/bench_fig7_overall.dir/bench_fig7_overall.cc.o"
+  "CMakeFiles/bench_fig7_overall.dir/bench_fig7_overall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

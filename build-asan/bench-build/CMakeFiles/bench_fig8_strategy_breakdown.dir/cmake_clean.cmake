@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_strategy_breakdown"
+  "../bench/bench_fig8_strategy_breakdown.pdb"
+  "CMakeFiles/bench_fig8_strategy_breakdown.dir/bench_fig8_strategy_breakdown.cc.o"
+  "CMakeFiles/bench_fig8_strategy_breakdown.dir/bench_fig8_strategy_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_strategy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_offline"
+  "../bench/bench_fig9_offline.pdb"
+  "CMakeFiles/bench_fig9_offline.dir/bench_fig9_offline.cc.o"
+  "CMakeFiles/bench_fig9_offline.dir/bench_fig9_offline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

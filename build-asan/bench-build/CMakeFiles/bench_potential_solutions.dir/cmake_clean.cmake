@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_potential_solutions"
+  "../bench/bench_potential_solutions.pdb"
+  "CMakeFiles/bench_potential_solutions.dir/bench_potential_solutions.cc.o"
+  "CMakeFiles/bench_potential_solutions.dir/bench_potential_solutions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_potential_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tp_extension"
+  "../bench/bench_tp_extension.pdb"
+  "CMakeFiles/bench_tp_extension.dir/bench_tp_extension.cc.o"
+  "CMakeFiles/bench_tp_extension.dir/bench_tp_extension.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tp_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

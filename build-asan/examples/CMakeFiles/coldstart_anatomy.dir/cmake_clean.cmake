@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_anatomy.dir/coldstart_anatomy.cpp.o"
+  "CMakeFiles/coldstart_anatomy.dir/coldstart_anatomy.cpp.o.d"
+  "coldstart_anatomy"
+  "coldstart_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_materialize.dir/offline_materialize.cpp.o"
+  "CMakeFiles/offline_materialize.dir/offline_materialize.cpp.o.d"
+  "offline_materialize"
+  "offline_materialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_materialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

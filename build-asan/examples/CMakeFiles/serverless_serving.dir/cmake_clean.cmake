@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_serving.dir/serverless_serving.cpp.o"
+  "CMakeFiles/serverless_serving.dir/serverless_serving.cpp.o.d"
+  "serverless_serving"
+  "serverless_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

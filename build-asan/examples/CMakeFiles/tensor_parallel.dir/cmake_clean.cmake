@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_parallel.dir/tensor_parallel.cpp.o"
+  "CMakeFiles/tensor_parallel.dir/tensor_parallel.cpp.o.d"
+  "tensor_parallel"
+  "tensor_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_common.dir/logging.cc.o"
+  "CMakeFiles/medusa_common.dir/logging.cc.o.d"
+  "CMakeFiles/medusa_common.dir/serialize.cc.o"
+  "CMakeFiles/medusa_common.dir/serialize.cc.o.d"
+  "CMakeFiles/medusa_common.dir/stats.cc.o"
+  "CMakeFiles/medusa_common.dir/stats.cc.o.d"
+  "CMakeFiles/medusa_common.dir/status.cc.o"
+  "CMakeFiles/medusa_common.dir/status.cc.o.d"
+  "libmedusa_common.a"
+  "libmedusa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

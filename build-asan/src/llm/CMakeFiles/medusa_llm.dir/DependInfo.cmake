@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/engine.cc" "src/llm/CMakeFiles/medusa_llm.dir/engine.cc.o" "gcc" "src/llm/CMakeFiles/medusa_llm.dir/engine.cc.o.d"
+  "/root/repo/src/llm/forward.cc" "src/llm/CMakeFiles/medusa_llm.dir/forward.cc.o" "gcc" "src/llm/CMakeFiles/medusa_llm.dir/forward.cc.o.d"
+  "/root/repo/src/llm/kv_cache.cc" "src/llm/CMakeFiles/medusa_llm.dir/kv_cache.cc.o" "gcc" "src/llm/CMakeFiles/medusa_llm.dir/kv_cache.cc.o.d"
+  "/root/repo/src/llm/model_config.cc" "src/llm/CMakeFiles/medusa_llm.dir/model_config.cc.o" "gcc" "src/llm/CMakeFiles/medusa_llm.dir/model_config.cc.o.d"
+  "/root/repo/src/llm/runtime.cc" "src/llm/CMakeFiles/medusa_llm.dir/runtime.cc.o" "gcc" "src/llm/CMakeFiles/medusa_llm.dir/runtime.cc.o.d"
+  "/root/repo/src/llm/tensor_parallel.cc" "src/llm/CMakeFiles/medusa_llm.dir/tensor_parallel.cc.o" "gcc" "src/llm/CMakeFiles/medusa_llm.dir/tensor_parallel.cc.o.d"
+  "/root/repo/src/llm/tokenizer.cc" "src/llm/CMakeFiles/medusa_llm.dir/tokenizer.cc.o" "gcc" "src/llm/CMakeFiles/medusa_llm.dir/tokenizer.cc.o.d"
+  "/root/repo/src/llm/weights.cc" "src/llm/CMakeFiles/medusa_llm.dir/weights.cc.o" "gcc" "src/llm/CMakeFiles/medusa_llm.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/simcuda/CMakeFiles/medusa_simcuda.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/medusa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_llm.dir/engine.cc.o"
+  "CMakeFiles/medusa_llm.dir/engine.cc.o.d"
+  "CMakeFiles/medusa_llm.dir/forward.cc.o"
+  "CMakeFiles/medusa_llm.dir/forward.cc.o.d"
+  "CMakeFiles/medusa_llm.dir/kv_cache.cc.o"
+  "CMakeFiles/medusa_llm.dir/kv_cache.cc.o.d"
+  "CMakeFiles/medusa_llm.dir/model_config.cc.o"
+  "CMakeFiles/medusa_llm.dir/model_config.cc.o.d"
+  "CMakeFiles/medusa_llm.dir/runtime.cc.o"
+  "CMakeFiles/medusa_llm.dir/runtime.cc.o.d"
+  "CMakeFiles/medusa_llm.dir/tensor_parallel.cc.o"
+  "CMakeFiles/medusa_llm.dir/tensor_parallel.cc.o.d"
+  "CMakeFiles/medusa_llm.dir/tokenizer.cc.o"
+  "CMakeFiles/medusa_llm.dir/tokenizer.cc.o.d"
+  "CMakeFiles/medusa_llm.dir/weights.cc.o"
+  "CMakeFiles/medusa_llm.dir/weights.cc.o.d"
+  "libmedusa_llm.a"
+  "libmedusa_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/medusa/analyze.cc" "src/medusa/CMakeFiles/medusa_core.dir/analyze.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/analyze.cc.o.d"
+  "/root/repo/src/medusa/artifact.cc" "src/medusa/CMakeFiles/medusa_core.dir/artifact.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/artifact.cc.o.d"
+  "/root/repo/src/medusa/checkpoint.cc" "src/medusa/CMakeFiles/medusa_core.dir/checkpoint.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/medusa/lint/lint.cc" "src/medusa/CMakeFiles/medusa_core.dir/lint/lint.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/lint/lint.cc.o.d"
+  "/root/repo/src/medusa/lint/rules.cc" "src/medusa/CMakeFiles/medusa_core.dir/lint/rules.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/lint/rules.cc.o.d"
+  "/root/repo/src/medusa/offline.cc" "src/medusa/CMakeFiles/medusa_core.dir/offline.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/offline.cc.o.d"
+  "/root/repo/src/medusa/record.cc" "src/medusa/CMakeFiles/medusa_core.dir/record.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/record.cc.o.d"
+  "/root/repo/src/medusa/replay.cc" "src/medusa/CMakeFiles/medusa_core.dir/replay.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/replay.cc.o.d"
+  "/root/repo/src/medusa/restore.cc" "src/medusa/CMakeFiles/medusa_core.dir/restore.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/restore.cc.o.d"
+  "/root/repo/src/medusa/tp.cc" "src/medusa/CMakeFiles/medusa_core.dir/tp.cc.o" "gcc" "src/medusa/CMakeFiles/medusa_core.dir/tp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/llm/CMakeFiles/medusa_llm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simcuda/CMakeFiles/medusa_simcuda.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/medusa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

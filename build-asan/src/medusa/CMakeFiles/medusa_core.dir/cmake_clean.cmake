@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_core.dir/analyze.cc.o"
+  "CMakeFiles/medusa_core.dir/analyze.cc.o.d"
+  "CMakeFiles/medusa_core.dir/artifact.cc.o"
+  "CMakeFiles/medusa_core.dir/artifact.cc.o.d"
+  "CMakeFiles/medusa_core.dir/checkpoint.cc.o"
+  "CMakeFiles/medusa_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/medusa_core.dir/lint/lint.cc.o"
+  "CMakeFiles/medusa_core.dir/lint/lint.cc.o.d"
+  "CMakeFiles/medusa_core.dir/lint/rules.cc.o"
+  "CMakeFiles/medusa_core.dir/lint/rules.cc.o.d"
+  "CMakeFiles/medusa_core.dir/offline.cc.o"
+  "CMakeFiles/medusa_core.dir/offline.cc.o.d"
+  "CMakeFiles/medusa_core.dir/record.cc.o"
+  "CMakeFiles/medusa_core.dir/record.cc.o.d"
+  "CMakeFiles/medusa_core.dir/replay.cc.o"
+  "CMakeFiles/medusa_core.dir/replay.cc.o.d"
+  "CMakeFiles/medusa_core.dir/restore.cc.o"
+  "CMakeFiles/medusa_core.dir/restore.cc.o.d"
+  "CMakeFiles/medusa_core.dir/tp.cc.o"
+  "CMakeFiles/medusa_core.dir/tp.cc.o.d"
+  "libmedusa_core.a"
+  "libmedusa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

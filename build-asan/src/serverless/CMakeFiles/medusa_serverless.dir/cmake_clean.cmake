@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_serverless.dir/cluster.cc.o"
+  "CMakeFiles/medusa_serverless.dir/cluster.cc.o.d"
+  "CMakeFiles/medusa_serverless.dir/profile.cc.o"
+  "CMakeFiles/medusa_serverless.dir/profile.cc.o.d"
+  "libmedusa_serverless.a"
+  "libmedusa_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

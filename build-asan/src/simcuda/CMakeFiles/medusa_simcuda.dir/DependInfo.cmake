@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcuda/caching_allocator.cc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/caching_allocator.cc.o" "gcc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/caching_allocator.cc.o.d"
+  "/root/repo/src/simcuda/gpu_process.cc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/gpu_process.cc.o" "gcc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/gpu_process.cc.o.d"
+  "/root/repo/src/simcuda/graph.cc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/graph.cc.o" "gcc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/graph.cc.o.d"
+  "/root/repo/src/simcuda/kernel.cc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/kernel.cc.o" "gcc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/kernel.cc.o.d"
+  "/root/repo/src/simcuda/kernels/builtin.cc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/kernels/builtin.cc.o" "gcc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/kernels/builtin.cc.o.d"
+  "/root/repo/src/simcuda/lockstep.cc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/lockstep.cc.o" "gcc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/lockstep.cc.o.d"
+  "/root/repo/src/simcuda/memory.cc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/memory.cc.o" "gcc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/memory.cc.o.d"
+  "/root/repo/src/simcuda/module.cc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/module.cc.o" "gcc" "src/simcuda/CMakeFiles/medusa_simcuda.dir/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/medusa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_simcuda.dir/caching_allocator.cc.o"
+  "CMakeFiles/medusa_simcuda.dir/caching_allocator.cc.o.d"
+  "CMakeFiles/medusa_simcuda.dir/gpu_process.cc.o"
+  "CMakeFiles/medusa_simcuda.dir/gpu_process.cc.o.d"
+  "CMakeFiles/medusa_simcuda.dir/graph.cc.o"
+  "CMakeFiles/medusa_simcuda.dir/graph.cc.o.d"
+  "CMakeFiles/medusa_simcuda.dir/kernel.cc.o"
+  "CMakeFiles/medusa_simcuda.dir/kernel.cc.o.d"
+  "CMakeFiles/medusa_simcuda.dir/kernels/builtin.cc.o"
+  "CMakeFiles/medusa_simcuda.dir/kernels/builtin.cc.o.d"
+  "CMakeFiles/medusa_simcuda.dir/lockstep.cc.o"
+  "CMakeFiles/medusa_simcuda.dir/lockstep.cc.o.d"
+  "CMakeFiles/medusa_simcuda.dir/memory.cc.o"
+  "CMakeFiles/medusa_simcuda.dir/memory.cc.o.d"
+  "CMakeFiles/medusa_simcuda.dir/module.cc.o"
+  "CMakeFiles/medusa_simcuda.dir/module.cc.o.d"
+  "libmedusa_simcuda.a"
+  "libmedusa_simcuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_simcuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for medusa_simcuda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_workload.dir/trace.cc.o"
+  "CMakeFiles/medusa_workload.dir/trace.cc.o.d"
+  "libmedusa_workload.a"
+  "libmedusa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyze_test.cc" "tests/CMakeFiles/analyze_test.dir/analyze_test.cc.o" "gcc" "tests/CMakeFiles/analyze_test.dir/analyze_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/serverless/CMakeFiles/medusa_serverless.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/medusa/CMakeFiles/medusa_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/medusa_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/llm/CMakeFiles/medusa_llm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simcuda/CMakeFiles/medusa_simcuda.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/medusa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

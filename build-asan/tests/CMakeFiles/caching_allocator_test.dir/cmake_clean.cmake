@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_allocator_test.dir/caching_allocator_test.cc.o"
+  "CMakeFiles/caching_allocator_test.dir/caching_allocator_test.cc.o.d"
+  "caching_allocator_test"
+  "caching_allocator_test.pdb"
+  "caching_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

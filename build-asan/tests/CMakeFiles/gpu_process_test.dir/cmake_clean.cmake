@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_process_test.dir/gpu_process_test.cc.o"
+  "CMakeFiles/gpu_process_test.dir/gpu_process_test.cc.o.d"
+  "gpu_process_test"
+  "gpu_process_test.pdb"
+  "gpu_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

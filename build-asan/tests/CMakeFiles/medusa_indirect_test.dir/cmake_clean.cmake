@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_indirect_test.dir/medusa_indirect_test.cc.o"
+  "CMakeFiles/medusa_indirect_test.dir/medusa_indirect_test.cc.o.d"
+  "medusa_indirect_test"
+  "medusa_indirect_test.pdb"
+  "medusa_indirect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_indirect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

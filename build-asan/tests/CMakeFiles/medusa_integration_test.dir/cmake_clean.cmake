@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_integration_test.dir/medusa_integration_test.cc.o"
+  "CMakeFiles/medusa_integration_test.dir/medusa_integration_test.cc.o.d"
+  "medusa_integration_test"
+  "medusa_integration_test.pdb"
+  "medusa_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_tp_test.dir/medusa_tp_test.cc.o"
+  "CMakeFiles/medusa_tp_test.dir/medusa_tp_test.cc.o.d"
+  "medusa_tp_test"
+  "medusa_tp_test.pdb"
+  "medusa_tp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_tp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcuda_graph_test.dir/simcuda_graph_test.cc.o"
+  "CMakeFiles/simcuda_graph_test.dir/simcuda_graph_test.cc.o.d"
+  "simcuda_graph_test"
+  "simcuda_graph_test.pdb"
+  "simcuda_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcuda_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcuda_memory_test.dir/simcuda_memory_test.cc.o"
+  "CMakeFiles/simcuda_memory_test.dir/simcuda_memory_test.cc.o.d"
+  "simcuda_memory_test"
+  "simcuda_memory_test.pdb"
+  "simcuda_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcuda_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcuda_module_test.dir/simcuda_module_test.cc.o"
+  "CMakeFiles/simcuda_module_test.dir/simcuda_module_test.cc.o.d"
+  "simcuda_module_test"
+  "simcuda_module_test.pdb"
+  "simcuda_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcuda_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

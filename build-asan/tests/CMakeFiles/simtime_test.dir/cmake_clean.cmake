@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtime_test.dir/simtime_test.cc.o"
+  "CMakeFiles/simtime_test.dir/simtime_test.cc.o.d"
+  "simtime_test"
+  "simtime_test.pdb"
+  "simtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

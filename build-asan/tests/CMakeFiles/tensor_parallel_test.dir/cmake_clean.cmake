@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_parallel_test.dir/tensor_parallel_test.cc.o"
+  "CMakeFiles/tensor_parallel_test.dir/tensor_parallel_test.cc.o.d"
+  "tensor_parallel_test"
+  "tensor_parallel_test.pdb"
+  "tensor_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_sweep_test.dir/zoo_sweep_test.cc.o"
+  "CMakeFiles/zoo_sweep_test.dir/zoo_sweep_test.cc.o.d"
+  "zoo_sweep_test"
+  "zoo_sweep_test.pdb"
+  "zoo_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_lint.dir/medusa_lint.cc.o"
+  "CMakeFiles/medusa_lint.dir/medusa_lint.cc.o.d"
+  "medusa_lint"
+  "medusa_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
