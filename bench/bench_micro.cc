@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
+#include <string>
+#include <vector>
+
 #include "llm/runtime.h"
 #include "llm/tokenizer.h"
 #include "medusa/artifact.h"
@@ -116,6 +120,32 @@ BM_ArtifactSerializeRoundTrip(benchmark::State &state)
 BENCHMARK(BM_ArtifactSerializeRoundTrip);
 
 void
+BM_ArtifactDeserializeView(benchmark::State &state)
+{
+    // The zero-copy path: parse straight out of a borrowed buffer,
+    // optionally skipping the permanent-contents sections the restore
+    // won't touch.
+    core::OfflineOptions opts;
+    opts.model = tinyModel();
+    opts.validate = false;
+    auto offline = core::materialize(opts);
+    const auto bytes = offline->artifact.serialize();
+    core::ArtifactReadOptions ropts;
+    ropts.load_permanent_contents = state.range(0) != 0;
+    for (auto _ : state) {
+        auto copy = core::Artifact::deserializeView(
+            std::span<const u8>(bytes), ropts);
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_ArtifactDeserializeView)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgName("contents");
+
+void
 BM_OfflineMaterialize(benchmark::State &state)
 {
     for (auto _ : state) {
@@ -131,4 +161,27 @@ BENCHMARK(BM_OfflineMaterialize)->Unit(benchmark::kMillisecond);
 } // namespace
 } // namespace medusa
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), plus a --json convenience alias for
+ * --benchmark_format=json so harness scripts can request
+ * machine-readable output uniformly across the bench binaries.
+ */
+int
+main(int argc, char **argv)
+{
+    static char json_flag[] = "--benchmark_format=json";
+    std::vector<char *> args(argv, argv + argc);
+    for (char *&arg : args) {
+        if (std::string(arg) == "--json") {
+            arg = json_flag;
+        }
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

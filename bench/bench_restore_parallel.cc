@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Host wall-clock benchmark of the parallel restore pipeline: artifact
+ * parse (serial vs multi-threaded vs contents-skipping), the full
+ * Medusa cold start at 1 vs N restore threads, and the process-wide
+ * artifact cache (miss vs hit).
+ *
+ * Everything here measures *host* time — the simulator's own speed.
+ * The simulated StageTimes and RestoreReport must be bit-identical
+ * across thread counts; the bench verifies that and reports it, so a
+ * determinism regression shows up as identical=false in the output.
+ *
+ * --json emits one machine-readable object (scripts/bench.sh captures
+ * it as BENCH_restore.json).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "llm/model_config.h"
+#include "medusa/artifact_cache.h"
+#include "medusa/restore.h"
+
+namespace medusa::bench {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+f64
+msBetween(SteadyClock::time_point a, SteadyClock::time_point b)
+{
+    return std::chrono::duration<f64, std::milli>(b - a).count();
+}
+
+/** Best-of-reps wall time of fn(), in milliseconds. */
+template <typename Fn>
+f64
+bestMs(int reps, Fn &&fn)
+{
+    f64 best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+        const auto start = SteadyClock::now();
+        fn();
+        best = std::min(best, msBetween(start, SteadyClock::now()));
+    }
+    return best;
+}
+
+struct ColdStartSample
+{
+    f64 wall_ms = 0;
+    llm::StageTimes times;
+    core::RestoreReport report;
+};
+
+ColdStartSample
+runColdStart(const llm::ModelConfig &model,
+             const core::Artifact &artifact, u32 restore_threads)
+{
+    core::MedusaEngine::Options opts;
+    opts.model = model;
+    opts.restore.restore_threads = restore_threads;
+    const auto start = SteadyClock::now();
+    auto engine = unwrap(core::MedusaEngine::coldStart(opts, artifact),
+                         "medusa cold start");
+    ColdStartSample s;
+    s.wall_ms = msBetween(start, SteadyClock::now());
+    s.times = engine->times();
+    s.report = engine->report();
+    return s;
+}
+
+bool
+sameTimes(const llm::StageTimes &a, const llm::StageTimes &b)
+{
+    return a.struct_init == b.struct_init && a.weights == b.weights &&
+           a.tokenizer == b.tokenizer && a.kv_init == b.kv_init &&
+           a.capture == b.capture && a.runtime_init == b.runtime_init &&
+           a.loading == b.loading;
+}
+
+bool
+sameReport(const core::RestoreReport &a, const core::RestoreReport &b)
+{
+    return a.nodes_restored == b.nodes_restored &&
+           a.graphs_restored == b.graphs_restored &&
+           a.kernels_via_dlsym == b.kernels_via_dlsym &&
+           a.kernels_via_enumeration == b.kernels_via_enumeration &&
+           a.replayed_allocs == b.replayed_allocs &&
+           a.replayed_frees == b.replayed_frees &&
+           a.restored_content_bytes == b.restored_content_bytes &&
+           a.indirect_pointers_fixed == b.indirect_pointers_fixed;
+}
+
+int
+run(int argc, char **argv)
+{
+    bool json = false;
+    std::string model_name = "Llama2-13B";
+    u32 threads = 0; // 0 = hardware concurrency
+    int reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--model=", 0) == 0) {
+            model_name = arg.substr(8);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = static_cast<u32>(std::stoul(arg.substr(10)));
+        } else if (arg.rfind("--reps=", 0) == 0) {
+            reps = std::stoi(arg.substr(7));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json] [--model=NAME] "
+                         "[--threads=N] [--reps=N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    const u32 hw = ThreadPool::hardwareThreads();
+    if (threads == 0) {
+        threads = hw;
+    }
+
+    const llm::ModelConfig model =
+        unwrap(llm::findModel(model_name), "model lookup");
+    const core::Artifact artifact =
+        unwrap(materializeCached(model), "materialization");
+    const std::vector<u8> bytes = artifact.serialize();
+
+    // ---- artifact parse ---------------------------------------------------
+    const std::span<const u8> view(bytes);
+    const f64 parse_serial_ms = bestMs(reps, [&]() {
+        core::ArtifactReadOptions o;
+        auto a = core::Artifact::deserializeView(view, o);
+        checkOk(a.status(), "serial parse");
+    });
+    const f64 parse_parallel_ms = bestMs(reps, [&]() {
+        core::ArtifactReadOptions o;
+        o.threads = threads;
+        auto a = core::Artifact::deserializeView(view, o);
+        checkOk(a.status(), "parallel parse");
+    });
+    const f64 parse_skip_contents_ms = bestMs(reps, [&]() {
+        core::ArtifactReadOptions o;
+        o.load_permanent_contents = false;
+        auto a = core::Artifact::deserializeView(view, o);
+        checkOk(a.status(), "skip-contents parse");
+    });
+    // The pre-zero-copy baseline: hand the parser an owned copy.
+    const f64 parse_owning_ms = bestMs(reps, [&]() {
+        auto a = core::Artifact::deserialize(bytes);
+        checkOk(a.status(), "owning parse");
+    });
+
+    // ---- cold start: 1 vs N restore threads -------------------------------
+    ColdStartSample serial = runColdStart(model, artifact, 1);
+    ColdStartSample parallel = runColdStart(model, artifact, threads);
+    for (int i = 1; i < reps; ++i) {
+        serial.wall_ms = std::min(
+            serial.wall_ms, runColdStart(model, artifact, 1).wall_ms);
+        parallel.wall_ms = std::min(
+            parallel.wall_ms,
+            runColdStart(model, artifact, threads).wall_ms);
+    }
+    const bool identical = sameTimes(serial.times, parallel.times) &&
+                           sameReport(serial.report, parallel.report);
+
+    // ---- artifact cache: miss vs hit --------------------------------------
+    core::ArtifactCache cache;
+    auto loader = [&]() {
+        return core::Artifact::deserializeView(view);
+    };
+    const auto miss_start = SteadyClock::now();
+    auto first = cache.getOrLoad("bench", loader);
+    const f64 cache_miss_ms = msBetween(miss_start, SteadyClock::now());
+    checkOk(first.status(), "cache miss load");
+    const f64 cache_hit_ms = bestMs(reps, [&]() {
+        auto again = cache.getOrLoad("bench", loader);
+        checkOk(again.status(), "cache hit load");
+    });
+
+    if (json) {
+        std::printf(
+            "{\n"
+            "  \"model\": \"%s\",\n"
+            "  \"artifact_bytes\": %zu,\n"
+            "  \"graphs\": %zu,\n"
+            "  \"nodes\": %llu,\n"
+            "  \"hardware_concurrency\": %u,\n"
+            "  \"threads\": %u,\n"
+            "  \"parse_serial_ms\": %.3f,\n"
+            "  \"parse_parallel_ms\": %.3f,\n"
+            "  \"parse_speedup\": %.2f,\n"
+            "  \"parse_skip_contents_ms\": %.3f,\n"
+            "  \"parse_owning_ms\": %.3f,\n"
+            "  \"coldstart_serial_wall_ms\": %.3f,\n"
+            "  \"coldstart_parallel_wall_ms\": %.3f,\n"
+            "  \"coldstart_speedup\": %.2f,\n"
+            "  \"simulated_loading_sec\": %.6f,\n"
+            "  \"simulated_identical\": %s,\n"
+            "  \"cache_miss_ms\": %.3f,\n"
+            "  \"cache_hit_ms\": %.3f\n"
+            "}\n",
+            model.name.c_str(), bytes.size(), artifact.graphs.size(),
+            static_cast<unsigned long long>(artifact.totalNodes()), hw,
+            threads, parse_serial_ms, parse_parallel_ms,
+            parse_serial_ms / std::max(parse_parallel_ms, 1e-9),
+            parse_skip_contents_ms, parse_owning_ms, serial.wall_ms,
+            parallel.wall_ms,
+            serial.wall_ms / std::max(parallel.wall_ms, 1e-9),
+            parallel.times.loading, identical ? "true" : "false",
+            cache_miss_ms, cache_hit_ms);
+    } else {
+        std::printf("parallel restore pipeline — %s (%zu graphs, "
+                    "%llu nodes, %zu artifact bytes)\n",
+                    model.name.c_str(), artifact.graphs.size(),
+                    static_cast<unsigned long long>(
+                        artifact.totalNodes()),
+                    bytes.size());
+        std::printf("hardware threads: %u, bench threads: %u\n", hw,
+                    threads);
+        printRule();
+        std::printf("parse serial        %8.3f ms\n", parse_serial_ms);
+        std::printf("parse %2u threads    %8.3f ms  (%.2fx)\n", threads,
+                    parse_parallel_ms,
+                    parse_serial_ms /
+                        std::max(parse_parallel_ms, 1e-9));
+        std::printf("parse skip contents %8.3f ms\n",
+                    parse_skip_contents_ms);
+        std::printf("parse owning copy   %8.3f ms\n", parse_owning_ms);
+        printRule();
+        std::printf("cold start serial      %8.3f ms wall\n",
+                    serial.wall_ms);
+        std::printf("cold start %2u threads  %8.3f ms wall  (%.2fx)\n",
+                    threads, parallel.wall_ms,
+                    serial.wall_ms / std::max(parallel.wall_ms, 1e-9));
+        std::printf("simulated loading      %8.3f ms (thread-count "
+                    "independent: %s)\n",
+                    parallel.times.loading * 1e3,
+                    identical ? "yes" : "NO — DETERMINISM BUG");
+        printRule();
+        std::printf("artifact cache miss  %8.3f ms\n", cache_miss_ms);
+        std::printf("artifact cache hit   %8.3f ms\n", cache_hit_ms);
+    }
+    return identical ? 0 : 1;
+}
+
+} // namespace
+} // namespace medusa::bench
+
+int
+main(int argc, char **argv)
+{
+    return medusa::bench::run(argc, argv);
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Machine-readable bench harness: builds the bench binaries and writes
+# BENCH_*.json files at the repo root.
+#
+#   BENCH_restore.json  — the parallel restore pipeline (parse, cold
+#                         start at 1 vs N threads, artifact cache);
+#                         exits non-zero if simulated results are not
+#                         thread-count independent.
+#   BENCH_micro.json    — google-benchmark microbenchmarks of the
+#                         substrate hot paths.
+#
+# Usage: scripts/bench.sh [build-dir] [threads]
+#   build-dir defaults to ./build, threads to the hardware concurrency.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+THREADS="${2:-0}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" \
+    --target bench_restore_parallel bench_micro >/dev/null
+
+cd "$ROOT" # bench binaries cache artifacts under ./artifacts
+
+echo "== bench_restore_parallel (threads=$THREADS; 0 = hardware)"
+"$BUILD/bench/bench_restore_parallel" --json "--threads=$THREADS" \
+    > "$ROOT/BENCH_restore.json"
+cat "$ROOT/BENCH_restore.json"
+
+echo "== bench_micro"
+"$BUILD/bench/bench_micro" --json \
+    --benchmark_min_warmup_time=0.1 > "$ROOT/BENCH_micro.json"
+echo "wrote $ROOT/BENCH_micro.json"

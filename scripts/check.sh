@@ -68,6 +68,19 @@ else
     fail "offline_materialize / medusa_lint binaries missing"
 fi
 
+note "concurrency tests under TSan (MEDUSA_TSAN)"
+TSAN_BUILD="$BUILD-tsan"
+if ! cmake -B "$TSAN_BUILD" -S "$ROOT" -DMEDUSA_TSAN=ON >/dev/null; then
+    fail "TSan cmake configure failed"
+elif ! cmake --build "$TSAN_BUILD" -j "$(nproc)" \
+        --target restore_parallel_test artifact_cache_test \
+        >/dev/null; then
+    fail "TSan build failed"
+elif ! ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+        -j "$(nproc)" -R 'RestoreParallel|ArtifactCache'; then
+    fail "TSan test run failed"
+fi
+
 note "summary"
 if [ "$FAILURES" -ne 0 ]; then
     echo "$FAILURES check(s) failed"

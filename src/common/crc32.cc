@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace medusa {
+
+namespace {
+
+constexpr std::array<u32, 256>
+makeCrcTable()
+{
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<u32, 256> kCrcTable = makeCrcTable();
+
+} // namespace
+
+u32
+crc32(const void *data, std::size_t size)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    u32 crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc = kCrcTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace medusa

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * spans. The sectioned artifact format stores one checksum per section
+ * so corruption is localized to the section that carries it and
+ * detected before any replay state is touched.
+ */
+
+#ifndef MEDUSA_COMMON_CRC32_H
+#define MEDUSA_COMMON_CRC32_H
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace medusa {
+
+/** CRC-32 of @p size bytes at @p data (seeded with the standard ~0). */
+u32 crc32(const void *data, std::size_t size);
+
+} // namespace medusa
+
+#endif // MEDUSA_COMMON_CRC32_H

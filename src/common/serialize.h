@@ -12,6 +12,7 @@
 #define MEDUSA_COMMON_SERIALIZE_H
 
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,9 @@ class BinaryWriter
         writeRaw(bytes.data(), bytes.size());
     }
 
+    /** Append raw bytes with no length prefix (pre-framed payloads). */
+    void writeBytesRaw(const void *data, std::size_t n) { writeRaw(data, n); }
+
     /** Serialize a vector given a per-element writer functor. */
     template <typename T, typename Fn>
     void
@@ -86,14 +90,33 @@ class BinaryWriter
  * Reads values back in the order they were written. All read methods
  * return errors (never crash) on truncated input, so a corrupted artifact
  * is reported as a recoverable failure.
+ *
+ * Two construction modes:
+ *  - owning: the reader takes the byte vector by value (convenient for
+ *    one-shot loads where the buffer has no other consumer);
+ *  - view: the reader borrows a std::span over bytes owned elsewhere —
+ *    zero copies, and many readers can decode disjoint sections of one
+ *    buffer concurrently. The caller keeps the backing storage alive.
  */
 class BinaryReader
 {
   public:
+    /** Owning mode: adopt the buffer. */
     explicit BinaryReader(std::vector<u8> bytes)
-        : buf_(std::move(bytes)), pos_(0)
+        : owned_(std::move(bytes)), buf_(owned_), pos_(0)
     {
     }
+
+    /** View mode: borrow @p view (no copy; caller owns the bytes). */
+    explicit BinaryReader(std::span<const u8> view)
+        : buf_(view), pos_(0)
+    {
+    }
+
+    // The span member points into owned_; default copy/move would leave
+    // it dangling.
+    BinaryReader(const BinaryReader &) = delete;
+    BinaryReader &operator=(const BinaryReader &) = delete;
 
     StatusOr<u8>
     readU8()
@@ -197,7 +220,34 @@ class BinaryReader
         return out;
     }
 
+    /**
+     * Borrow @p n bytes at the cursor without copying (view of the
+     * reader's backing storage — valid only while it lives).
+     */
+    StatusOr<std::span<const u8>>
+    viewBytes(std::size_t n)
+    {
+        if (n > remaining()) {
+            return internalError("serialized stream truncated");
+        }
+        std::span<const u8> out = buf_.subspan(pos_, n);
+        pos_ += n;
+        return out;
+    }
+
+    /** Advance the cursor past @p n bytes without reading them. */
+    Status
+    skipBytes(std::size_t n)
+    {
+        if (n > remaining()) {
+            return internalError("serialized stream truncated");
+        }
+        pos_ += n;
+        return Status::ok();
+    }
+
     std::size_t remaining() const { return buf_.size() - pos_; }
+    std::size_t position() const { return pos_; }
     bool atEnd() const { return pos_ == buf_.size(); }
 
   private:
@@ -219,7 +269,8 @@ class BinaryReader
                              what);
     }
 
-    std::vector<u8> buf_;
+    std::vector<u8> owned_;
+    std::span<const u8> buf_;
     std::size_t pos_;
 };
 

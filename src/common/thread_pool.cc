@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace medusa {
+
+ThreadPool::ThreadPool(u32 num_threads)
+{
+    const u32 n = num_threads == 0 ? hardwareThreads() : num_threads;
+    workers_.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+        workers_.emplace_back([this]() { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &w : workers_) {
+        w.join();
+    }
+}
+
+u32
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_.push(std::move(task));
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this]() { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0) {
+        return;
+    }
+    // One contiguous chunk per participant (workers + the caller); the
+    // deterministic partition documented in the header.
+    const std::size_t participants =
+        std::min<std::size_t>(n, static_cast<std::size_t>(size()) + 1);
+    const std::size_t base = n / participants;
+    const std::size_t extra = n % participants;
+    auto chunkBounds = [&](std::size_t c) {
+        const std::size_t begin =
+            c * base + std::min<std::size_t>(c, extra);
+        return std::pair<std::size_t, std::size_t>(
+            begin, begin + base + (c < extra ? 1 : 0));
+    };
+    for (std::size_t c = 1; c < participants; ++c) {
+        submit([&body, chunkBounds, c]() {
+            const auto [begin, end] = chunkBounds(c);
+            for (std::size_t i = begin; i < end; ++i) {
+                body(i);
+            }
+        });
+    }
+    const auto [begin, end] = chunkBounds(0);
+    for (std::size_t i = begin; i < end; ++i) {
+        body(i);
+    }
+    waitIdle();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock,
+                          [this]() { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return; // stop_ set and nothing left to drain
+            }
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (--in_flight_ == 0) {
+                idle_cv_.notify_all();
+            }
+        }
+    }
+}
+
+} // namespace medusa

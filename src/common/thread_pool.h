@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small fixed-size thread pool for host-side parallelism.
+ *
+ * Medusa's restore pipeline uses the pool to overlap CPU-bound work
+ * (artifact section decoding, graph rebuilding) across cores. The pool
+ * is deliberately work-stealing-free: parallelFor() partitions an index
+ * range into one contiguous chunk per worker, so the assignment of work
+ * to threads is a pure function of (n, thread count) and every run
+ * touches each output slot from exactly one thread. Determinism of the
+ * *results* is then the caller's only obligation: workers must write
+ * disjoint, pre-sized slots and never touch shared mutable state (the
+ * simulated clock in particular stays on the calling thread).
+ */
+
+#ifndef MEDUSA_COMMON_THREAD_POOL_H
+#define MEDUSA_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace medusa {
+
+/**
+ * Fixed worker set with a shared FIFO queue; see file comment.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p num_threads workers. 0 resolves to the hardware
+     * concurrency. A pool of size 1 still spawns one worker, so task
+     * execution is always off the calling thread (keeps TSan coverage
+     * honest even in degenerate configurations).
+     */
+    explicit ThreadPool(u32 num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    u32 size() const { return static_cast<u32>(workers_.size()); }
+
+    /**
+     * Run body(i) for every i in [0, n), partitioned into size()
+     * contiguous chunks, and block until all complete. The calling
+     * thread participates (it runs the first chunk), so a pool is never
+     * slower than serial execution by more than the dispatch overhead.
+     * @p body must not throw.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Enqueue one task; returns immediately. */
+    void submit(std::function<void()> task);
+
+    /** Block until every queued and running task has finished. */
+    void waitIdle();
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static u32 hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    u64 in_flight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace medusa
+
+#endif // MEDUSA_COMMON_THREAD_POOL_H

@@ -299,6 +299,16 @@ ModelRuntime::instantiateGraph(u32 bs, const CudaGraph &graph)
 }
 
 Status
+ModelRuntime::instantiateGraphs(
+    const std::vector<std::pair<u32, const CudaGraph *>> &ordered)
+{
+    for (const auto &[bs, graph] : ordered) {
+        MEDUSA_RETURN_IF_ERROR(instantiateGraph(bs, *graph));
+    }
+    return Status::ok();
+}
+
+Status
 ModelRuntime::captureDecodeGraphs()
 {
     // Largest batch size first, as vLLM does (peak memory reserved up

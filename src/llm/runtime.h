@@ -128,6 +128,17 @@ class ModelRuntime
     /** Register an instantiated graph for serving at batch size bs. */
     Status instantiateGraph(u32 bs, const simcuda::CudaGraph &graph);
 
+    /**
+     * Instantiate a batch of rebuilt graphs, strictly in the order
+     * given. Instantiation mutates process state (clock, graph
+     * registry), so parallel restore drivers funnel through this hook
+     * after building the CudaGraphs concurrently — it pins the ordering
+     * contract that keeps simulated time thread-count independent.
+     */
+    Status instantiateGraphs(
+        const std::vector<std::pair<u32, const simcuda::CudaGraph *>>
+            &ordered);
+
     bool hasGraph(u32 bs) const { return graphs_.count(bs) != 0; }
     std::size_t graphCount() const { return graphs_.size(); }
 

@@ -1,0 +1,115 @@
+#include "medusa/artifact_cache.h"
+
+#include <algorithm>
+
+namespace medusa::core {
+
+ArtifactCache::ArtifactCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity))
+{
+}
+
+StatusOr<std::shared_ptr<const Artifact>>
+ArtifactCache::getOrLoad(const std::string &key, const Loader &loader,
+                         bool *was_hit)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        auto it = slots_.find(key);
+        if (it == slots_.end()) {
+            break; // this caller becomes the loader
+        }
+        if (it->second.loading) {
+            // Single-flight: block until the in-flight load resolves.
+            // A failed load erases the slot, so the loop re-enters the
+            // loader path and retries.
+            cv_.wait(lock);
+            continue;
+        }
+        it->second.last_used = ++tick_;
+        ++stats_.hits;
+        if (was_hit != nullptr) {
+            *was_hit = true;
+        }
+        return it->second.value;
+    }
+
+    slots_.emplace(key, Slot{});
+    ++stats_.misses;
+    lock.unlock();
+    StatusOr<Artifact> loaded = loader();
+    lock.lock();
+    if (!loaded.isOk()) {
+        slots_.erase(key);
+        ++stats_.failed_loads;
+        cv_.notify_all();
+        return loaded.status();
+    }
+    Slot &slot = slots_[key];
+    slot.loading = false;
+    slot.value =
+        std::make_shared<const Artifact>(std::move(loaded).value());
+    slot.last_used = ++tick_;
+    std::shared_ptr<const Artifact> value = slot.value;
+    evictOverCapacity();
+    cv_.notify_all();
+    if (was_hit != nullptr) {
+        *was_hit = false;
+    }
+    return value;
+}
+
+void
+ArtifactCache::evictOverCapacity()
+{
+    auto resident = [this]() {
+        std::size_t n = 0;
+        for (const auto &[key, slot] : slots_) {
+            n += slot.loading ? 0 : 1;
+        }
+        return n;
+    };
+    while (resident() > capacity_) {
+        auto victim = slots_.end();
+        for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+            if (it->second.loading) {
+                continue;
+            }
+            if (victim == slots_.end() ||
+                it->second.last_used < victim->second.last_used) {
+                victim = it;
+            }
+        }
+        slots_.erase(victim);
+        ++stats_.evictions;
+    }
+}
+
+ArtifactCache::Stats
+ArtifactCache::stats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t
+ArtifactCache::size() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &[key, slot] : slots_) {
+        n += slot.loading ? 0 : 1;
+    }
+    return n;
+}
+
+void
+ArtifactCache::clear()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto it = slots_.begin(); it != slots_.end();) {
+        it = it->second.loading ? std::next(it) : slots_.erase(it);
+    }
+}
+
+} // namespace medusa::core

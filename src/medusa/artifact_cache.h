@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A process-wide cache of deserialized artifacts.
+ *
+ * Serverless platforms run many instances of the same <GPU type, model>
+ * pair per node, and every Medusa cold start begins by loading that
+ * pair's artifact (§3). The cache makes the load pay once per node:
+ * entries are shared immutably (shared_ptr<const Artifact>), a miss is
+ * single-flight — concurrent requests for one key run the loader
+ * exactly once while the rest block for the result — and capacity is
+ * bounded with least-recently-used eviction (an evicted artifact stays
+ * alive for engines still holding it).
+ *
+ * A failed load is not cached: the error propagates to the caller that
+ * ran the loader, and blocked callers retry the load themselves.
+ */
+
+#ifndef MEDUSA_MEDUSA_ARTIFACT_CACHE_H
+#define MEDUSA_MEDUSA_ARTIFACT_CACHE_H
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "medusa/artifact.h"
+
+namespace medusa::core {
+
+/** Thread-safe, single-flight, LRU-bounded artifact store. */
+class ArtifactCache
+{
+  public:
+    /** Produces the artifact on a miss (runs outside the cache lock). */
+    using Loader = std::function<StatusOr<Artifact>()>;
+
+    struct Stats
+    {
+        u64 hits = 0;
+        u64 misses = 0;
+        u64 evictions = 0;
+        u64 failed_loads = 0;
+    };
+
+    /** @param capacity max resident artifacts (floored at 1). */
+    explicit ArtifactCache(std::size_t capacity = 8);
+
+    /**
+     * The artifact for @p key, loading it via @p loader on a miss.
+     * Concurrent callers with the same key share one loader run.
+     * @param[out] was_hit if non-null, set to whether the artifact was
+     *             already resident (waiting on an in-flight load counts
+     *             as a hit).
+     */
+    StatusOr<std::shared_ptr<const Artifact>>
+    getOrLoad(const std::string &key, const Loader &loader,
+              bool *was_hit = nullptr);
+
+    Stats stats() const;
+    /** Resident (fully loaded) artifacts. */
+    std::size_t size() const;
+    /** Drop every resident entry (in-flight loads are unaffected). */
+    void clear();
+
+  private:
+    struct Slot
+    {
+        /** True while the loading caller is off running the loader. */
+        bool loading = true;
+        std::shared_ptr<const Artifact> value;
+        u64 last_used = 0;
+    };
+
+    /** Evict LRU resident slots down to capacity. Caller holds mu_. */
+    void evictOverCapacity();
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_map<std::string, Slot> slots_;
+    u64 tick_ = 0;
+    Stats stats_;
+};
+
+} // namespace medusa::core
+
+#endif // MEDUSA_MEDUSA_ARTIFACT_CACHE_H

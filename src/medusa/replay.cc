@@ -183,55 +183,58 @@ buildKernelNameTable(ModelRuntime &rt)
     return name_table;
 }
 
-StatusOr<CudaGraph>
-rebuildGraph(const GraphBlueprint &bp, const ReplayTable &table,
-             ModelRuntime &rt,
-             const std::unordered_map<std::string, KernelAddr>
-                 &name_table,
-             const RestoreOptions &options, RestoreReport &report)
+namespace {
+
+/**
+ * Restore one node's kernel address (§5): dlsym where visible, else the
+ * enumeration-built name table. Mutates process state (clock, module
+ * loads) and the report — callers keep this on the restoring thread.
+ */
+StatusOr<KernelAddr>
+resolveKernel(const NodeBlueprint &nb, ModelRuntime &rt,
+              const std::unordered_map<std::string, KernelAddr>
+                  &name_table,
+              const RestoreOptions &options, RestoreReport &report)
 {
-    const CostModel &cost = rt.process().cost();
+    if (options.use_dlsym) {
+        auto sym = rt.process().dlsym(nb.module_name, nb.kernel_name);
+        if (sym.isOk()) {
+            auto addr = rt.process().cudaGetFuncBySymbol(*sym);
+            if (addr.isOk()) {
+                ++report.kernels_via_dlsym;
+                return *addr;
+            }
+        }
+    }
+    auto it = name_table.find(nb.kernel_name);
+    if (it == name_table.end()) {
+        return notFound("cannot restore kernel address for " +
+                        nb.kernel_name +
+                        (options.use_triggering_kernels
+                             ? " (not in any loaded module)"
+                             : " (hidden; triggering-kernels disabled)"));
+    }
+    ++report.kernels_via_enumeration;
+    return it->second;
+}
+
+/**
+ * The pure tail of a graph rebuild: dependency lists and parameter
+ * patching through the (const) replay table. No clock, no report, no
+ * process state — safe to run concurrently for distinct graphs.
+ */
+StatusOr<CudaGraph>
+buildGraphFromBlueprint(const GraphBlueprint &bp,
+                        const std::vector<KernelAddr> &fns,
+                        const ReplayTable &table)
+{
     CudaGraph graph;
     std::vector<std::vector<simcuda::NodeId>> deps(bp.nodes.size());
     for (const auto &[src, dst] : bp.edges) {
-        if (dst >= bp.nodes.size() || src >= dst) {
-            return validationFailure("corrupt edge in artifact");
-        }
         deps[dst].push_back(src);
     }
     for (u32 ni = 0; ni < bp.nodes.size(); ++ni) {
         const NodeBlueprint &nb = bp.nodes[ni];
-
-        // ---- kernel address restoration ------------------------------
-        KernelAddr fn = 0;
-        bool resolved = false;
-        if (options.use_dlsym) {
-            auto sym = rt.process().dlsym(nb.module_name,
-                                          nb.kernel_name);
-            if (sym.isOk()) {
-                auto addr = rt.process().cudaGetFuncBySymbol(*sym);
-                if (addr.isOk()) {
-                    fn = *addr;
-                    resolved = true;
-                    ++report.kernels_via_dlsym;
-                }
-            }
-        }
-        if (!resolved) {
-            auto it = name_table.find(nb.kernel_name);
-            if (it == name_table.end()) {
-                return notFound(
-                    "cannot restore kernel address for " +
-                    nb.kernel_name +
-                    (options.use_triggering_kernels
-                         ? " (not in any loaded module)"
-                         : " (hidden; triggering-kernels disabled)"));
-            }
-            fn = it->second;
-            ++report.kernels_via_enumeration;
-        }
-
-        // ---- parameter restoration ---------------------------------
         RawParams params;
         params.reserve(nb.params.size());
         for (const ParamSpec &spec : nb.params) {
@@ -246,11 +249,121 @@ rebuildGraph(const GraphBlueprint &bp, const ReplayTable &table,
                 params.push_back(std::move(bytes));
             }
         }
-        graph.addKernelNode(fn, std::move(params), nb.timing, deps[ni]);
+        graph.addKernelNode(fns[ni], std::move(params), nb.timing,
+                            deps[ni]);
+    }
+    return graph;
+}
+
+Status
+validateEdges(const GraphBlueprint &bp)
+{
+    for (const auto &[src, dst] : bp.edges) {
+        if (dst >= bp.nodes.size() || src >= dst) {
+            return validationFailure("corrupt edge in artifact");
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+StatusOr<CudaGraph>
+rebuildGraph(const GraphBlueprint &bp, const ReplayTable &table,
+             ModelRuntime &rt,
+             const std::unordered_map<std::string, KernelAddr>
+                 &name_table,
+             const RestoreOptions &options, RestoreReport &report)
+{
+    const CostModel &cost = rt.process().cost();
+    MEDUSA_RETURN_IF_ERROR(validateEdges(bp));
+    std::vector<KernelAddr> fns(bp.nodes.size());
+    for (u32 ni = 0; ni < bp.nodes.size(); ++ni) {
+        MEDUSA_ASSIGN_OR_RETURN(fns[ni],
+                                resolveKernel(bp.nodes[ni], rt,
+                                              name_table, options,
+                                              report));
         ++report.nodes_restored;
         rt.clock().advance(units::usToNs(cost.restore_per_node_us));
     }
-    return graph;
+    return buildGraphFromBlueprint(bp, fns, table);
+}
+
+Status
+restoreGraphs(const Artifact &artifact, const ReplayTable &table,
+              ModelRuntime &rt,
+              const std::unordered_map<std::string, KernelAddr>
+                  &name_table,
+              const RestoreOptions &options, RestoreReport &report,
+              ThreadPool *pool)
+{
+    const CostModel &cost = rt.process().cost();
+    const std::size_t n = artifact.graphs.size();
+
+    // Phase 1 — serial resolution: every clock charge and counter
+    // mutation stays on this thread, in exact artifact order.
+    std::vector<std::vector<KernelAddr>> fns(n);
+    for (std::size_t g = 0; g < n; ++g) {
+        const GraphBlueprint &bp = artifact.graphs[g];
+        MEDUSA_RETURN_IF_ERROR(validateEdges(bp));
+        fns[g].resize(bp.nodes.size());
+        for (u32 ni = 0; ni < bp.nodes.size(); ++ni) {
+            MEDUSA_ASSIGN_OR_RETURN(fns[g][ni],
+                                    resolveKernel(bp.nodes[ni], rt,
+                                                  name_table, options,
+                                                  report));
+            ++report.nodes_restored;
+            rt.clock().advance(
+                units::usToNs(cost.restore_per_node_us));
+        }
+    }
+
+    // Phase 2 — parallel pure build into disjoint pre-sized slots.
+    std::vector<CudaGraph> graphs(n);
+    std::vector<Status> statuses(n);
+    auto buildOne = [&](std::size_t g) {
+        auto built = buildGraphFromBlueprint(artifact.graphs[g],
+                                             fns[g], table);
+        if (built.isOk()) {
+            graphs[g] = std::move(built).value();
+        } else {
+            statuses[g] = built.status();
+        }
+    };
+    if (pool != nullptr && n > 1) {
+        pool->parallelFor(n, buildOne);
+    } else {
+        for (std::size_t g = 0; g < n; ++g) {
+            buildOne(g);
+        }
+    }
+    // First failure in artifact order, independent of thread count.
+    for (const Status &s : statuses) {
+        MEDUSA_RETURN_IF_ERROR(s);
+    }
+
+    // Phase 3 — serial instantiation in artifact order.
+    std::vector<std::pair<u32, const CudaGraph *>> ordered;
+    ordered.reserve(n);
+    for (std::size_t g = 0; g < n; ++g) {
+        ordered.emplace_back(artifact.graphs[g].batch_size, &graphs[g]);
+    }
+    MEDUSA_RETURN_IF_ERROR(rt.instantiateGraphs(ordered));
+    report.graphs_restored += n;
+    return Status::ok();
+}
+
+std::unique_ptr<ThreadPool>
+makeRestorePool(const RestoreOptions &options)
+{
+    const u32 want = options.restore_threads == 0
+                         ? ThreadPool::hardwareThreads()
+                         : options.restore_threads;
+    if (want <= 1) {
+        return nullptr;
+    }
+    // parallelFor participants = workers + the calling thread.
+    return std::make_unique<ThreadPool>(want - 1);
 }
 
 } // namespace medusa::core

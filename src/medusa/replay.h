@@ -10,10 +10,12 @@
 #ifndef MEDUSA_MEDUSA_REPLAY_H
 #define MEDUSA_MEDUSA_REPLAY_H
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "llm/runtime.h"
 #include "medusa/artifact.h"
 #include "medusa/restore_options.h"
@@ -86,6 +88,38 @@ rebuildGraph(const GraphBlueprint &bp, const ReplayTable &table,
              const std::unordered_map<std::string, KernelAddr>
                  &name_table,
              const RestoreOptions &options, RestoreReport &report);
+
+/**
+ * Rebuild and instantiate every graph in @p artifact — the parallel
+ * form of the per-graph rebuildGraph + instantiateGraph loop. Three
+ * phases keep the result bit-identical for every thread count:
+ *
+ *  1. serial kernel resolution: every dlsym / module-load / per-node
+ *     clock charge and every RestoreReport counter lands on the calling
+ *     thread, in exact artifact order;
+ *  2. parallel graph build: parameter patching through the (const)
+ *     indirect index pointer table and CudaGraph construction are pure,
+ *     each task writing one pre-sized slot;
+ *  3. serial instantiation in artifact order via
+ *     ModelRuntime::instantiateGraphs.
+ *
+ * @p pool may be null (phase 2 runs inline); only host wall-clock
+ * changes with it.
+ */
+Status restoreGraphs(const Artifact &artifact, const ReplayTable &table,
+                     llm::ModelRuntime &rt,
+                     const std::unordered_map<std::string, KernelAddr>
+                         &name_table,
+                     const RestoreOptions &options,
+                     RestoreReport &report, ThreadPool *pool = nullptr);
+
+/**
+ * The pool implied by RestoreOptions::restore_threads: null for a
+ * serial restore (<= 1 effective thread), else a pool whose worker
+ * count makes parallelFor use exactly that many participants.
+ */
+std::unique_ptr<ThreadPool>
+makeRestorePool(const RestoreOptions &options);
 
 } // namespace medusa::core
 

@@ -71,9 +71,10 @@ MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
     t.tokenizer = lap();
 
     // 3. KV-init restoration: read the artifact, adopt the materialized
-    //    free-memory value (no profiling forwarding).
+    //    free-memory value (no profiling forwarding). The parse-time
+    //    size hint avoids re-serializing just to price the read.
     clock.advance(units::usToNs(
-        static_cast<f64>(artifact.serialize().size()) /
+        static_cast<f64>(artifact.serializedByteSize()) /
         (cost.artifact_read_gbps * 1e3)));
 
     // 4. Replay the recorded (de)allocation sequence (§4.2).
@@ -101,15 +102,13 @@ MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
         MEDUSA_ASSIGN_OR_RETURN(name_table, buildKernelNameTable(rt));
     }
 
-    // 8. Rebuild and instantiate every materialized graph.
-    for (const GraphBlueprint &bp : artifact.graphs) {
-        MEDUSA_ASSIGN_OR_RETURN(
-            CudaGraph graph,
-            rebuildGraph(bp, *table, rt, name_table, opts.restore,
-                         report));
-        MEDUSA_RETURN_IF_ERROR(rt.instantiateGraph(bp.batch_size, graph));
-        ++report.graphs_restored;
-    }
+    // 8. Rebuild and instantiate every materialized graph. The pure
+    //    build stage fans out over restore_threads; simulated time and
+    //    the report are unchanged by the thread count.
+    std::unique_ptr<ThreadPool> pool = makeRestorePool(opts.restore);
+    MEDUSA_RETURN_IF_ERROR(restoreGraphs(artifact, *table, rt,
+                                         name_table, opts.restore,
+                                         report, pool.get()));
     t.capture = lap();
 
     // Visible loading latency (Figure 8(c)'s timeline): the tokenizer,

@@ -33,6 +33,13 @@ struct RestoreOptions
      * that catches corrupt artifacts before they touch device state.
      */
     bool lint = false;
+    /**
+     * Host threads for the graph-rebuild stage (restoreGraphs): 1 =
+     * serial, 0 = one per hardware thread. Parallelism only shrinks
+     * host wall-clock; the simulated StageTimes, the RestoreReport and
+     * every restored graph are bit-identical for all values.
+     */
+    u32 restore_threads = 1;
 };
 
 /** What the restoration did (for benches and tests). */

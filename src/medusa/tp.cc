@@ -148,6 +148,9 @@ TpMedusaEngine::coldStart(const Options &opts,
     TpCluster &cluster = *engine->cluster_;
     engine->reports_.resize(opts.world);
 
+    // One pool serves every rank's graph-rebuild stage in turn.
+    std::unique_ptr<ThreadPool> pool = makeRestorePool(opts.restore);
+
     // The online phase, per rank (stage-interleaved).
     for (u32 r = 0; r < opts.world; ++r) {
         MEDUSA_RETURN_IF_ERROR(cluster.rank(r).initStructure());
@@ -175,16 +178,10 @@ TpMedusaEngine::coldStart(const Options &opts,
             MEDUSA_ASSIGN_OR_RETURN(name_table,
                                     buildKernelNameTable(cluster.rank(r)));
         }
-        for (const GraphBlueprint &bp : rank_artifacts[r].graphs) {
-            MEDUSA_ASSIGN_OR_RETURN(
-                CudaGraph graph,
-                rebuildGraph(bp, *engine->tables_[r], cluster.rank(r),
-                             name_table, opts.restore,
-                             engine->reports_[r]));
-            MEDUSA_RETURN_IF_ERROR(
-                cluster.rank(r).instantiateGraph(bp.batch_size, graph));
-            ++engine->reports_[r].graphs_restored;
-        }
+        MEDUSA_RETURN_IF_ERROR(restoreGraphs(
+            rank_artifacts[r], *engine->tables_[r], cluster.rank(r),
+            name_table, opts.restore, engine->reports_[r],
+            pool.get()));
         engine->loading_sec_ = std::max(
             engine->loading_sec_, cluster.rank(r).clock().nowSec());
     }

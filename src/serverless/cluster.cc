@@ -101,6 +101,8 @@ class ClusterSim
             last_finish = std::max(last_finish, req->finished_at);
         }
         m.cold_starts = cold_starts_;
+        m.artifact_loads = artifact_loads_;
+        m.artifact_cache_hits = artifact_cache_hits_;
         m.makespan_sec = std::max(last_finish - first_arrival, 1e-9);
         m.achieved_qps = static_cast<f64>(m.completed) / m.makespan_sec;
         for (const auto &inst : instances_) {
@@ -169,9 +171,26 @@ class ClusterSim
         inst->launched_at = loop_.now();
         Instance *ptr = inst.get();
         instances_.push_back(std::move(inst));
+        // Artifact fetch: the first cold start on the node loads the
+        // <GPU type, model> artifact; every later one shares the
+        // resident copy and skips the fetch latency.
+        f64 fetch_sec = 0;
+        if (options_.artifact_cache != nullptr &&
+            options_.artifact_loader) {
+            bool hit = false;
+            auto artifact = options_.artifact_cache->getOrLoad(
+                options_.artifact_key, options_.artifact_loader, &hit);
+            ++artifact_loads_;
+            if (artifact.isOk() && hit) {
+                ++artifact_cache_hits_;
+            } else {
+                fetch_sec = options_.artifact_miss_sec;
+            }
+        }
         // With a warm container pool, instance launch time equals the
         // loading phase (§7.5).
-        loop_.scheduleAfter(profile_.cold_start_sec, [this, ptr]() {
+        loop_.scheduleAfter(fetch_sec + profile_.cold_start_sec,
+                            [this, ptr]() {
             ptr->state = Instance::State::kLive;
             dispatch();
             if (ptr->load() == 0) {
@@ -295,6 +314,8 @@ class ClusterSim
     std::vector<std::unique_ptr<Instance>> instances_;
     std::deque<SimRequest *> waiting_;
     u64 cold_starts_ = 0;
+    u64 artifact_loads_ = 0;
+    u64 artifact_cache_hits_ = 0;
 };
 
 } // namespace

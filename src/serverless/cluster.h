@@ -15,9 +15,11 @@
 #ifndef MEDUSA_SERVERLESS_CLUSTER_H
 #define MEDUSA_SERVERLESS_CLUSTER_H
 
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "medusa/artifact_cache.h"
 #include "serverless/profile.h"
 #include "workload/trace.h"
 
@@ -40,6 +42,20 @@ struct ClusterOptions
      * whole run — the resource wastage the paper argues against.
      */
     u32 hot_spares = 0;
+    /**
+     * Process-wide artifact store consulted at every cold start. When
+     * set (with artifact_key + artifact_loader), the first cold start
+     * on the node loads the artifact — charging artifact_miss_sec on
+     * top of the profile's cold start — and later ones share the
+     * resident copy for free. Null leaves cold starts untouched.
+     */
+    core::ArtifactCache *artifact_cache = nullptr;
+    /** Cache key for this cluster's <GPU type, model> artifact. */
+    std::string artifact_key;
+    /** Loads the artifact on a cache miss. */
+    core::ArtifactCache::Loader artifact_loader;
+    /** Extra cold-start latency charged on an artifact-cache miss. */
+    f64 artifact_miss_sec = 0.0;
 };
 
 /** Simulation output. */
@@ -57,6 +73,10 @@ struct TraceMetrics
      * instances (cold-start time included) — the pay-as-you-go bill.
      */
     f64 gpu_seconds = 0;
+    /** Artifact fetches attempted by cold starts (0 without a cache). */
+    u64 artifact_loads = 0;
+    /** Fetches served from the resident artifact cache. */
+    u64 artifact_cache_hits = 0;
 };
 
 /** Replay a trace against a cluster running the profiled engine. */

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The process-wide artifact cache: single-flight loading, shared
+ * immutable entries, LRU eviction and failed-load retry semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "medusa/artifact_cache.h"
+
+namespace medusa {
+namespace {
+
+using core::Artifact;
+using core::ArtifactCache;
+
+Artifact
+namedArtifact(const std::string &name)
+{
+    Artifact a;
+    a.model_name = name;
+    a.model_seed = 7;
+    return a;
+}
+
+TEST(ArtifactCache, MissLoadsThenHitsShareThePointer)
+{
+    ArtifactCache cache;
+    int loads = 0;
+    auto loader = [&loads]() -> StatusOr<Artifact> {
+        ++loads;
+        return namedArtifact("m");
+    };
+    bool hit = true;
+    auto first = cache.getOrLoad("k", loader, &hit);
+    ASSERT_TRUE(first.isOk());
+    EXPECT_FALSE(hit);
+    EXPECT_EQ((*first)->model_name, "m");
+
+    auto second = cache.getOrLoad("k", loader, &hit);
+    ASSERT_TRUE(second.isOk());
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(loads, 1);
+    EXPECT_EQ(first->get(), second->get());
+
+    const ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ArtifactCache, SingleFlightRunsTheLoaderOnce)
+{
+    ArtifactCache cache;
+    std::atomic<int> loads{0};
+    auto loader = [&loads]() -> StatusOr<Artifact> {
+        ++loads;
+        // Hold the load open so every other thread has to wait on it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return namedArtifact("m");
+    };
+
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const Artifact>> got(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i]() {
+            auto result = cache.getOrLoad("k", loader);
+            ASSERT_TRUE(result.isOk());
+            got[i] = *result;
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(loads.load(), 1);
+    for (int i = 1; i < kThreads; ++i) {
+        EXPECT_EQ(got[0].get(), got[i].get());
+    }
+    const ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, static_cast<u64>(kThreads - 1));
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsed)
+{
+    ArtifactCache cache(/*capacity=*/2);
+    int b_loads = 0;
+    auto loadNamed = [](const std::string &name) {
+        return [name]() -> StatusOr<Artifact> {
+            return namedArtifact(name);
+        };
+    };
+    ASSERT_TRUE(cache.getOrLoad("a", loadNamed("a")).isOk());
+    ASSERT_TRUE(cache
+                    .getOrLoad("b",
+                               [&b_loads]() -> StatusOr<Artifact> {
+                                   ++b_loads;
+                                   return namedArtifact("b");
+                               })
+                    .isOk());
+    // Touch a so b becomes the LRU entry, then overflow with c.
+    ASSERT_TRUE(cache.getOrLoad("a", loadNamed("a")).isOk());
+    ASSERT_TRUE(cache.getOrLoad("c", loadNamed("c")).isOk());
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // b was evicted: fetching it again re-runs its loader. An evicted
+    // artifact held elsewhere stays alive via its shared_ptr.
+    bool hit = true;
+    ASSERT_TRUE(cache
+                    .getOrLoad("b",
+                               [&b_loads]() -> StatusOr<Artifact> {
+                                   ++b_loads;
+                                   return namedArtifact("b");
+                               },
+                               &hit)
+                    .isOk());
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(b_loads, 2);
+}
+
+TEST(ArtifactCache, FailedLoadPropagatesAndRetries)
+{
+    ArtifactCache cache;
+    int attempts = 0;
+    auto flaky = [&attempts]() -> StatusOr<Artifact> {
+        if (++attempts == 1) {
+            return internalError("transient artifact read failure");
+        }
+        return namedArtifact("m");
+    };
+    auto first = cache.getOrLoad("k", flaky);
+    ASSERT_FALSE(first.isOk());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().failed_loads, 1u);
+
+    auto second = cache.getOrLoad("k", flaky);
+    ASSERT_TRUE(second.isOk());
+    EXPECT_EQ((*second)->model_name, "m");
+    EXPECT_EQ(attempts, 2);
+}
+
+TEST(ArtifactCache, FailedLoadUnblocksWaitersWhoRetry)
+{
+    ArtifactCache cache;
+    std::atomic<int> attempts{0};
+    auto flaky = [&attempts]() -> StatusOr<Artifact> {
+        const int n = ++attempts;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        if (n == 1) {
+            return internalError("first load fails");
+        }
+        return namedArtifact("m");
+    };
+    constexpr int kThreads = 4;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&]() {
+            // Whoever ran the failing load sees the error; waiters
+            // retry the load themselves, so each thread succeeds on
+            // its first or second attempt.
+            for (int tries = 0; tries < 2; ++tries) {
+                if (cache.getOrLoad("k", flaky).isOk()) {
+                    ++ok;
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(ok.load(), kThreads);
+    EXPECT_EQ(cache.stats().failed_loads, 1u);
+}
+
+TEST(ArtifactCache, ClearDropsResidentEntries)
+{
+    ArtifactCache cache;
+    ASSERT_TRUE(cache
+                    .getOrLoad("k",
+                               []() -> StatusOr<Artifact> {
+                                   return namedArtifact("m");
+                               })
+                    .isOk());
+    EXPECT_EQ(cache.size(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+} // namespace
+} // namespace medusa

@@ -18,7 +18,7 @@ namespace {
 
 TEST(SerializeRobustness, EmptyBufferFailsEveryPrimitive)
 {
-    BinaryReader r({});
+    BinaryReader r(std::vector<u8>{});
     EXPECT_FALSE(r.readU8().isOk());
     EXPECT_FALSE(r.readU32().isOk());
     EXPECT_FALSE(r.readU64().isOk());

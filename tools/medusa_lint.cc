@@ -23,6 +23,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,7 +91,11 @@ main(int argc, char **argv)
                          bytes.status().toString().c_str());
             return 2;
         }
-        auto artifact = core::Artifact::deserialize(std::move(*bytes));
+        // Zero-copy parse straight out of the file buffer; the vector
+        // only needs to outlive the call (decoded data is owned by the
+        // Artifact).
+        auto artifact =
+            core::Artifact::deserializeView(std::span<const u8>(*bytes));
         if (!artifact.isOk()) {
             std::fprintf(stderr, "%s: %s\n", path.c_str(),
                          artifact.status().toString().c_str());
