@@ -8,6 +8,10 @@
 #                         thread-count independent.
 #   BENCH_micro.json    — google-benchmark microbenchmarks of the
 #                         substrate hot paths.
+#   BENCH_fault.json    — fault matrix: restore fault points × fallback
+#                         policies, and §7.5-trace p50/p99 TTFT under
+#                         0/1/5% artifact corruption; exits non-zero if
+#                         any trace request fails to complete.
 #
 # Usage: scripts/bench.sh [build-dir] [threads]
 #   build-dir defaults to ./build, threads to the hardware concurrency.
@@ -19,7 +23,8 @@ THREADS="${2:-0}"
 
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" \
-    --target bench_restore_parallel bench_micro >/dev/null
+    --target bench_restore_parallel bench_micro bench_fault_matrix \
+    >/dev/null
 
 cd "$ROOT" # bench binaries cache artifacts under ./artifacts
 
@@ -32,3 +37,7 @@ echo "== bench_micro"
 "$BUILD/bench/bench_micro" --json \
     --benchmark_min_warmup_time=0.1 > "$ROOT/BENCH_micro.json"
 echo "wrote $ROOT/BENCH_micro.json"
+
+echo "== bench_fault_matrix"
+"$BUILD/bench/bench_fault_matrix" --json > "$ROOT/BENCH_fault.json"
+cat "$ROOT/BENCH_fault.json"

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# The repository hygiene gate: formatting, static analysis, sanitizers
-# and static artifact verification. Steps whose tools are not installed
-# are skipped with a notice, so the script is useful on minimal images.
+# The repository hygiene gate: formatting, static analysis, sanitizers,
+# static artifact verification and a fault-injected test pass (a fixed
+# MEDUSA_FAULT_PLAN seed keeps the restore-stack fault hooks live under
+# ASan and TSan). Steps whose tools are not installed are skipped with
+# a notice, so the script is useful on minimal images.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 set -u
@@ -61,11 +63,30 @@ if [ -x "$BUILD/examples/offline_materialize" ] &&
     if ! "$BUILD/examples/offline_materialize" Qwen1.5-0.5B \
             "$ARTIFACT" >/dev/null; then
         fail "offline_materialize failed"
-    elif ! "$BUILD/tools/medusa_lint" "$ARTIFACT"; then
-        fail "medusa_lint reported errors on a pipeline artifact"
+    elif ! "$BUILD/tools/medusa_lint" --max-severity info "$ARTIFACT"; then
+        # --max-severity info: a pipeline artifact must be clean even
+        # of warnings, not just free of errors.
+        fail "medusa_lint reported diagnostics on a pipeline artifact"
     fi
 else
     fail "offline_materialize / medusa_lint binaries missing"
+fi
+
+note "fault-injected tier-1 suite under ASan (fixed fault seed)"
+# An enabled-but-never-firing env plan keeps every MEDUSA_FAULT_POINT
+# hook live through the whole suite: the sanitized tier-1 run must
+# pass bit-identically with the injector threaded through the restore
+# stack. The fault/rollback tests additionally fire their own seeded
+# plans.
+FAULT_PLAN='replay_prefix@1000000000;seed=20250805'
+if [ -d "$BUILD" ]; then
+    if ! MEDUSA_FAULT_PLAN="$FAULT_PLAN" \
+            ctest --test-dir "$BUILD" --output-on-failure \
+            -j "$(nproc)" -R 'Fault|Rollback|MedusaIntegration'; then
+        fail "fault-injected ASan test run failed"
+    fi
+else
+    skip "ASan build directory missing"
 fi
 
 note "concurrency tests under TSan (MEDUSA_TSAN)"
@@ -74,10 +95,12 @@ if ! cmake -B "$TSAN_BUILD" -S "$ROOT" -DMEDUSA_TSAN=ON >/dev/null; then
     fail "TSan cmake configure failed"
 elif ! cmake --build "$TSAN_BUILD" -j "$(nproc)" \
         --target restore_parallel_test artifact_cache_test \
+                 fault_test rollback_test \
         >/dev/null; then
     fail "TSan build failed"
-elif ! ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-        -j "$(nproc)" -R 'RestoreParallel|ArtifactCache'; then
+elif ! MEDUSA_FAULT_PLAN='replay_prefix@1000000000;seed=20250805' \
+        ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+        -j "$(nproc)" -R 'RestoreParallel|ArtifactCache|Fault|Rollback'; then
     fail "TSan test run failed"
 fi
 

@@ -1,0 +1,500 @@
+#include "common/fault.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+
+namespace medusa {
+
+namespace {
+
+struct PointName
+{
+    FaultPoint point;
+    const char *name;
+};
+
+constexpr PointName kPointNames[] = {
+    {FaultPoint::kArtifactDeserialize, "deserialize"},
+    {FaultPoint::kArtifactCrc, "crc"},
+    {FaultPoint::kCacheLoader, "cache_loader"},
+    {FaultPoint::kReplayPrefix, "replay_prefix"},
+    {FaultPoint::kReplayAlloc, "replay_alloc"},
+    {FaultPoint::kKernelDlsym, "dlsym"},
+    {FaultPoint::kKernelEnumeration, "enumeration"},
+    {FaultPoint::kGraphInstantiate, "instantiate"},
+    {FaultPoint::kTpRankRestore, "tp_rank"},
+    {FaultPoint::kTpLockstep, "tp_lockstep"},
+    {FaultPoint::kClusterRestore, "cluster_restore"},
+};
+
+static_assert(sizeof(kPointNames) / sizeof(kPointNames[0]) ==
+                  kFaultPointCount,
+              "every FaultPoint needs a spec name");
+
+} // namespace
+
+const char *
+faultPointName(FaultPoint point)
+{
+    for (const PointName &pn : kPointNames) {
+        if (pn.point == point) {
+            return pn.name;
+        }
+    }
+    return "?";
+}
+
+StatusOr<FaultPoint>
+faultPointFromName(const std::string &name)
+{
+    for (const PointName &pn : kPointNames) {
+        if (name == pn.name) {
+            return pn.point;
+        }
+    }
+    return invalidArgument("unknown fault point \"" + name + "\"");
+}
+
+Status
+faultInjected(std::string msg)
+{
+    return Status(StatusCode::kFaultInjected, std::move(msg));
+}
+
+bool
+FaultPlan::enabled() const
+{
+    for (const FaultRule &r : rules) {
+        if (r.active()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// --------------------------------------------------------------- spec form
+
+StatusOr<FaultPlan>
+FaultPlan::fromSpec(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find_first_of(";,", pos);
+        if (end == std::string::npos) {
+            end = spec.size();
+        }
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        // Trim surrounding whitespace.
+        while (!entry.empty() && std::isspace(
+                                     static_cast<unsigned char>(
+                                         entry.front())) != 0) {
+            entry.erase(entry.begin());
+        }
+        while (!entry.empty() &&
+               std::isspace(static_cast<unsigned char>(entry.back())) !=
+                   0) {
+            entry.pop_back();
+        }
+        if (entry.empty()) {
+            continue;
+        }
+        // The point name is the longest registered name (or "seed")
+        // prefixing the entry; modifiers follow. A plain scan for the
+        // first modifier character would mis-split names that contain
+        // one ("replay_prefix" ends in 'x').
+        std::size_t name_len = 0;
+        for (const PointName &pn : kPointNames) {
+            const std::size_t n =
+                std::char_traits<char>::length(pn.name);
+            if (n > name_len && entry.compare(0, n, pn.name) == 0) {
+                name_len = n;
+            }
+        }
+        if (name_len < 4 && entry.compare(0, 4, "seed") == 0) {
+            name_len = 4;
+        }
+        const std::size_t mod =
+            name_len == 0 ? entry.find_first_of("=@x")
+            : name_len < entry.size() ? name_len
+                                      : std::string::npos;
+        const std::string name =
+            entry.substr(0, name_len == 0 ? mod : name_len);
+        if (name == "seed") {
+            if (mod == std::string::npos || entry[mod] != '=') {
+                return invalidArgument("fault spec: seed needs =VALUE");
+            }
+            plan.seed = std::strtoull(entry.c_str() + mod + 1, nullptr,
+                                      0);
+            continue;
+        }
+        MEDUSA_ASSIGN_OR_RETURN(FaultPoint point,
+                                faultPointFromName(name));
+        FaultRule &rule = plan.rule(point);
+        std::size_t i = mod;
+        bool any = false;
+        while (i != std::string::npos && i < entry.size()) {
+            const char kind = entry[i];
+            const char *begin = entry.c_str() + i + 1;
+            char *after = nullptr;
+            if (kind == '=') {
+                rule.probability = std::strtod(begin, &after);
+                if (after == begin || rule.probability < 0 ||
+                    rule.probability > 1) {
+                    return invalidArgument(
+                        "fault spec: bad probability in \"" + entry +
+                        "\"");
+                }
+            } else if (kind == '@') {
+                rule.fire_on_hit = std::strtoull(begin, &after, 0);
+                if (after == begin || rule.fire_on_hit == 0) {
+                    return invalidArgument(
+                        "fault spec: bad hit ordinal in \"" + entry +
+                        "\"");
+                }
+            } else { // 'x'
+                rule.max_fires = std::strtoull(begin, &after, 0);
+                if (after == begin) {
+                    return invalidArgument(
+                        "fault spec: bad fire cap in \"" + entry + "\"");
+                }
+            }
+            any = true;
+            i = static_cast<std::size_t>(after - entry.c_str());
+            if (i >= entry.size()) {
+                break;
+            }
+            if (entry[i] != '=' && entry[i] != '@' && entry[i] != 'x') {
+                return invalidArgument("fault spec: trailing junk in \"" +
+                                       entry + "\"");
+            }
+        }
+        if (!any) {
+            // A bare point name means "always fire".
+            rule.probability = 1.0;
+        }
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::toSpec() const
+{
+    std::string out = "seed=" + std::to_string(seed);
+    for (std::size_t i = 0; i < kFaultPointCount; ++i) {
+        const FaultRule &r = rules[i];
+        if (!r.active()) {
+            continue;
+        }
+        out += ";";
+        out += faultPointName(static_cast<FaultPoint>(i));
+        if (r.probability > 0) {
+            out += "=" + std::to_string(r.probability);
+        }
+        if (r.fire_on_hit != 0) {
+            out += "@" + std::to_string(r.fire_on_hit);
+        }
+        if (r.max_fires != ~0ull) {
+            out += "x" + std::to_string(r.max_fires);
+        }
+    }
+    return out;
+}
+
+// --------------------------------------------------------------- JSON form
+
+namespace {
+
+/**
+ * A minimal JSON-subset scanner for the fault-plan shape: one object
+ * with "seed" and a "rules" array of flat objects holding string and
+ * number members. Not a general JSON parser.
+ */
+class JsonScanner
+{
+  public:
+    explicit JsonScanner(const std::string &text) : text_(text) {}
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) !=
+                   0) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    StatusOr<std::string>
+    string()
+    {
+        if (!consume('"')) {
+            return invalidArgument("fault json: expected string");
+        }
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) {
+                    break;
+                }
+            }
+            out += text_[pos_++];
+        }
+        if (pos_ >= text_.size()) {
+            return invalidArgument("fault json: unterminated string");
+        }
+        ++pos_; // closing quote
+        return out;
+    }
+
+    StatusOr<f64>
+    number()
+    {
+        skipSpace();
+        const char *begin = text_.c_str() + pos_;
+        char *after = nullptr;
+        const f64 v = std::strtod(begin, &after);
+        if (after == begin) {
+            return invalidArgument("fault json: expected number");
+        }
+        pos_ = static_cast<std::size_t>(after - text_.c_str());
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+Status
+parseRuleObject(JsonScanner &s, FaultPlan &plan)
+{
+    if (!s.consume('{')) {
+        return invalidArgument("fault json: expected rule object");
+    }
+    std::optional<FaultPoint> point;
+    FaultRule rule;
+    bool first = true;
+    while (!s.consume('}')) {
+        if (!first && !s.consume(',')) {
+            return invalidArgument("fault json: expected , or }");
+        }
+        first = false;
+        MEDUSA_ASSIGN_OR_RETURN(std::string key, s.string());
+        if (!s.consume(':')) {
+            return invalidArgument("fault json: expected :");
+        }
+        if (key == "point") {
+            MEDUSA_ASSIGN_OR_RETURN(std::string name, s.string());
+            MEDUSA_ASSIGN_OR_RETURN(FaultPoint p,
+                                    faultPointFromName(name));
+            point = p;
+        } else if (key == "probability") {
+            MEDUSA_ASSIGN_OR_RETURN(f64 v, s.number());
+            if (v < 0 || v > 1) {
+                return invalidArgument(
+                    "fault json: probability out of [0, 1]");
+            }
+            rule.probability = v;
+        } else if (key == "fire_on_hit") {
+            MEDUSA_ASSIGN_OR_RETURN(f64 v, s.number());
+            rule.fire_on_hit = static_cast<u64>(v);
+        } else if (key == "max_fires") {
+            MEDUSA_ASSIGN_OR_RETURN(f64 v, s.number());
+            rule.max_fires = static_cast<u64>(v);
+        } else {
+            return invalidArgument("fault json: unknown rule key \"" +
+                                   key + "\"");
+        }
+    }
+    if (!point.has_value()) {
+        return invalidArgument("fault json: rule missing \"point\"");
+    }
+    plan.rule(*point) = rule;
+    return Status::ok();
+}
+
+} // namespace
+
+StatusOr<FaultPlan>
+FaultPlan::fromJson(const std::string &json)
+{
+    FaultPlan plan;
+    JsonScanner s(json);
+    if (!s.consume('{')) {
+        return invalidArgument("fault json: expected top-level object");
+    }
+    bool first = true;
+    while (!s.consume('}')) {
+        if (!first && !s.consume(',')) {
+            return invalidArgument("fault json: expected , or }");
+        }
+        first = false;
+        MEDUSA_ASSIGN_OR_RETURN(std::string key, s.string());
+        if (!s.consume(':')) {
+            return invalidArgument("fault json: expected :");
+        }
+        if (key == "seed") {
+            MEDUSA_ASSIGN_OR_RETURN(f64 v, s.number());
+            plan.seed = static_cast<u64>(v);
+        } else if (key == "rules") {
+            if (!s.consume('[')) {
+                return invalidArgument(
+                    "fault json: \"rules\" must be an array");
+            }
+            if (s.peek() != ']') {
+                do {
+                    MEDUSA_RETURN_IF_ERROR(parseRuleObject(s, plan));
+                } while (s.consume(','));
+            }
+            if (!s.consume(']')) {
+                return invalidArgument("fault json: expected ]");
+            }
+        } else {
+            return invalidArgument("fault json: unknown key \"" + key +
+                                   "\"");
+        }
+    }
+    return plan;
+}
+
+StatusOr<std::optional<FaultPlan>>
+FaultPlan::fromEnv()
+{
+    const char *spec = std::getenv("MEDUSA_FAULT_PLAN");
+    if (spec == nullptr || spec[0] == '\0') {
+        return std::optional<FaultPlan>{};
+    }
+    const std::string text = spec;
+    auto parsed = text.front() == '{' ? fromJson(text) : fromSpec(text);
+    if (!parsed.isOk()) {
+        return parsed.status();
+    }
+    FaultPlan plan = std::move(parsed).value();
+    if (const char *seed = std::getenv("MEDUSA_FAULT_SEED");
+        seed != nullptr && seed[0] != '\0') {
+        plan.seed = std::strtoull(seed, nullptr, 0);
+    }
+    return std::optional<FaultPlan>(plan);
+}
+
+// ------------------------------------------------------------ FaultInjector
+
+FaultInjector::FaultInjector(const FaultPlan &plan) : plan_(plan)
+{
+    streams_.reserve(kFaultPointCount);
+    SplitMix64 sm(plan_.seed);
+    for (std::size_t i = 0; i < kFaultPointCount; ++i) {
+        streams_.emplace_back(sm.next());
+    }
+}
+
+Status
+FaultInjector::check(FaultPoint point, const std::string &detail)
+{
+    const std::size_t i = static_cast<std::size_t>(point);
+    const FaultRule &rule = plan_.rules[i];
+    std::lock_guard<std::mutex> lock(mu_);
+    const u64 hit = ++hits_[i];
+    if (fires_[i] >= rule.max_fires) {
+        return Status::ok();
+    }
+    bool fire = rule.fire_on_hit != 0 && hit == rule.fire_on_hit;
+    if (!fire && rule.probability > 0) {
+        fire = streams_[i].nextDouble() < rule.probability;
+    }
+    if (!fire) {
+        return Status::ok();
+    }
+    ++fires_[i];
+    std::string msg = "[fault] injected failure at ";
+    msg += faultPointName(point);
+    msg += " (hit " + std::to_string(hit) + ")";
+    if (!detail.empty()) {
+        msg += ": " + detail;
+    }
+    return faultInjected(std::move(msg));
+}
+
+f64
+FaultInjector::drawFraction(FaultPoint point)
+{
+    const std::size_t i = static_cast<std::size_t>(point);
+    std::lock_guard<std::mutex> lock(mu_);
+    return streams_[i].nextDouble();
+}
+
+u64
+FaultInjector::hits(FaultPoint point) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_[static_cast<std::size_t>(point)];
+}
+
+u64
+FaultInjector::fires(FaultPoint point) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return fires_[static_cast<std::size_t>(point)];
+}
+
+u64
+FaultInjector::totalFires() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    u64 total = 0;
+    for (u64 f : fires_) {
+        total += f;
+    }
+    return total;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_.fill(0);
+    fires_.fill(0);
+    streams_.clear();
+    SplitMix64 sm(plan_.seed);
+    for (std::size_t i = 0; i < kFaultPointCount; ++i) {
+        streams_.emplace_back(sm.next());
+    }
+}
+
+FaultInjector *
+envFaultInjector()
+{
+    static FaultInjector *injector = []() -> FaultInjector * {
+        auto plan = FaultPlan::fromEnv();
+        if (!plan.isOk() || !plan->has_value() || !(**plan).enabled()) {
+            return nullptr;
+        }
+        static FaultInjector instance(**plan);
+        return &instance;
+    }();
+    return injector;
+}
+
+} // namespace medusa

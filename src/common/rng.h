@@ -145,6 +145,22 @@ class Rng
         return Rng(nextU64());
     }
 
+    /**
+     * Order-sensitive digest of the generator state. Two Rngs with
+     * equal hashes produce identical future draws — the property the
+     * rollback tests use to prove a reset process is indistinguishable
+     * from a fresh one.
+     */
+    u64
+    stateHash() const
+    {
+        u64 h = 0x9e3779b97f4a7c15ull;
+        for (u64 s : state_) {
+            h ^= s + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        }
+        return h;
+    }
+
   private:
     static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
 

@@ -16,6 +16,7 @@ statusCodeName(StatusCode code)
       case StatusCode::kValidationFailure: return "VALIDATION_FAILURE";
       case StatusCode::kInternal: return "INTERNAL";
       case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+      case StatusCode::kFaultInjected: return "FAULT_INJECTED";
     }
     return "UNKNOWN";
 }

@@ -33,6 +33,8 @@ enum class StatusCode {
     kValidationFailure,
     kInternal,
     kUnimplemented,
+    /** Raised by the fault-injection subsystem (common/fault.h). */
+    kFaultInjected,
 };
 
 /** Human-readable name of a status code. */

@@ -28,6 +28,7 @@ stageName(Stage stage)
 
 ModelRuntime::ModelRuntime(const Options &opts)
     : model_(opts.model),
+      aslr_seed_(opts.aslr_seed),
       cost_(opts.cost != nullptr ? opts.cost : &cost_storage_),
       observer_(opts.observer)
 {
@@ -44,6 +45,28 @@ ModelRuntime::ModelRuntime(const Options &opts)
     if (opts.launch_observer != nullptr) {
         process_->setLaunchObserver(opts.launch_observer);
     }
+}
+
+void
+ModelRuntime::rollbackToPristine()
+{
+    process_->resetToPristine();
+    // Rebuild the allocator with the original reuse seed so the pooled
+    // reuse choices of the next attempt match a fresh launch. The
+    // observer is deliberately dropped; the restore driver re-attaches
+    // a fresh one per attempt.
+    alloc_ = std::make_unique<simcuda::CachingAllocator>(
+        process_.get(), /*reuse_seed=*/aslr_seed_);
+    weights_ = ModelWeights{};
+    tokenizer_ = BpeTokenizer{};
+    tokenizer_loaded_ = false;
+    bufs_ = ForwardBuffers{};
+    kv_ = KvCache{};
+    semaphores_.clear();
+    lm_workspace_.clear();
+    graphs_.clear();
+    structure_ready_ = false;
+    weights_ready_ = false;
 }
 
 ForwardPass::Env
@@ -300,12 +323,35 @@ ModelRuntime::instantiateGraph(u32 bs, const CudaGraph &graph)
 
 Status
 ModelRuntime::instantiateGraphs(
-    const std::vector<std::pair<u32, const CudaGraph *>> &ordered)
+    const std::vector<std::pair<u32, const CudaGraph *>> &ordered,
+    FaultInjector *fault)
 {
+    std::vector<u32> registered;
+    registered.reserve(ordered.size());
+    Status st = Status::ok();
     for (const auto &[bs, graph] : ordered) {
-        MEDUSA_RETURN_IF_ERROR(instantiateGraph(bs, *graph));
+        if (fault != nullptr) {
+            st = fault->check(FaultPoint::kGraphInstantiate,
+                              "graph bs=" + std::to_string(bs));
+            if (!st.isOk()) {
+                break;
+            }
+        }
+        st = instantiateGraph(bs, *graph);
+        if (!st.isOk()) {
+            break;
+        }
+        registered.push_back(bs);
     }
-    return Status::ok();
+    if (!st.isOk()) {
+        // Unregister this batch's slots so a mid-batch failure cannot
+        // leak partially-built graphs into the serving table (they
+        // would be replayed against rolled-back device state).
+        for (u32 bs : registered) {
+            graphs_.erase(bs);
+        }
+    }
+    return st;
 }
 
 Status

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault.h"
 #include "llm/forward.h"
 #include "llm/hooks.h"
 #include "llm/kv_cache.h"
@@ -110,6 +111,19 @@ class ModelRuntime
     /** ❺ Warm up + capture + instantiate decode graphs for all sizes. */
     Status captureDecodeGraphs();
 
+    /**
+     * Transactional-restore rollback: discard every loading-phase
+     * effect — device allocations, loaded modules, instantiated graphs
+     * (including partially-registered slots from a failed batch),
+     * weights, tokenizer, KV cache and I/O buffers — leaving the
+     * runtime as if freshly constructed with its original options. The
+     * allocator is rebuilt with its original reuse seed and NO
+     * observer (re-attach one before the next restore attempt). The
+     * clock keeps running: time burned before the rollback is real
+     * latency.
+     */
+    void rollbackToPristine();
+
     // Finer-grained pieces of stage ❺ used by Medusa's phases:
 
     /** One eager decode forwarding (the warm-up). */
@@ -134,10 +148,17 @@ class ModelRuntime
      * registry), so parallel restore drivers funnel through this hook
      * after building the CudaGraphs concurrently — it pins the ordering
      * contract that keeps simulated time thread-count independent.
+     *
+     * First failure wins, and the slots this batch already registered
+     * are unregistered before returning: a failed batch leaves the
+     * graph table exactly as it found it, so a rolled-back restore
+     * cannot leak partially-built graphs. @p fault, when set, injects
+     * FaultPoint::kGraphInstantiate before each instantiation.
      */
     Status instantiateGraphs(
         const std::vector<std::pair<u32, const simcuda::CudaGraph *>>
-            &ordered);
+            &ordered,
+        FaultInjector *fault = nullptr);
 
     bool hasGraph(u32 bs) const { return graphs_.count(bs) != 0; }
     std::size_t graphCount() const { return graphs_.size(); }
@@ -207,6 +228,8 @@ class ModelRuntime
     StatusOr<u32> graphBatchFor(u32 n) const;
 
     ModelConfig model_;
+    /** Kept so rollbackToPristine reseeds the allocator identically. */
+    u64 aslr_seed_;
     SimClock clock_;
     CostModel cost_storage_; // used when Options::cost == nullptr
     const CostModel *cost_;

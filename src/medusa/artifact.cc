@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/thread_pool.h"
 
 namespace medusa::core {
@@ -339,6 +340,15 @@ readGraphsSection(std::span<const u8> payload,
         const GraphEntry &e = entries[i];
         const std::span<const u8> bytes =
             payload.subspan(e.offset, e.size);
+        if (options.fault != nullptr) {
+            const Status injected = options.fault->check(
+                FaultPoint::kArtifactCrc,
+                "graph section " + std::to_string(i));
+            if (!injected.isOk()) {
+                statuses[i] = injected;
+                return;
+            }
+        }
         if (options.verify_crc &&
             crc32(bytes.data(), bytes.size()) != e.crc) {
             statuses[i] = internalError(
@@ -497,6 +507,9 @@ Artifact::deserializeView(std::span<const u8> bytes,
 {
     BinaryReader r(bytes);
     Artifact a;
+    MEDUSA_FAULT_POINT(options.fault, FaultPoint::kArtifactDeserialize,
+                       "deserializeView of " +
+                           std::to_string(bytes.size()) + " bytes");
     MEDUSA_ASSIGN_OR_RETURN(u32 magic, r.readU32());
     if (magic != kMagic) {
         return internalError("artifact magic mismatch");
@@ -539,6 +552,8 @@ Artifact::deserializeView(std::span<const u8> bytes,
             std::size_t crc_prefix) -> StatusOr<std::span<const u8>> {
         const std::span<const u8> payload =
             bytes.subspan(e.offset, e.size);
+        MEDUSA_FAULT_POINT(options.fault, FaultPoint::kArtifactCrc,
+                           "section " + std::to_string(e.id));
         const std::size_t covered = std::min(crc_prefix, payload.size());
         if (options.verify_crc &&
             crc32(payload.data(), covered) != e.crc) {

@@ -32,6 +32,7 @@
 #include "simtime/cost_model.h"
 
 namespace medusa {
+class FaultInjector;
 class ThreadPool;
 }
 
@@ -164,6 +165,11 @@ struct ArtifactReadOptions
     u32 threads = 1;
     /** Optional caller-owned pool to run the decode on. */
     ThreadPool *pool = nullptr;
+    /**
+     * Deterministic fault injection for the deserialize and CRC paths
+     * (FaultPoint::kArtifactDeserialize / kArtifactCrc). Null disables.
+     */
+    FaultInjector *fault = nullptr;
 };
 
 /** The complete materialized state. */

@@ -1,12 +1,31 @@
 #include "medusa/artifact_cache.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace medusa::core {
 
-ArtifactCache::ArtifactCache(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity))
+ArtifactCache::ArtifactCache(std::size_t capacity,
+                             f64 initial_backoff_ms, f64 max_backoff_ms)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      initial_backoff_ms_(std::max(0.0, initial_backoff_ms)),
+      max_backoff_ms_(std::max(initial_backoff_ms, max_backoff_ms))
 {
+}
+
+void
+ArtifactCache::setFaultInjector(FaultInjector *fault)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    fault_ = fault;
+}
+
+Status
+ArtifactCache::keyFailure(const std::string &key) const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = failures_.find(key);
+    return it == failures_.end() ? Status::ok() : it->second.last;
 }
 
 StatusOr<std::shared_ptr<const Artifact>>
@@ -16,32 +35,66 @@ ArtifactCache::getOrLoad(const std::string &key, const Loader &loader,
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
         auto it = slots_.find(key);
-        if (it == slots_.end()) {
-            break; // this caller becomes the loader
+        if (it != slots_.end()) {
+            if (it->second.loading) {
+                // Single-flight: block until the in-flight load
+                // resolves. A failed load erases the slot, so the loop
+                // re-enters the loader path and retries.
+                cv_.wait(lock);
+                continue;
+            }
+            it->second.last_used = ++tick_;
+            ++stats_.hits;
+            if (was_hit != nullptr) {
+                *was_hit = true;
+            }
+            return it->second.value;
         }
-        if (it->second.loading) {
-            // Single-flight: block until the in-flight load resolves.
-            // A failed load erases the slot, so the loop re-enters the
-            // loader path and retries.
-            cv_.wait(lock);
+        // Failure backoff: do not hot-loop a key whose loader just
+        // failed — wait out the exponential-backoff deadline first (a
+        // concurrent success wakes us early via notify_all).
+        auto fit = failures_.find(key);
+        if (fit != failures_.end() &&
+            std::chrono::steady_clock::now() <
+                fit->second.not_before) {
+            ++stats_.backoff_waits;
+            cv_.wait_until(lock, fit->second.not_before);
             continue;
         }
-        it->second.last_used = ++tick_;
-        ++stats_.hits;
-        if (was_hit != nullptr) {
-            *was_hit = true;
-        }
-        return it->second.value;
+        break; // this caller becomes the loader
     }
 
     slots_.emplace(key, Slot{});
     ++stats_.misses;
+    FaultInjector *fault = fault_;
     lock.unlock();
-    StatusOr<Artifact> loaded = loader();
+    StatusOr<Artifact> loaded = [&]() -> StatusOr<Artifact> {
+        if (fault != nullptr) {
+            const Status injected =
+                fault->check(FaultPoint::kCacheLoader, key);
+            if (!injected.isOk()) {
+                return injected;
+            }
+        }
+        return loader();
+    }();
     lock.lock();
     if (!loaded.isOk()) {
         slots_.erase(key);
         ++stats_.failed_loads;
+        stats_.last_failure = loaded.status();
+        Failure &failure = failures_[key];
+        failure.last = loaded.status();
+        ++failure.consecutive;
+        const f64 delay_ms = std::min(
+            max_backoff_ms_,
+            initial_backoff_ms_ *
+                std::pow(2.0, static_cast<f64>(
+                                  failure.consecutive - 1)));
+        failure.not_before =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(
+                static_cast<long>(delay_ms * 1e3));
         cv_.notify_all();
         return loaded.status();
     }
@@ -51,6 +104,7 @@ ArtifactCache::getOrLoad(const std::string &key, const Loader &loader,
         std::make_shared<const Artifact>(std::move(loaded).value());
     slot.last_used = ++tick_;
     std::shared_ptr<const Artifact> value = slot.value;
+    failures_.erase(key);
     evictOverCapacity();
     cv_.notify_all();
     if (was_hit != nullptr) {

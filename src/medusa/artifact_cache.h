@@ -11,13 +11,18 @@
  * bounded with least-recently-used eviction (an evicted artifact stays
  * alive for engines still holding it).
  *
- * A failed load is not cached: the error propagates to the caller that
- * ran the loader, and blocked callers retry the load themselves.
+ * A failed load is not cached as a value, but it is *recorded*: the
+ * per-key failure keeps the full Status (not just a counter) and an
+ * exponential-backoff deadline. Blocked single-flight callers do not
+ * hot-loop the loader — the next caller to retry waits out the backoff
+ * first, and each consecutive failure doubles it (up to a cap). A
+ * successful load clears the key's failure record.
  */
 
 #ifndef MEDUSA_MEDUSA_ARTIFACT_CACHE_H
 #define MEDUSA_MEDUSA_ARTIFACT_CACHE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -25,6 +30,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "medusa/artifact.h"
 
 namespace medusa::core {
@@ -42,10 +48,32 @@ class ArtifactCache
         u64 misses = 0;
         u64 evictions = 0;
         u64 failed_loads = 0;
+        /** Times a caller waited out a failure backoff before loading. */
+        u64 backoff_waits = 0;
+        /** The most recent loader failure (ok() when none ever). */
+        Status last_failure = Status::ok();
     };
 
-    /** @param capacity max resident artifacts (floored at 1). */
-    explicit ArtifactCache(std::size_t capacity = 8);
+    /**
+     * @param capacity max resident artifacts (floored at 1).
+     * @param initial_backoff_ms pause before retrying a failed key;
+     *        doubles per consecutive failure up to @p max_backoff_ms.
+     */
+    explicit ArtifactCache(std::size_t capacity = 8,
+                           f64 initial_backoff_ms = 1.0,
+                           f64 max_backoff_ms = 100.0);
+
+    /**
+     * Inject deterministic loader faults (FaultPoint::kCacheLoader —
+     * checked before each loader run). Null disables.
+     */
+    void setFaultInjector(FaultInjector *fault);
+
+    /**
+     * The recorded failure Status for @p key: the last loader error if
+     * the key is in failure backoff, ok() otherwise.
+     */
+    Status keyFailure(const std::string &key) const;
 
     /**
      * The artifact for @p key, loading it via @p loader on a miss.
@@ -73,13 +101,26 @@ class ArtifactCache
         u64 last_used = 0;
     };
 
+    /** Per-key failure record (erased by the next successful load). */
+    struct Failure
+    {
+        Status last = Status::ok();
+        u64 consecutive = 0;
+        /** No retry before this deadline (exponential backoff). */
+        std::chrono::steady_clock::time_point not_before;
+    };
+
     /** Evict LRU resident slots down to capacity. Caller holds mu_. */
     void evictOverCapacity();
 
     const std::size_t capacity_;
+    const f64 initial_backoff_ms_;
+    const f64 max_backoff_ms_;
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::unordered_map<std::string, Slot> slots_;
+    std::unordered_map<std::string, Failure> failures_;
+    FaultInjector *fault_ = nullptr;
     u64 tick_ = 0;
     Stats stats_;
 };

@@ -61,13 +61,19 @@ ReplayTable::organicStatus() const
 
 Status
 replayAllocSequence(const Artifact &artifact, ModelRuntime &rt,
-                    const ReplayTable &table, RestoreReport &report)
+                    const ReplayTable &table, RestoreReport &report,
+                    FaultInjector *fault)
 {
+    MEDUSA_FAULT_POINT(fault, FaultPoint::kReplayPrefix,
+                       "organic prefix handoff at op " +
+                           std::to_string(artifact.organic_op_count));
     simcuda::CachingAllocator &alloc = rt.allocator();
     for (u64 pos = artifact.organic_op_count; pos < artifact.ops.size();
          ++pos) {
         const AllocOp &op = artifact.ops[pos];
         if (op.kind == AllocOp::kAlloc) {
+            MEDUSA_FAULT_POINT(fault, FaultPoint::kReplayAlloc,
+                               "replayed op " + std::to_string(pos));
             MEDUSA_ASSIGN_OR_RETURN(
                 DeviceAddr addr,
                 alloc.allocate(op.logical_size, op.backing_size));
@@ -164,7 +170,7 @@ restoreContents(const Artifact &artifact, ModelRuntime &rt,
 }
 
 StatusOr<std::unordered_map<std::string, KernelAddr>>
-buildKernelNameTable(ModelRuntime &rt)
+buildKernelNameTable(ModelRuntime &rt, FaultInjector *fault)
 {
     std::unordered_map<std::string, KernelAddr> name_table;
     MEDUSA_ASSIGN_OR_RETURN(CudaGraph first_layer,
@@ -172,6 +178,8 @@ buildKernelNameTable(ModelRuntime &rt)
     (void)first_layer; // its purpose is the module loads it forced
     for (const std::string &module :
          rt.process().modules().loadedModules()) {
+        MEDUSA_FAULT_POINT(fault, FaultPoint::kKernelEnumeration,
+                           "enumerating " + module);
         MEDUSA_ASSIGN_OR_RETURN(
             auto addrs, rt.process().cuModuleEnumerateFunctions(module));
         for (KernelAddr addr : addrs) {
@@ -197,6 +205,8 @@ resolveKernel(const NodeBlueprint &nb, ModelRuntime &rt,
               const RestoreOptions &options, RestoreReport &report)
 {
     if (options.use_dlsym) {
+        MEDUSA_FAULT_POINT(options.fault, FaultPoint::kKernelDlsym,
+                           "dlsym " + nb.kernel_name);
         auto sym = rt.process().dlsym(nb.module_name, nb.kernel_name);
         if (sym.isOk()) {
             auto addr = rt.process().cudaGetFuncBySymbol(*sym);
@@ -348,7 +358,8 @@ restoreGraphs(const Artifact &artifact, const ReplayTable &table,
     for (std::size_t g = 0; g < n; ++g) {
         ordered.emplace_back(artifact.graphs[g].batch_size, &graphs[g]);
     }
-    MEDUSA_RETURN_IF_ERROR(rt.instantiateGraphs(ordered));
+    MEDUSA_RETURN_IF_ERROR(
+        rt.instantiateGraphs(ordered, options.fault));
     report.graphs_restored += n;
     return Status::ok();
 }

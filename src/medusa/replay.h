@@ -51,11 +51,16 @@ class ReplayTable final : public simcuda::AllocObserver
     std::string mismatch_;
 };
 
-/** Replay ops[organic_op_count..] through the runtime's allocator. */
+/**
+ * Replay ops[organic_op_count..] through the runtime's allocator.
+ * @p fault, when set, injects FaultPoint::kReplayPrefix at the organic
+ * handoff and kReplayAlloc before each replayed allocation.
+ */
 Status replayAllocSequence(const Artifact &artifact,
                            llm::ModelRuntime &rt,
                            const ReplayTable &table,
-                           RestoreReport &report);
+                           RestoreReport &report,
+                           FaultInjector *fault = nullptr);
 
 /** Re-bind the engine's tagged I/O and KV-cache buffers post-replay. */
 Status rebindEngineBuffers(const Artifact &artifact,
@@ -72,10 +77,12 @@ Status restoreContents(const Artifact &artifact, llm::ModelRuntime &rt,
 
 /**
  * Run the first-layer triggering-kernels capture and enumerate every
- * loaded module into a kernel name -> address table (§5).
+ * loaded module into a kernel name -> address table (§5). @p fault,
+ * when set, injects FaultPoint::kKernelEnumeration per module.
  */
 StatusOr<std::unordered_map<std::string, KernelAddr>>
-buildKernelNameTable(llm::ModelRuntime &rt);
+buildKernelNameTable(llm::ModelRuntime &rt,
+                     FaultInjector *fault = nullptr);
 
 /**
  * Rebuild one materialized graph: restore kernel addresses (dlsym or

@@ -11,41 +11,22 @@ using llm::ModelRuntime;
 using llm::StageTimes;
 using simcuda::CudaGraph;
 
-StatusOr<std::unique_ptr<MedusaEngine>>
-MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
+namespace {
+
+/**
+ * One restore attempt: steps 1-8 of the online phase plus optional
+ * output validation. Fills @p t (including the overlap-composed
+ * t.loading) and @p report. On error the caller rolls the runtime back;
+ * nothing here needs to clean up.
+ */
+Status
+runRestoreAttempt(const MedusaEngine::Options &opts,
+                  const Artifact &artifact, ModelRuntime &rt,
+                  ReplayTable &table, StageTimes &t,
+                  RestoreReport &report)
 {
-    if (artifact.model_name != opts.model.name ||
-        artifact.model_seed != opts.model.seed) {
-        return validationFailure("artifact was materialized for model " +
-                                 artifact.model_name);
-    }
-
-    // Optional static pre-restore check: refuse to replay an artifact
-    // that provably faults or corrupts, before touching device state.
-    if (opts.restore.lint) {
-        const lint::LintReport lint_report = lint::lintArtifact(artifact);
-        if (!lint_report.replaySafe()) {
-            return validationFailure("artifact failed pre-restore lint: " +
-                                     lint_report.firstError());
-        }
-    }
-
-    auto table = std::make_unique<ReplayTable>(&artifact);
-    ModelRuntime::Options ropts;
-    ropts.model = opts.model;
-    ropts.aslr_seed = opts.aslr_seed;
-    ropts.cost = opts.cost;
-    ropts.alloc_observer = table.get();
-    auto runtime = std::make_unique<ModelRuntime>(ropts);
-    ModelRuntime &rt = *runtime;
     const CostModel &cost = rt.process().cost();
-
-    std::unique_ptr<MedusaEngine> engine(new MedusaEngine());
-    StageTimes &t = engine->times_;
-    RestoreReport &report = engine->report_;
-    t.runtime_init = opts.warm_container
-                         ? cost.runtime_init_warm_ms / 1e3
-                         : cost.runtime_init_cold_ms / 1e3;
+    FaultInjector *fault = opts.restore.fault;
 
     SimClock &clock = rt.clock();
     f64 mark = clock.nowSec();
@@ -58,8 +39,8 @@ MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
 
     // 1. Structure init (organic; verified against the artifact).
     MEDUSA_RETURN_IF_ERROR(rt.initStructure());
-    MEDUSA_RETURN_IF_ERROR(table->organicStatus());
-    if (table->allocCount() != artifact.organic_alloc_count) {
+    MEDUSA_RETURN_IF_ERROR(table.organicStatus());
+    if (table.allocCount() != artifact.organic_alloc_count) {
         return validationFailure(
             "structure init produced a different allocation count than "
             "the materialized sequence");
@@ -79,9 +60,9 @@ MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
 
     // 4. Replay the recorded (de)allocation sequence (§4.2).
     MEDUSA_RETURN_IF_ERROR(
-        replayAllocSequence(artifact, rt, *table, report));
+        replayAllocSequence(artifact, rt, table, report, fault));
     MEDUSA_RETURN_IF_ERROR(
-        rebindEngineBuffers(artifact, opts.model, *table, rt));
+        rebindEngineBuffers(artifact, opts.model, table, rt));
     t.kv_init = lap();
 
     // 5. Weights.
@@ -92,21 +73,22 @@ MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
     //    indirect pointer words (§8 extension).
     if (opts.restore.restore_contents) {
         MEDUSA_RETURN_IF_ERROR(
-            restoreContents(artifact, rt, *table, report));
+            restoreContents(artifact, rt, table, report));
     }
 
     // 7. Triggering-kernels: warm up + capture the first layer, then
     //    build the kernel name -> address table (§5).
     std::unordered_map<std::string, KernelAddr> name_table;
     if (opts.restore.use_triggering_kernels) {
-        MEDUSA_ASSIGN_OR_RETURN(name_table, buildKernelNameTable(rt));
+        MEDUSA_ASSIGN_OR_RETURN(name_table,
+                                buildKernelNameTable(rt, fault));
     }
 
     // 8. Rebuild and instantiate every materialized graph. The pure
     //    build stage fans out over restore_threads; simulated time and
     //    the report are unchanged by the thread count.
     std::unique_ptr<ThreadPool> pool = makeRestorePool(opts.restore);
-    MEDUSA_RETURN_IF_ERROR(restoreGraphs(artifact, *table, rt,
+    MEDUSA_RETURN_IF_ERROR(restoreGraphs(artifact, table, rt,
                                          name_table, opts.restore,
                                          report, pool.get()));
     t.capture = lap();
@@ -145,8 +127,155 @@ MedusaEngine::coldStart(const Options &opts, const Artifact &artifact)
             report.validated = true;
         }
     }
+    return Status::ok();
+}
 
-    engine->interceptor_ = std::move(table);
+/**
+ * The classic profile+capture cold start (§2.1), run on a pristine
+ * process after the restore path was rolled back. Serial vLLM
+ * composition; no Medusa machinery touches the runtime.
+ */
+Status
+runVanillaColdStart(ModelRuntime &rt, StageTimes &t)
+{
+    SimClock &clock = rt.clock();
+    f64 mark = clock.nowSec();
+    auto lap = [&clock, &mark]() {
+        const f64 now = clock.nowSec();
+        const f64 d = now - mark;
+        mark = now;
+        return d;
+    };
+
+    MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    t.struct_init = lap();
+    MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    t.weights = lap();
+    MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    t.tokenizer = lap();
+    MEDUSA_ASSIGN_OR_RETURN(u64 free_bytes, rt.profileFreeMemory());
+    MEDUSA_RETURN_IF_ERROR(rt.initKvCache(free_bytes));
+    t.kv_init = lap();
+    MEDUSA_RETURN_IF_ERROR(rt.captureDecodeGraphs());
+    t.capture = lap();
+    t.loading = llm::composeLoading(llm::Strategy::kVllm, t,
+                                    rt.process().cost());
+    return Status::ok();
+}
+
+} // namespace
+
+StatusOr<std::unique_ptr<MedusaEngine>>
+MedusaEngine::coldStart(const Options &caller_opts,
+                        const Artifact &artifact)
+{
+    // MEDUSA_FAULT_PLAN applies to any engine that was not handed an
+    // explicit injector, so whole test suites can run fault-hooked
+    // without per-call-site wiring.
+    Options opts = caller_opts;
+    if (opts.restore.fault == nullptr) {
+        opts.restore.fault = envFaultInjector();
+    }
+
+    if (artifact.model_name != opts.model.name ||
+        artifact.model_seed != opts.model.seed) {
+        return validationFailure("artifact was materialized for model " +
+                                 artifact.model_name);
+    }
+
+    // Optional static pre-restore check: refuse to replay an artifact
+    // that provably faults or corrupts, before touching device state.
+    if (opts.restore.lint) {
+        const lint::LintReport lint_report = lint::lintArtifact(artifact);
+        if (!lint_report.replaySafe()) {
+            return validationFailure("artifact failed pre-restore lint: " +
+                                     lint_report.firstError());
+        }
+    }
+
+    ModelRuntime::Options ropts;
+    ropts.model = opts.model;
+    ropts.aslr_seed = opts.aslr_seed;
+    ropts.cost = opts.cost;
+    auto runtime = std::make_unique<ModelRuntime>(ropts);
+    ModelRuntime &rt = *runtime;
+    const CostModel &cost = rt.process().cost();
+
+    std::unique_ptr<MedusaEngine> engine(new MedusaEngine());
+    RestoreReport &report = engine->report_;
+    const f64 runtime_init = opts.warm_container
+                                 ? cost.runtime_init_warm_ms / 1e3
+                                 : cost.runtime_init_cold_ms / 1e3;
+
+    const FallbackPolicy &fb = opts.restore.fallback;
+    const u32 max_attempts =
+        fb.mode == FallbackMode::kRetryThenVanilla
+            ? std::max<u32>(1, fb.max_attempts)
+            : 1;
+    f64 backoff = fb.backoff_sec;
+    SimClock &clock = rt.clock();
+
+    for (u32 attempt = 1; attempt <= max_attempts; ++attempt) {
+        ++report.restore_attempts;
+        // Fresh interceptor per attempt: the replay table's sequence
+        // numbering restarts with the reconstructed allocator.
+        auto table = std::make_unique<ReplayTable>(&artifact);
+        rt.allocator().setObserver(table.get());
+        rt.process().beginJournal();
+
+        StageTimes t;
+        t.runtime_init = runtime_init;
+        RestoreReport working;
+        const f64 start = clock.nowSec();
+        const Status st =
+            runRestoreAttempt(opts, artifact, rt, *table, t, working);
+        if (st.isOk()) {
+            rt.process().endJournal();
+            // Fold the accumulated failure accounting into this
+            // attempt's report.
+            working.restore_attempts = report.restore_attempts;
+            working.restore_failures = report.restore_failures;
+            working.retries = report.retries;
+            working.wasted_restore_sec = report.wasted_restore_sec;
+            working.backoff_sec = report.backoff_sec;
+            working.last_failure = report.last_failure;
+            report = std::move(working);
+            t.loading += report.wasted_restore_sec + report.backoff_sec;
+            engine->times_ = t;
+            engine->interceptor_ = std::move(table);
+            engine->runtime_ = std::move(runtime);
+            return engine;
+        }
+
+        // Transactional failure path: the attempt burned real time but
+        // must leave no device state behind. Roll the whole simulated
+        // process back to pristine (the clock keeps running).
+        ++report.restore_failures;
+        report.wasted_restore_sec += clock.nowSec() - start;
+        report.last_failure = st.toString();
+        rt.rollbackToPristine();
+        rt.process().endJournal();
+
+        if (fb.mode == FallbackMode::kFail) {
+            return st;
+        }
+        if (attempt < max_attempts) {
+            ++report.retries;
+            clock.advance(units::secToNs(backoff));
+            report.backoff_sec += backoff;
+            backoff *= fb.backoff_multiplier;
+        }
+    }
+
+    // Degraded mode: the classic cold start on the clean process. The
+    // wasted restore time and backoff pauses precede it serially, so
+    // they land in the visible loading latency.
+    report.fallback_vanilla = true;
+    StageTimes t;
+    t.runtime_init = runtime_init;
+    MEDUSA_RETURN_IF_ERROR(runVanillaColdStart(rt, t));
+    t.loading += report.wasted_restore_sec + report.backoff_sec;
+    engine->times_ = t;
     engine->runtime_ = std::move(runtime);
     return engine;
 }

@@ -8,11 +8,41 @@
 #ifndef MEDUSA_MEDUSA_RESTORE_OPTIONS_H
 #define MEDUSA_MEDUSA_RESTORE_OPTIONS_H
 
+#include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/types.h"
 
 namespace medusa::core {
+
+/**
+ * What a failed restore attempt degrades to. In every mode the
+ * simulated GPU process is first rolled back to pristine (the restore
+ * is transactional), so the fallback path always starts from a clean
+ * process, exactly as if the instance had been relaunched.
+ */
+enum class FallbackMode : u8
+{
+    /** Propagate the failure; the cold start fails. */
+    kFail,
+    /** Run the classic profile+capture cold start on the clean process. */
+    kVanillaColdStart,
+    /** Retry the restore (with backoff) before degrading to vanilla. */
+    kRetryThenVanilla,
+};
+
+/** Policy for degrading a failed restore (see FallbackMode). */
+struct FallbackPolicy
+{
+    FallbackMode mode = FallbackMode::kFail;
+    /** Total restore attempts before vanilla (kRetryThenVanilla). */
+    u32 max_attempts = 3;
+    /** Simulated pause before the first retry. */
+    f64 backoff_sec = 0.05;
+    /** Growth factor applied to the pause after each retry. */
+    f64 backoff_multiplier = 2.0;
+};
 
 /** Online-phase configuration (ablation switches). */
 struct RestoreOptions
@@ -40,6 +70,14 @@ struct RestoreOptions
      * every restored graph are bit-identical for all values.
      */
     u32 restore_threads = 1;
+    /** What to do when a restore attempt fails mid-flight. */
+    FallbackPolicy fallback;
+    /**
+     * Deterministic fault injection (test/bench only). Null disables
+     * every hook; the restore path is then bit-identical to a build
+     * without the subsystem.
+     */
+    FaultInjector *fault = nullptr;
 };
 
 /** What the restoration did (for benches and tests). */
@@ -55,6 +93,22 @@ struct RestoreReport
     /** Indirect pointer words rewritten after replay (§8 extension). */
     u64 indirect_pointers_fixed = 0;
     bool validated = false;
+
+    // ---- transactional-restore outcome (all zero without faults) -----
+    /** Restore attempts started (1 for a clean first-try success). */
+    u64 restore_attempts = 0;
+    /** Attempts that failed and were rolled back. */
+    u64 restore_failures = 0;
+    /** Failed attempts that were retried (kRetryThenVanilla). */
+    u64 retries = 0;
+    /** True when the engine degraded to the vanilla cold start. */
+    bool fallback_vanilla = false;
+    /** Simulated seconds burned in failed restore attempts. */
+    f64 wasted_restore_sec = 0;
+    /** Simulated seconds slept in retry backoff. */
+    f64 backoff_sec = 0;
+    /** toString() of the last attempt failure (empty when none). */
+    std::string last_failure;
 };
 
 } // namespace medusa::core

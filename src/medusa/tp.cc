@@ -104,9 +104,16 @@ materializeTp(const TpOfflineOptions &opts)
 }
 
 StatusOr<std::unique_ptr<TpMedusaEngine>>
-TpMedusaEngine::coldStart(const Options &opts,
+TpMedusaEngine::coldStart(const Options &caller_opts,
                           const std::vector<Artifact> &rank_artifacts)
 {
+    // As in MedusaEngine::coldStart: the environment's fault plan
+    // applies when no injector was wired explicitly.
+    Options opts = caller_opts;
+    if (opts.restore.fault == nullptr) {
+        opts.restore.fault = envFaultInjector();
+    }
+
     if (rank_artifacts.size() != opts.world) {
         return invalidArgument("one artifact per rank required");
     }
@@ -138,11 +145,6 @@ TpMedusaEngine::coldStart(const Options &opts,
     copts.world = opts.world;
     copts.aslr_seed = opts.aslr_seed;
     copts.cost = opts.cost;
-    for (u32 r = 0; r < opts.world; ++r) {
-        engine->tables_.push_back(
-            std::make_unique<ReplayTable>(&rank_artifacts[r]));
-        copts.alloc_observers.push_back(engine->tables_.back().get());
-    }
     MEDUSA_ASSIGN_OR_RETURN(engine->cluster_,
                             TpCluster::create(copts));
     TpCluster &cluster = *engine->cluster_;
@@ -151,76 +153,193 @@ TpMedusaEngine::coldStart(const Options &opts,
     // One pool serves every rank's graph-rebuild stage in turn.
     std::unique_ptr<ThreadPool> pool = makeRestorePool(opts.restore);
 
-    // The online phase, per rank (stage-interleaved).
-    for (u32 r = 0; r < opts.world; ++r) {
-        MEDUSA_RETURN_IF_ERROR(cluster.rank(r).initStructure());
-        MEDUSA_RETURN_IF_ERROR(engine->tables_[r]->organicStatus());
-    }
-    for (u32 r = 0; r < opts.world; ++r) {
-        MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadTokenizer());
-        MEDUSA_RETURN_IF_ERROR(replayAllocSequence(
-            rank_artifacts[r], cluster.rank(r), *engine->tables_[r],
-            engine->reports_[r]));
-        llm::ModelConfig rank_model = opts.model;
-        rank_model.tp_world = opts.world;
-        rank_model.tp_rank = r;
-        MEDUSA_RETURN_IF_ERROR(
-            rebindEngineBuffers(rank_artifacts[r], rank_model,
-                                *engine->tables_[r], cluster.rank(r)));
-        MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadWeights());
-        if (opts.restore.restore_contents) {
-            MEDUSA_RETURN_IF_ERROR(restoreContents(
-                rank_artifacts[r], cluster.rank(r),
-                *engine->tables_[r], engine->reports_[r]));
+    FaultInjector *fault = opts.restore.fault;
+    const FallbackPolicy &fb = opts.restore.fallback;
+    const u32 max_attempts =
+        fb.mode == FallbackMode::kRetryThenVanilla
+            ? std::max<u32>(1, fb.max_attempts)
+            : 1;
+    f64 backoff = fb.backoff_sec;
+
+    // Attempt-level accounting. Shared by every rank: the ranks degrade
+    // coherently — one failure rolls back and falls back ALL of them.
+    u64 attempts = 0;
+    u64 failures = 0;
+    u64 retries = 0;
+    f64 wasted_sec = 0;
+    f64 backoff_total = 0;
+    std::string last_failure;
+
+    auto maxClockSec = [&cluster, &opts]() {
+        f64 m = 0;
+        for (u32 r = 0; r < opts.world; ++r) {
+            m = std::max(m, cluster.rank(r).clock().nowSec());
         }
-        std::unordered_map<std::string, KernelAddr> name_table;
-        if (opts.restore.use_triggering_kernels) {
-            MEDUSA_ASSIGN_OR_RETURN(name_table,
-                                    buildKernelNameTable(cluster.rank(r)));
+        return m;
+    };
+
+    // Loading latency of the successful attempt, measured before the
+    // validation pass (validation advances the rank clocks but is not
+    // part of the visible loading phase).
+    f64 restored_loading = 0;
+
+    // One restore attempt across all ranks (stage-interleaved), ending
+    // with the optional lockstep validation — a validation mismatch is
+    // an attempt failure like any other.
+    auto runAttempt = [&]() -> Status {
+        for (u32 r = 0; r < opts.world; ++r) {
+            MEDUSA_RETURN_IF_ERROR(cluster.rank(r).initStructure());
+            MEDUSA_RETURN_IF_ERROR(engine->tables_[r]->organicStatus());
         }
-        MEDUSA_RETURN_IF_ERROR(restoreGraphs(
-            rank_artifacts[r], *engine->tables_[r], cluster.rank(r),
-            name_table, opts.restore, engine->reports_[r],
-            pool.get()));
-        engine->loading_sec_ = std::max(
-            engine->loading_sec_, cluster.rank(r).clock().nowSec());
+        for (u32 r = 0; r < opts.world; ++r) {
+            MEDUSA_FAULT_POINT(fault, FaultPoint::kTpRankRestore,
+                               "rank " + std::to_string(r));
+            MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadTokenizer());
+            MEDUSA_RETURN_IF_ERROR(replayAllocSequence(
+                rank_artifacts[r], cluster.rank(r), *engine->tables_[r],
+                engine->reports_[r], fault));
+            llm::ModelConfig rank_model = opts.model;
+            rank_model.tp_world = opts.world;
+            rank_model.tp_rank = r;
+            MEDUSA_RETURN_IF_ERROR(
+                rebindEngineBuffers(rank_artifacts[r], rank_model,
+                                    *engine->tables_[r],
+                                    cluster.rank(r)));
+            MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadWeights());
+            if (opts.restore.restore_contents) {
+                MEDUSA_RETURN_IF_ERROR(restoreContents(
+                    rank_artifacts[r], cluster.rank(r),
+                    *engine->tables_[r], engine->reports_[r]));
+            }
+            std::unordered_map<std::string, KernelAddr> name_table;
+            if (opts.restore.use_triggering_kernels) {
+                MEDUSA_ASSIGN_OR_RETURN(
+                    name_table,
+                    buildKernelNameTable(cluster.rank(r), fault));
+            }
+            MEDUSA_RETURN_IF_ERROR(restoreGraphs(
+                rank_artifacts[r], *engine->tables_[r],
+                cluster.rank(r), name_table, opts.restore,
+                engine->reports_[r], pool.get()));
+        }
+        restored_loading = maxClockSec();
+
+        // Optional validation: restored lockstep replay must match a
+        // reference (vanilla-captured) cluster bit for bit.
+        if (opts.restore.validate) {
+            TpCluster::Options vopts;
+            vopts.model = opts.model;
+            vopts.world = opts.world;
+            vopts.aslr_seed = opts.aslr_seed + 9999;
+            vopts.cost = opts.cost;
+            MEDUSA_ASSIGN_OR_RETURN(auto reference,
+                                    TpCluster::create(vopts));
+            MEDUSA_RETURN_IF_ERROR(reference->loadAll());
+            for (u32 bs : opts.restore.validate_batch_sizes) {
+                if (!cluster.rank(0).hasGraph(bs)) {
+                    continue;
+                }
+                MEDUSA_FAULT_POINT(fault, FaultPoint::kTpLockstep,
+                                   "lockstep bs=" + std::to_string(bs));
+                MEDUSA_RETURN_IF_ERROR(reference->captureAll({bs}));
+                MEDUSA_RETURN_IF_ERROR(
+                    reference->stageValidationState(bs));
+                MEDUSA_ASSIGN_OR_RETURN(
+                    auto expected, reference->lockstepDecodeLogits(bs));
+                MEDUSA_RETURN_IF_ERROR(cluster.stageValidationState(bs));
+                auto got = cluster.lockstepDecodeLogits(bs);
+                if (!got.isOk()) {
+                    return validationFailure(
+                        "restored TP graphs bs=" + std::to_string(bs) +
+                        " failed to replay: " + got.status().toString());
+                }
+                if (*got != expected) {
+                    return validationFailure(
+                        "restored TP graphs bs=" + std::to_string(bs) +
+                        " mismatch the reference cluster");
+                }
+                for (auto &report : engine->reports_) {
+                    report.validated = true;
+                }
+            }
+        }
+        return Status::ok();
+    };
+
+    bool restored = false;
+    for (u32 attempt = 1; attempt <= max_attempts; ++attempt) {
+        ++attempts;
+        // Fresh interceptors per attempt: sequence numbering restarts
+        // with each rank's reconstructed allocator.
+        engine->tables_.clear();
+        for (u32 r = 0; r < opts.world; ++r) {
+            engine->tables_.push_back(
+                std::make_unique<ReplayTable>(&rank_artifacts[r]));
+            cluster.rank(r).allocator().setObserver(
+                engine->tables_[r].get());
+            cluster.rank(r).process().beginJournal();
+        }
+        std::fill(engine->reports_.begin(), engine->reports_.end(),
+                  RestoreReport{});
+
+        const f64 start = maxClockSec();
+        const Status st = runAttempt();
+        if (st.isOk()) {
+            for (u32 r = 0; r < opts.world; ++r) {
+                cluster.rank(r).process().endJournal();
+            }
+            restored = true;
+            break;
+        }
+
+        // Coherent degrade: every rank rolls back to pristine, even
+        // the ones whose own restore succeeded.
+        ++failures;
+        wasted_sec += maxClockSec() - start;
+        last_failure = st.toString();
+        for (u32 r = 0; r < opts.world; ++r) {
+            cluster.rank(r).rollbackToPristine();
+            cluster.rank(r).process().endJournal();
+        }
+        std::fill(engine->reports_.begin(), engine->reports_.end(),
+                  RestoreReport{});
+        if (fb.mode == FallbackMode::kFail) {
+            return st;
+        }
+        if (attempt < max_attempts) {
+            ++retries;
+            for (u32 r = 0; r < opts.world; ++r) {
+                cluster.rank(r).clock().advance(units::secToNs(backoff));
+            }
+            backoff_total += backoff;
+            backoff *= fb.backoff_multiplier;
+        }
     }
 
-    // Optional validation: restored lockstep replay must match a
-    // reference (vanilla-captured) cluster bit for bit.
-    if (opts.restore.validate) {
-        TpCluster::Options vopts;
-        vopts.model = opts.model;
-        vopts.world = opts.world;
-        vopts.aslr_seed = opts.aslr_seed + 9999;
-        vopts.cost = opts.cost;
-        MEDUSA_ASSIGN_OR_RETURN(auto reference,
-                                TpCluster::create(vopts));
-        MEDUSA_RETURN_IF_ERROR(reference->loadAll());
-        for (u32 bs : opts.restore.validate_batch_sizes) {
-            if (!cluster.rank(0).hasGraph(bs)) {
-                continue;
-            }
-            MEDUSA_RETURN_IF_ERROR(reference->captureAll({bs}));
-            MEDUSA_RETURN_IF_ERROR(reference->stageValidationState(bs));
-            MEDUSA_ASSIGN_OR_RETURN(auto expected,
-                                    reference->lockstepDecodeLogits(bs));
-            MEDUSA_RETURN_IF_ERROR(cluster.stageValidationState(bs));
-            auto got = cluster.lockstepDecodeLogits(bs);
-            if (!got.isOk()) {
-                return validationFailure(
-                    "restored TP graphs bs=" + std::to_string(bs) +
-                    " failed to replay: " + got.status().toString());
-            }
-            if (*got != expected) {
-                return validationFailure(
-                    "restored TP graphs bs=" + std::to_string(bs) +
-                    " mismatch the reference cluster");
-            }
-            for (auto &report : engine->reports_) {
-                report.validated = true;
-            }
-        }
+    bool fallback_vanilla = false;
+    if (!restored) {
+        // Degraded mode: the classic profile+capture TP cold start on
+        // the clean processes (all ranks together).
+        fallback_vanilla = true;
+        engine->tables_.clear();
+        MEDUSA_RETURN_IF_ERROR(cluster.loadAll());
+        std::vector<u32> sizes = llm::captureBatchSizes();
+        std::sort(sizes.begin(), sizes.end(), std::greater<>());
+        MEDUSA_RETURN_IF_ERROR(cluster.captureAll(sizes));
+    }
+
+    // The slowest rank gates readiness; its clock already includes the
+    // wasted attempts and the backoff pauses. Validation time (when it
+    // ran) is excluded, as before.
+    engine->loading_sec_ = restored ? restored_loading : maxClockSec();
+    for (auto &report : engine->reports_) {
+        report.restore_attempts = attempts;
+        report.restore_failures = failures;
+        report.retries = retries;
+        report.fallback_vanilla = fallback_vanilla;
+        report.wasted_restore_sec = wasted_sec;
+        report.backoff_sec = backoff_total;
+        report.last_failure = last_failure;
     }
     return engine;
 }

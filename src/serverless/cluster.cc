@@ -103,6 +103,10 @@ class ClusterSim
         m.cold_starts = cold_starts_;
         m.artifact_loads = artifact_loads_;
         m.artifact_cache_hits = artifact_cache_hits_;
+        m.restore_failures = restore_failures_;
+        m.fallback_cold_starts = fallback_cold_starts_;
+        m.retries = retries_;
+        m.wasted_restore_sec = wasted_restore_sec_;
         m.makespan_sec = std::max(last_finish - first_arrival, 1e-9);
         m.achieved_qps = static_cast<f64>(m.completed) / m.makespan_sec;
         for (const auto &inst : instances_) {
@@ -188,9 +192,71 @@ class ClusterSim
             }
         }
         // With a warm container pool, instance launch time equals the
-        // loading phase (§7.5).
-        loop_.scheduleAfter(fetch_sec + profile_.cold_start_sec,
-                            [this, ptr]() {
+        // loading phase (§7.5). Under fault injection the restore may
+        // fail mid-flight: the time it burned before rolling back is
+        // still charged, then the fallback policy decides between a
+        // backoff+retry, the vanilla cold start, or instance death.
+        f64 launch_delay = fetch_sec;
+        bool comes_alive = true;
+        if (options_.fault == nullptr) {
+            launch_delay += profile_.cold_start_sec;
+        } else {
+            const core::FallbackPolicy &fb = options_.fallback;
+            const u32 max_attempts =
+                fb.mode == core::FallbackMode::kRetryThenVanilla
+                    ? std::max<u32>(1, fb.max_attempts)
+                    : 1;
+            f64 backoff = fb.backoff_sec;
+            bool restored = false;
+            for (u32 attempt = 1; attempt <= max_attempts; ++attempt) {
+                if (options_.fault
+                        ->check(FaultPoint::kClusterRestore,
+                                "instance launch")
+                        .isOk()) {
+                    launch_delay += profile_.cold_start_sec;
+                    restored = true;
+                    break;
+                }
+                // The fault hit partway through the restore; the work
+                // done so far is wasted and rolled back.
+                const f64 wasted =
+                    options_.fault->drawFraction(
+                        FaultPoint::kClusterRestore) *
+                    profile_.cold_start_sec;
+                launch_delay += wasted;
+                wasted_restore_sec_ += wasted;
+                ++restore_failures_;
+                if (fb.mode == core::FallbackMode::kFail) {
+                    comes_alive = false;
+                    break;
+                }
+                if (attempt < max_attempts) {
+                    ++retries_;
+                    launch_delay += backoff;
+                    backoff *= fb.backoff_multiplier;
+                }
+            }
+            if (!restored && comes_alive) {
+                // Degrade to the classic profile+capture cold start on
+                // the rolled-back (clean) process.
+                ++fallback_cold_starts_;
+                launch_delay += options_.vanilla_cold_start_sec > 0
+                                    ? options_.vanilla_cold_start_sec
+                                    : profile_.cold_start_sec;
+            }
+        }
+        if (!comes_alive) {
+            // kFail: the instance dies after the wasted restore time;
+            // dispatch() sees the freed GPU and relaunches for any
+            // still-unserved demand.
+            loop_.scheduleAfter(launch_delay, [this, ptr]() {
+                ptr->state = Instance::State::kDead;
+                ptr->died_at = loop_.now();
+                dispatch();
+            });
+            return;
+        }
+        loop_.scheduleAfter(launch_delay, [this, ptr]() {
             ptr->state = Instance::State::kLive;
             dispatch();
             if (ptr->load() == 0) {
@@ -316,6 +382,10 @@ class ClusterSim
     u64 cold_starts_ = 0;
     u64 artifact_loads_ = 0;
     u64 artifact_cache_hits_ = 0;
+    u64 restore_failures_ = 0;
+    u64 fallback_cold_starts_ = 0;
+    u64 retries_ = 0;
+    f64 wasted_restore_sec_ = 0;
 };
 
 } // namespace

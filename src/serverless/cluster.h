@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/stats.h"
 #include "medusa/artifact_cache.h"
+#include "medusa/restore_options.h"
 #include "serverless/profile.h"
 #include "workload/trace.h"
 
@@ -56,6 +58,22 @@ struct ClusterOptions
     core::ArtifactCache::Loader artifact_loader;
     /** Extra cold-start latency charged on an artifact-cache miss. */
     f64 artifact_miss_sec = 0.0;
+    /**
+     * Deterministic fault injection for instance launches
+     * (FaultPoint::kClusterRestore). When a launch's restore attempt
+     * fails, the fraction of the restore that ran before the fault is
+     * charged as wasted latency, the process rolls back, and the
+     * fallback policy decides what happens next. Null disables.
+     */
+    FaultInjector *fault = nullptr;
+    /** Degrade policy for failed restores (mirrors RestoreOptions). */
+    core::FallbackPolicy fallback;
+    /**
+     * Loading latency of the classic profile+capture cold start,
+     * charged when a launch degrades to vanilla. 0 means "as slow as
+     * the profiled cold start" (the fallback buys no speedup).
+     */
+    f64 vanilla_cold_start_sec = 0.0;
 };
 
 /** Simulation output. */
@@ -77,6 +95,14 @@ struct TraceMetrics
     u64 artifact_loads = 0;
     /** Fetches served from the resident artifact cache. */
     u64 artifact_cache_hits = 0;
+    /** Restore attempts that failed and rolled back (fault injection). */
+    u64 restore_failures = 0;
+    /** Launches that degraded to the vanilla cold start. */
+    u64 fallback_cold_starts = 0;
+    /** Failed restore attempts that were retried with backoff. */
+    u64 retries = 0;
+    /** Latency burned in failed restore attempts (pre-rollback). */
+    f64 wasted_restore_sec = 0;
 };
 
 /** Replay a trace against a cluster running the profiled engine. */

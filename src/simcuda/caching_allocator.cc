@@ -84,4 +84,33 @@ CachingAllocator::pooledBytes() const
     return total;
 }
 
+u64
+CachingAllocator::stateFingerprint() const
+{
+    auto mix = [](u64 h, u64 v) {
+        return (h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2))) *
+               0x100000001b3ull;
+    };
+    u64 h = 0xcbf29ce484222325ull;
+    h = mix(h, alloc_seq_);
+    h = mix(h, rng_.stateHash());
+    for (const auto &[key, blocks] : free_lists_) {
+        h = mix(h, key.first);
+        h = mix(h, key.second);
+        for (const auto &[addr, block] : blocks) {
+            h = mix(h, addr);
+        }
+    }
+    // live_ is unordered; XOR-combine its entries.
+    u64 live = 0;
+    for (const auto &[addr, block] : live_) {
+        u64 e = 0xcbf29ce484222325ull;
+        e = mix(e, addr);
+        e = mix(e, block.rounded_size);
+        e = mix(e, block.backing_size);
+        live ^= e;
+    }
+    return mix(h, live);
+}
+
 } // namespace medusa::simcuda

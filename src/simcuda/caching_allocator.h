@@ -111,6 +111,13 @@ class CachingAllocator
 
     void setObserver(AllocObserver *observer) { observer_ = observer; }
 
+    /**
+     * Digest of the pool state: sequence counter, reuse RNG stream,
+     * free lists and live blocks. Equal fingerprints mean identical
+     * future allocation behavior (addresses and reuse picks).
+     */
+    u64 stateFingerprint() const;
+
   private:
     struct Block
     {

@@ -73,18 +73,98 @@ Stream::synchronize()
 
 // ------------------------------------------------------------ GpuProcess
 
+namespace {
+
+// Seed derivations shared by construction and resetToPristine, so a
+// reset process replays the exact randomization of a fresh launch.
+u64
+memorySeed(const GpuProcessOptions &opts)
+{
+    return opts.aslr_seed * 0x9e3779b9u + 1 + opts.device_index;
+}
+
+u64
+moduleSeed(const GpuProcessOptions &opts)
+{
+    return opts.aslr_seed * 0xc2b2ae35u + 7 + opts.device_index;
+}
+
+} // namespace
+
 GpuProcess::GpuProcess(const GpuProcessOptions &opts, SimClock *clock,
                        const CostModel *cost)
     : clock_(clock),
       cost_(cost),
-      memory_(opts.device_memory_bytes,
-              opts.aslr_seed * 0x9e3779b9u + 1 + opts.device_index,
+      opts_(opts),
+      memory_(opts.device_memory_bytes, memorySeed(opts),
               opts.device_index),
-      modules_(opts.aslr_seed * 0xc2b2ae35u + 7 + opts.device_index)
+      modules_(moduleSeed(opts))
 {
     MEDUSA_CHECK(clock_ != nullptr && cost_ != nullptr,
                  "GpuProcess requires a clock and a cost model");
     streams_.emplace_back(new Stream(this));
+}
+
+void
+GpuProcess::beginJournal()
+{
+    journal_active_ = true;
+    journal_ = ProcessJournal{};
+}
+
+void
+GpuProcess::endJournal()
+{
+    journal_active_ = false;
+}
+
+void
+GpuProcess::resetToPristine()
+{
+    // Abort any capture first so stream teardown is unconditional.
+    capture_.reset();
+    // Keep the default Stream object alive (runtimes hold references)
+    // but rewind its state; additional capture-fork streams die with
+    // the process.
+    streams_.resize(1);
+    Stream &def = *streams_.front();
+    def.gpu_ready_ns_ = 0;
+    def.session_ = nullptr;
+    def.capture_frontier_.clear();
+    // Reconstruct the randomized subsystems from the creation options:
+    // a relaunched process draws the same ASLR/jitter streams as the
+    // original launch did, which is what makes rollback byte-identical
+    // to a fresh process.
+    memory_ = DeviceMemoryManager(opts_.device_memory_bytes,
+                                  memorySeed(opts_), opts_.device_index);
+    modules_ = ModuleTable(moduleSeed(opts_));
+    eager_launches_ = 0;
+    captured_nodes_ = 0;
+    graph_launches_ = 0;
+    journal_active_ = false;
+    journal_ = ProcessJournal{};
+}
+
+u64
+GpuProcess::stateFingerprint() const
+{
+    auto mix = [](u64 h, u64 v) {
+        return (h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2))) *
+               0x100000001b3ull;
+    };
+    u64 h = 0xcbf29ce484222325ull;
+    h = mix(h, memory_.stateFingerprint());
+    h = mix(h, modules_.stateFingerprint());
+    h = mix(h, streams_.size());
+    for (const auto &s : streams_) {
+        h = mix(h, static_cast<u64>(s->gpu_ready_ns_));
+        h = mix(h, s->session_ != nullptr ? 1 : 0);
+    }
+    h = mix(h, capture_ != nullptr ? 1 : 0);
+    h = mix(h, eager_launches_);
+    h = mix(h, captured_nodes_);
+    h = mix(h, graph_launches_);
+    return h;
 }
 
 Stream &
@@ -101,7 +181,11 @@ GpuProcess::cudaMalloc(u64 logical_size, u64 backing_size)
         return captureViolation("cudaMalloc during stream capture");
     }
     clock_->advance(units::usToNs(cost_->cuda_malloc_us));
-    return memory_.malloc(logical_size, backing_size);
+    auto addr = memory_.malloc(logical_size, backing_size);
+    if (journal_active_ && addr.isOk()) {
+        ++journal_.driver_allocs;
+    }
+    return addr;
 }
 
 Status
@@ -111,7 +195,11 @@ GpuProcess::cudaFree(DeviceAddr addr)
         return captureViolation("cudaFree during stream capture");
     }
     clock_->advance(units::usToNs(cost_->cuda_free_us));
-    return memory_.free(addr);
+    Status st = memory_.free(addr);
+    if (journal_active_ && st.isOk()) {
+        ++journal_.driver_frees;
+    }
+    return st;
 }
 
 Status
@@ -122,6 +210,9 @@ GpuProcess::memcpyH2D(DeviceAddr dst, const void *src, u64 functional_bytes,
         return captureViolation("synchronous memcpy during capture");
     }
     clock_->advance(cost_->pcieCopyTime(static_cast<f64>(logical_bytes)));
+    if (journal_active_) {
+        ++journal_.h2d_copies;
+    }
     if (functional_bytes == 0) {
         return Status::ok();
     }
@@ -151,6 +242,9 @@ GpuProcess::cudaMemset(DeviceAddr addr, u8 value, u64 functional_bytes)
         return captureViolation("cudaMemset during stream capture");
     }
     clock_->advance(units::usToNs(1.0));
+    if (journal_active_) {
+        ++journal_.memsets;
+    }
     return memory_.memset(addr, value, functional_bytes);
 }
 
@@ -187,6 +281,9 @@ GpuProcess::cudaGetFuncBySymbol(const DsoSymbol &symbol)
     auto addr = modules_.funcBySymbol(symbol, &did_load);
     if (did_load) {
         clock_->advance(units::msToNs(cost_->module_load_ms));
+        if (journal_active_) {
+            ++journal_.module_loads;
+        }
     }
     return addr;
 }
@@ -274,6 +371,9 @@ GpuProcess::instantiate(const CudaGraph &graph)
     MEDUSA_ASSIGN_OR_RETURN(exec.order_, graph.topoOrder());
     clock_->advance(units::usToNs(cost_->graph_instantiate_per_node_us *
                                   static_cast<f64>(graph.nodeCount())));
+    if (journal_active_) {
+        ++journal_.graphs_instantiated;
+    }
     return exec;
 }
 
@@ -335,6 +435,9 @@ GpuProcess::launchOnStream(Stream &stream, KernelId kernel,
     // Eager path: load the module on first use, then launch.
     if (modules_.ensureLoaded(kernel)) {
         clock_->advance(units::msToNs(cost_->module_load_ms));
+        if (journal_active_) {
+            ++journal_.module_loads;
+        }
         // Module loading synchronizes the device.
         MEDUSA_RETURN_IF_ERROR(deviceSynchronize());
     }

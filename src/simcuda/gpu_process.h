@@ -184,6 +184,29 @@ struct GpuProcessOptions
 };
 
 /**
+ * Running tally of device-state mutations since beginJournal() — the
+ * write-ahead record a transactional restore keeps so tests and
+ * reports can tell whether a failed attempt left anything behind.
+ */
+struct ProcessJournal
+{
+    u64 driver_allocs = 0;
+    u64 driver_frees = 0;
+    u64 h2d_copies = 0;
+    u64 memsets = 0;
+    u64 module_loads = 0;
+    u64 graphs_instantiated = 0;
+
+    bool
+    anyMutations() const
+    {
+        return driver_allocs + driver_frees + h2d_copies + memsets +
+                   module_loads + graphs_instantiated >
+               0;
+    }
+};
+
+/**
  * The simulated process; see file comment.
  */
 class GpuProcess
@@ -296,6 +319,36 @@ class GpuProcess
     u64 capturedNodeCount() const { return captured_nodes_; }
     u64 graphLaunchCount() const { return graph_launches_; }
 
+    // ---- transactional restore support -------------------------------
+
+    /** Start journaling device-state mutations (resets the tally). */
+    void beginJournal();
+
+    /** Stop journaling; the tally stays readable until the next begin. */
+    void endJournal();
+
+    bool journalActive() const { return journal_active_; }
+    const ProcessJournal &journal() const { return journal_; }
+
+    /**
+     * Roll the process back to its just-constructed state: all device
+     * allocations are released, all modules unloaded, extra streams
+     * destroyed, any capture aborted and the ASLR/jitter RNG streams
+     * rewound — as if the process had been killed and relaunched with
+     * the same creation options. The simulated clock is NOT rewound:
+     * time spent before the rollback really elapsed. References to the
+     * default stream stay valid.
+     */
+    void resetToPristine();
+
+    /**
+     * Digest of all process-lifetime state (memory, modules, streams,
+     * counters, capture). Two processes with equal fingerprints behave
+     * identically from here on; a reset process must fingerprint equal
+     * to a fresh one built with the same options.
+     */
+    u64 stateFingerprint() const;
+
   private:
     friend class Stream;
 
@@ -308,6 +361,8 @@ class GpuProcess
 
     SimClock *clock_;
     const CostModel *cost_;
+    /** Creation options, kept so resetToPristine can reconstruct. */
+    GpuProcessOptions opts_;
     DeviceMemoryManager memory_;
     ModuleTable modules_;
     std::vector<std::unique_ptr<Stream>> streams_;
@@ -317,6 +372,9 @@ class GpuProcess
     u64 eager_launches_ = 0;
     u64 captured_nodes_ = 0;
     u64 graph_launches_ = 0;
+
+    bool journal_active_ = false;
+    ProcessJournal journal_;
 };
 
 } // namespace medusa::simcuda

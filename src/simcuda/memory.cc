@@ -138,4 +138,27 @@ DeviceMemoryManager::findContaining(DeviceAddr addr) const
     return nullptr;
 }
 
+u64
+DeviceMemoryManager::stateFingerprint() const
+{
+    auto mix = [](u64 h, u64 v) {
+        return (h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2))) *
+               0x100000001b3ull;
+    };
+    u64 h = 0xcbf29ce484222325ull;
+    h = mix(h, total_logical_);
+    h = mix(h, used_logical_);
+    h = mix(h, next_addr_);
+    h = mix(h, rng_.stateHash());
+    for (const auto &[base, rec] : allocs_) {
+        h = mix(h, base);
+        h = mix(h, rec.logical_size);
+        h = mix(h, rec.backing.size());
+        for (u8 byte : rec.backing) {
+            h = mix(h, byte);
+        }
+    }
+    return h;
+}
+
 } // namespace medusa::simcuda

@@ -112,6 +112,16 @@ class DeviceMemoryManager
      */
     const AllocationRecord *findContaining(DeviceAddr addr) const;
 
+    /**
+     * Order-sensitive digest of the complete manager state: bump
+     * pointer, RNG stream, accounting and every live allocation
+     * (addresses, sizes, backing contents). Two managers with equal
+     * fingerprints are behaviorally indistinguishable — used by the
+     * rollback-invariant tests to prove a reset process matches a
+     * fresh one byte for byte.
+     */
+    u64 stateFingerprint() const;
+
   private:
     /** Resolve addr to (record, byte offset), checked against backing. */
     StatusOr<std::pair<AllocationRecord *, u64>>

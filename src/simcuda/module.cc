@@ -151,4 +151,26 @@ ModuleTable::loadedModules() const
     return out;
 }
 
+u64
+ModuleTable::stateFingerprint() const
+{
+    // XOR-combined per-entry hashes keep the digest independent of
+    // unordered_map iteration order.
+    u64 h = rng_.stateHash() * 0x100000001b3ull;
+    for (const auto &[name, loaded] : loaded_modules_) {
+        u64 e = loaded ? 0x9e3779b97f4a7c15ull : 0x2545f4914f6cdd1dull;
+        for (char c : name) {
+            e = (e ^ static_cast<u8>(c)) * 0x100000001b3ull;
+        }
+        h ^= e;
+    }
+    for (const auto &[id, addr] : addr_of_) {
+        u64 e = 0xcbf29ce484222325ull;
+        e = (e ^ id) * 0x100000001b3ull;
+        e = (e ^ addr) * 0x100000001b3ull;
+        h ^= e;
+    }
+    return h;
+}
+
 } // namespace medusa::simcuda

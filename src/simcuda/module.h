@@ -97,6 +97,14 @@ class ModuleTable
 
     std::size_t loadedModuleCount() const { return loaded_modules_.size(); }
 
+    /**
+     * Order-insensitive digest of the module registry (loaded modules,
+     * kernel address assignments) plus the ASLR RNG stream. Equal
+     * fingerprints mean identical future address assignments — see
+     * DeviceMemoryManager::stateFingerprint.
+     */
+    u64 stateFingerprint() const;
+
   private:
     Rng rng_;
     /** module name -> loaded? */

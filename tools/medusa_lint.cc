@@ -16,9 +16,13 @@
  *   --device-bytes <n>     device capacity for MDL5xx (default 40 GiB)
  *   --collective <module>  collective module for MDL604
  *                          (default libsimnccl.so)
+ *   --max-severity <s>     highest severity that still exits 0:
+ *                          info (any warning fails), warning (the
+ *                          default: only errors fail), or error
+ *                          (never fail on diagnostics)
  *
- * Exit status: 0 lint-clean or warnings only, 1 any error-severity
- * diagnostic, 2 usage or I/O failure.
+ * Exit status: 0 when no diagnostic exceeds --max-severity, 1
+ * otherwise, 2 usage or I/O failure.
  */
 
 #include <cstdio>
@@ -42,7 +46,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--json] [--no-registry] [--device-bytes N]\n"
-        "       [--collective MODULE] <artifact.medusa> [rank1 ...]\n",
+        "       [--collective MODULE] [--max-severity info|warning|error]\n"
+        "       <artifact.medusa> [rank1 ...]\n",
         argv0);
     return 2;
 }
@@ -54,6 +59,9 @@ main(int argc, char **argv)
 {
     LintOptions options;
     bool json = false;
+    // Highest severity still acceptable for exit 0. The default keeps
+    // the historical behavior: warnings pass, errors fail.
+    core::lint::Severity max_severity = core::lint::Severity::kWarning;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -72,6 +80,22 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             }
             options.collective_module = argv[i];
+        } else if (arg == "--max-severity") {
+            if (++i >= argc) {
+                return usage(argv[0]);
+            }
+            const std::string level = argv[i];
+            if (level == "info") {
+                max_severity = core::lint::Severity::kInfo;
+            } else if (level == "warning") {
+                max_severity = core::lint::Severity::kWarning;
+            } else if (level == "error") {
+                max_severity = core::lint::Severity::kError;
+            } else {
+                std::fprintf(stderr, "unknown severity %s\n",
+                             level.c_str());
+                return usage(argv[0]);
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return usage(argv[0]);
@@ -120,5 +144,10 @@ main(int argc, char **argv)
         }
         std::printf("%s", report.toText().c_str());
     }
-    return report.replaySafe() ? 0 : 1;
+    for (const auto &diag : report.diagnostics) {
+        if (diag.severity > max_severity) {
+            return 1;
+        }
+    }
+    return 0;
 }
