@@ -36,7 +36,7 @@ main()
         // *stale* allocation (the paper's Figure 6 false positive).
         core::OfflineOptions opts;
         opts.model = model;
-        opts.validate = false;
+        opts.pipeline.validate = false;
         opts.analyze.trace_based_matching = true;
         auto traced = bench::unwrap(core::materialize(opts),
                                     "trace-based analysis");
@@ -84,7 +84,7 @@ main()
         core::OfflineOptions opts;
         opts.model = model;
         opts.analyze.copy_free_contents = copy_free;
-        opts.validate = false;
+        opts.pipeline.validate = false;
         auto result = bench::unwrap(core::materialize(opts),
                                     "materialize");
         const auto &s = result.artifact.stats;
@@ -102,7 +102,7 @@ main()
                 "===\n");
     core::OfflineOptions oopts;
     oopts.model = model;
-    oopts.validate = false;
+    oopts.pipeline.validate = false;
     auto offline = bench::unwrap(core::materialize(oopts), "materialize");
 
     struct Mode

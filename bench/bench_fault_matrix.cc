@@ -71,9 +71,9 @@ runCell(const llm::ModelConfig &model, const core::Artifact &artifact,
     core::MedusaEngine::Options opts;
     opts.model = model;
     opts.aslr_seed = 20250805;
-    opts.restore.validate = true; // tp_lockstep has no single-GPU hook;
-    opts.restore.validate_batch_sizes = {1};
-    opts.restore.fault = &injector;
+    opts.restore.pipeline.validate = true; // tp_lockstep has no single-GPU hook;
+    opts.restore.pipeline.validate_batch_sizes = {1};
+    opts.restore.pipeline.fault = &injector;
     opts.restore.fallback.mode = mode;
     opts.restore.fallback.max_attempts = 2;
 
@@ -115,6 +115,7 @@ struct TraceRow
 int
 main(int argc, char **argv)
 {
+    bench::Reporter reporter(argc, argv);
     bool json = false;
     std::string model_name = "Qwen1.5-4B";
     for (int i = 1; i < argc; ++i) {
@@ -154,8 +155,8 @@ main(int argc, char **argv)
         core::MedusaEngine::Options opts;
         opts.model = model;
         opts.aslr_seed = 20250805;
-        opts.restore.validate = true;
-        opts.restore.validate_batch_sizes = {1};
+        opts.restore.pipeline.validate = true;
+        opts.restore.pipeline.validate_batch_sizes = {1};
         auto engine = core::MedusaEngine::coldStart(opts, artifact);
         bench::checkOk(engine.status(), "clean restore");
         clean_loading = (*engine)->times().loading;
@@ -187,21 +188,46 @@ main(int argc, char **argv)
     const std::vector<workload::Request> trace =
         workload::generateShareGptTrace(topts);
 
+    // Shared per-node artifact store: the sweep's first launch loads,
+    // every later one hits. Zero latency impact (miss cost 0) — it
+    // exists so a traced run shows the cache.load/cache.hit events.
+    core::ArtifactCache artifact_cache(4);
+
     std::vector<TraceRow> rows;
+    u32 sweep_track = 0;
     for (f64 corruption : {0.0, 0.01, 0.05}) {
         FaultPlan plan;
         plan.seed = 4242;
         plan.rule(FaultPoint::kClusterRestore).probability = corruption;
         FaultInjector injector(plan);
 
+        TraceRecorder run_trace; // sink; cluster events are pre-timed
         serverless::ClusterOptions copts;
-        copts.fault = corruption > 0 ? &injector : nullptr;
+        copts.pipeline.fault = corruption > 0 ? &injector : nullptr;
+        copts.pipeline.trace =
+            reporter.trace() != nullptr ? &run_trace : nullptr;
+        copts.pipeline.metrics = reporter.metrics();
+        copts.artifact_cache = &artifact_cache;
+        copts.artifact_key = model.name;
+        copts.artifact_loader = [&artifact]() -> StatusOr<core::Artifact> {
+            return core::Artifact(artifact);
+        };
         copts.fallback.mode = core::FallbackMode::kRetryThenVanilla;
         copts.fallback.max_attempts = 2;
         // A launch that degrades pays the classic cold start.
         copts.vanilla_cold_start_sec = vllm_profile.cold_start_sec;
         const serverless::TraceMetrics metrics =
             serverless::simulateCluster(copts, medusa_profile, trace);
+        if (reporter.trace() != nullptr) {
+            reporter.addSpans(run_trace.events(), sweep_track);
+            char label[48];
+            std::snprintf(label, sizeof(label),
+                          "cluster corruption=%.0f%%",
+                          corruption * 100);
+            reporter.setTrackName(sweep_track, label);
+            reporter.setTrackName(sweep_track + 1, "requests");
+            sweep_track += 2;
+        }
 
         TraceRow row;
         row.corruption = corruption;
@@ -225,6 +251,40 @@ main(int argc, char **argv)
                          trace.size(), corruption);
             return 1;
         }
+    }
+
+    // Traced-only showcase: the probabilistic sweep above sees so few
+    // cold starts that at 1–5% corruption no fault may fire, so a
+    // trace could miss the degraded path entirely. Replay the trace
+    // once more with the first launch's restore deterministically
+    // failing both attempts (retry, then vanilla fallback) so the
+    // exported trace always covers restore.attempt_failed and
+    // fallback.vanilla_cold_start. Runs only under --trace-out; the
+    // printed tables are untouched.
+    if (reporter.trace() != nullptr) {
+        FaultPlan plan;
+        plan.seed = 4242;
+        plan.rule(FaultPoint::kClusterRestore).probability = 1.0;
+        plan.rule(FaultPoint::kClusterRestore).max_fires = 2;
+        FaultInjector injector(plan);
+
+        TraceRecorder run_trace;
+        serverless::ClusterOptions copts;
+        copts.pipeline.fault = &injector;
+        copts.pipeline.trace = &run_trace;
+        copts.pipeline.metrics = reporter.metrics();
+        copts.artifact_cache = &artifact_cache;
+        copts.artifact_key = model.name;
+        copts.artifact_loader = [&artifact]() -> StatusOr<core::Artifact> {
+            return core::Artifact(artifact);
+        };
+        copts.fallback.mode = core::FallbackMode::kRetryThenVanilla;
+        copts.fallback.max_attempts = 2;
+        copts.vanilla_cold_start_sec = vllm_profile.cold_start_sec;
+        serverless::simulateCluster(copts, medusa_profile, trace);
+        reporter.addSpans(run_trace.events(), sweep_track);
+        reporter.setTrackName(sweep_track, "cluster fault showcase");
+        reporter.setTrackName(sweep_track + 1, "requests");
     }
 
     if (json) {
@@ -300,5 +360,6 @@ main(int argc, char **argv)
                 r.wasted_restore_sec);
         }
     }
+    reporter.finish();
     return 0;
 }

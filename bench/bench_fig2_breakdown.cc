@@ -5,6 +5,10 @@
  * KV-init + capturing share (paper: 18% + 32% ~= 47% on average), and
  * the async-bubble analysis (for how many models weights loading
  * cannot hide tokenizer + KV-init; paper: 6 of 10).
+ *
+ * Stage numbers are derived from the ColdStartReport's `cold_start.*`
+ * spans — the same events `--trace-out` exports — not from a separate
+ * hand-kept timing struct.
  */
 
 #include <cstdio>
@@ -14,8 +18,9 @@
 using namespace medusa;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Reporter reporter(argc, argv);
     std::printf("=== Figure 2: loading phase breakdown (vLLM, 10 models) "
                 "===\n\n");
     std::printf("%-14s %7s %7s %7s %7s %7s %8s | %6s %6s\n", "model",
@@ -27,27 +32,37 @@ main()
     f64 cap_share_sum = 0;
     int bubble_models = 0;
     int count = 0;
+    u32 track = 0;
     for (const llm::ModelConfig &model : llm::modelZoo()) {
         llm::BaselineEngine::Options opts;
         opts.model = model;
         opts.strategy = llm::Strategy::kVllm;
         auto engine = bench::unwrap(llm::BaselineEngine::coldStart(opts),
                                     model.name.c_str());
-        const llm::StageTimes &t = engine->times();
-        const f64 total = t.serialSum();
-        const f64 kv_pct = 100.0 * t.kv_init / total;
-        const f64 cap_pct = 100.0 * t.capture / total;
+        const ColdStartReport &report = engine->coldStartReport();
+        const f64 struct_init = report.spanSec("cold_start.struct_init");
+        const f64 weights = report.spanSec("cold_start.weights");
+        const f64 tokenizer = report.spanSec("cold_start.tokenizer");
+        const f64 kv_init = report.spanSec("cold_start.kv_init");
+        const f64 capture = report.spanSec("cold_start.capture");
+        const f64 total =
+            struct_init + weights + tokenizer + kv_init + capture;
+        const f64 kv_pct = 100.0 * kv_init / total;
+        const f64 cap_pct = 100.0 * capture / total;
         kv_share_sum += kv_pct;
         cap_share_sum += cap_pct;
         ++count;
         // Bubble: async weights loading cannot cover tokenizer+KV-init.
-        const bool bubble = t.weights < t.tokenizer + t.kv_init;
+        const bool bubble = weights < tokenizer + kv_init;
         bubble_models += bubble ? 1 : 0;
         std::printf("%-14s %7.2f %7.2f %7.2f %7.2f %7.2f %8.2f | %5.1f%% "
                     "%5.1f%%%s\n",
-                    model.name.c_str(), t.struct_init, t.weights,
-                    t.tokenizer, t.kv_init, t.capture, total, kv_pct,
-                    cap_pct, bubble ? "  [bubble]" : "");
+                    model.name.c_str(), struct_init, weights, tokenizer,
+                    kv_init, capture, total, kv_pct, cap_pct,
+                    bubble ? "  [bubble]" : "");
+        reporter.addSpans(report.spans, track);
+        reporter.setTrackName(track, model.name);
+        ++track;
     }
     bench::printRule();
     std::printf("avg KV-init share: %.1f%% (paper ~18%%)   "
@@ -58,5 +73,6 @@ main()
     std::printf("models with async bubble (weights < tokenizer+KV-init): "
                 "%d of %d (paper: 6 of 10)\n",
                 bubble_models, count);
+    reporter.finish();
     return 0;
 }

@@ -6,6 +6,10 @@
  * weights-vs-profiling interference (+0.08 s on weights) and a 0.26 s
  * bubble; Medusa -41.4% with KV-init 0.50 -> 0.02 and capturing
  * 0.90 -> 0.57.
+ *
+ * Stage numbers are derived from each engine's ColdStartReport spans
+ * (the `cold_start.*` events `--trace-out` exports); the composed
+ * loading latency comes from the same report.
  */
 
 #include <cstdio>
@@ -15,9 +19,35 @@
 
 using namespace medusa;
 
-int
-main()
+namespace {
+
+/** Per-stage seconds recovered from a report's cold_start.* spans. */
+struct Stages
 {
+    f64 struct_init;
+    f64 weights;
+    f64 tokenizer;
+    f64 kv_init;
+    f64 capture;
+    f64 loading;
+
+    explicit Stages(const ColdStartReport &report)
+        : struct_init(report.spanSec("cold_start.struct_init")),
+          weights(report.spanSec("cold_start.weights")),
+          tokenizer(report.spanSec("cold_start.tokenizer")),
+          kv_init(report.spanSec("cold_start.kv_init")),
+          capture(report.spanSec("cold_start.capture")),
+          loading(report.loadingSec())
+    {
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Reporter reporter(argc, argv);
     auto model =
         bench::unwrap(llm::findModel("Qwen1.5-4B"), "findModel");
     auto artifact = bench::unwrap(bench::materializeCached(model),
@@ -33,8 +63,24 @@ main()
                                "vLLM+ASYNC");
     core::MedusaEngine::Options mopts;
     mopts.model = model;
+    mopts.restore.pipeline.metrics = reporter.metrics();
     auto medusa = bench::unwrap(
         core::MedusaEngine::coldStart(mopts, artifact), "Medusa");
+
+    const Stages v(vllm->coldStartReport());
+    const Stages a(async->coldStartReport());
+    const Stages m(medusa->coldStartReport());
+    u32 track = 0;
+    const std::pair<const char *, const ColdStartReport *> engines[] = {
+        {"vLLM", &vllm->coldStartReport()},
+        {"vLLM+ASYNC", &async->coldStartReport()},
+        {"Medusa", &medusa->coldStartReport()},
+    };
+    for (const auto &[name, report] : engines) {
+        reporter.addSpans(report->spans, track);
+        reporter.setTrackName(track, name);
+        ++track;
+    }
 
     const CostModel cost;
     std::printf("=== Figure 8: strategy breakdown, Qwen1.5 4B ===\n\n");
@@ -43,8 +89,8 @@ main()
                 "loading", "vs vLLM");
     bench::printRule('-', 88);
 
-    const f64 base = vllm->times().loading;
-    auto line = [&](const char *name, const llm::StageTimes &t,
+    const f64 base = v.loading;
+    auto line = [&](const char *name, const Stages &t,
                     f64 weights_shown) {
         std::printf("%-12s %7.2f %8.2f %7.2f %7.2f %8.2f | %8.2f %8.1f%%"
                     "\n",
@@ -52,15 +98,14 @@ main()
                     t.kv_init, t.capture, t.loading,
                     100.0 * (1.0 - t.loading / base));
     };
-    line("vLLM", vllm->times(), vllm->times().weights);
+    line("vLLM", v, v.weights);
     // ASYNC's weights loading runs concurrently with the profiling
     // forwarding and suffers the measured interference.
-    line("vLLM+ASYNC", async->times(),
-         async->times().weights * cost.weights_profiling_interference);
-    line("Medusa", medusa->times(), medusa->times().weights);
+    line("vLLM+ASYNC", a,
+         a.weights * cost.weights_profiling_interference);
+    line("Medusa", m, m.weights);
     bench::printRule('-', 88);
 
-    const llm::StageTimes &a = async->times();
     const f64 async_weights =
         a.weights * cost.weights_profiling_interference;
     const f64 bubble = std::max(
@@ -72,14 +117,14 @@ main()
                 "%.2f s (paper: 0.26 s)\n",
                 bubble);
     std::printf("Medusa KV-init: %.2f s (paper: 0.50 -> 0.02)\n",
-                medusa->times().kv_init);
+                m.kv_init);
     std::printf("Medusa capture/restore stage: %.2f s "
                 "(paper: 0.90 -> 0.57)\n",
-                medusa->times().capture);
+                m.capture);
     std::printf("Medusa loading reduction: %.1f%% vs vLLM "
                 "(paper: 41.4%%), %.1f%% vs ASYNC (paper: 32.7%%)\n",
-                100.0 * (1.0 - medusa->times().loading / base),
-                100.0 * (1.0 -
-                         medusa->times().loading / async->times().loading));
+                100.0 * (1.0 - m.loading / base),
+                100.0 * (1.0 - m.loading / a.loading));
+    reporter.finish();
     return 0;
 }

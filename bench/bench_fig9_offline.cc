@@ -27,7 +27,7 @@ main()
     for (const llm::ModelConfig &model : llm::modelZoo()) {
         core::OfflineOptions opts;
         opts.model = model;
-        opts.validate = false; // Figure 9 measures capture + analysis
+        opts.pipeline.validate = false; // Figure 9 measures capture + analysis
         auto result = bench::unwrap(core::materialize(opts),
                                     model.name.c_str());
         sum_capture += result.capture_stage_sec;

@@ -12,10 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "llm/runtime.h"
 #include "llm/tokenizer.h"
 #include "medusa/artifact.h"
 #include "medusa/offline.h"
+#include "medusa/restore.h"
 #include "simcuda/caching_allocator.h"
 #include "simcuda/kernels/builtin.h"
 
@@ -107,7 +109,7 @@ BM_ArtifactSerializeRoundTrip(benchmark::State &state)
 {
     core::OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto offline = core::materialize(opts);
     const auto bytes = offline->artifact.serialize();
     for (auto _ : state) {
@@ -127,7 +129,7 @@ BM_ArtifactDeserializeView(benchmark::State &state)
     // won't touch.
     core::OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto offline = core::materialize(opts);
     const auto bytes = offline->artifact.serialize();
     core::ArtifactReadOptions ropts;
@@ -151,12 +153,38 @@ BM_OfflineMaterialize(benchmark::State &state)
     for (auto _ : state) {
         core::OfflineOptions opts;
         opts.model = tinyModel();
-        opts.validate = false;
+        opts.pipeline.validate = false;
         auto offline = core::materialize(opts);
         benchmark::DoNotOptimize(offline);
     }
 }
 BENCHMARK(BM_OfflineMaterialize)->Unit(benchmark::kMillisecond);
+
+/**
+ * One traced offline + cold start of the tiny model. Runs only when
+ * `--trace-out` / `--metrics-out` were given: the microbench binary
+ * then doubles as the smoke-test trace producer for scripts/check.sh,
+ * exercising the whole span pipeline end to end.
+ */
+void
+runTracedColdStart(bench::Reporter &reporter)
+{
+    core::OfflineOptions oopts;
+    oopts.model = tinyModel();
+    oopts.pipeline.validate = false;
+    oopts.pipeline.trace = reporter.trace();
+    oopts.pipeline.metrics = reporter.metrics();
+    auto offline = core::materialize(oopts);
+    bench::checkOk(offline.status(), "materialize");
+
+    core::MedusaEngine::Options eopts;
+    eopts.model = oopts.model;
+    eopts.restore.pipeline.trace = reporter.trace();
+    eopts.restore.pipeline.metrics = reporter.metrics();
+    auto engine = core::MedusaEngine::coldStart(eopts, offline->artifact);
+    bench::checkOk(engine.status(), "cold start");
+    reporter.setTrackName(0, "medusa");
+}
 
 } // namespace
 } // namespace medusa
@@ -164,11 +192,13 @@ BENCHMARK(BM_OfflineMaterialize)->Unit(benchmark::kMillisecond);
 /**
  * Like BENCHMARK_MAIN(), plus a --json convenience alias for
  * --benchmark_format=json so harness scripts can request
- * machine-readable output uniformly across the bench binaries.
+ * machine-readable output uniformly across the bench binaries, and the
+ * shared --trace-out / --metrics-out reporting flags (DESIGN.md §12).
  */
 int
 main(int argc, char **argv)
 {
+    medusa::bench::Reporter reporter(argc, argv);
     static char json_flag[] = "--benchmark_format=json";
     std::vector<char *> args(argv, argv + argc);
     for (char *&arg : args) {
@@ -183,5 +213,9 @@ main(int argc, char **argv)
     }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    if (reporter.trace() != nullptr || reporter.metrics() != nullptr) {
+        medusa::runTracedColdStart(reporter);
+    }
+    reporter.finish();
     return 0;
 }

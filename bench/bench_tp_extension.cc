@@ -65,8 +65,8 @@ main()
     core::TpMedusaEngine::Options mopts;
     mopts.model = model;
     mopts.world = world;
-    mopts.restore.validate = true;
-    mopts.restore.validate_batch_sizes = {1, 64};
+    mopts.restore.pipeline.validate = true;
+    mopts.restore.pipeline.validate_batch_sizes = {1, 64};
     auto restored = bench::unwrap(
         core::TpMedusaEngine::coldStart(mopts, offline.rank_artifacts),
         "tp restore");

@@ -54,7 +54,7 @@ main(int argc, char **argv)
 
     core::OfflineOptions oopts;
     oopts.model = *model;
-    oopts.validate = false;
+    oopts.pipeline.validate = false;
     auto offline = core::materialize(oopts);
     core::MedusaEngine::Options mopts;
     mopts.model = *model;

@@ -38,7 +38,7 @@ main(int argc, char **argv)
     std::printf("materializing %s ...\n", name.c_str());
     core::OfflineOptions opts;
     opts.model = *model;
-    opts.validate = true; // dry-run the online phase before shipping
+    opts.pipeline.validate = true; // dry-run the online phase before shipping
     auto result = core::materialize(opts);
     if (!result.isOk()) {
         std::fprintf(stderr, "offline phase failed: %s\n",

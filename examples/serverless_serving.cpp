@@ -35,7 +35,7 @@ main(int argc, char **argv)
                 name.c_str());
     core::OfflineOptions oopts;
     oopts.model = *model;
-    oopts.validate = false;
+    oopts.pipeline.validate = false;
     auto offline = core::materialize(oopts);
     if (!offline.isOk()) {
         std::fprintf(stderr, "offline phase failed: %s\n",

@@ -73,8 +73,8 @@ main(int argc, char **argv)
     mopts.model = *model;
     mopts.world = 2;
     mopts.aslr_seed = 0xdead;
-    mopts.restore.validate = true;
-    mopts.restore.validate_batch_sizes = {1, 64};
+    mopts.restore.pipeline.validate = true;
+    mopts.restore.pipeline.validate_batch_sizes = {1, 64};
     auto engine = core::TpMedusaEngine::coldStart(
         mopts, offline->rank_artifacts);
     if (!engine.isOk()) {

@@ -67,9 +67,32 @@ if [ -x "$BUILD/examples/offline_materialize" ] &&
         # --max-severity info: a pipeline artifact must be clean even
         # of warnings, not just free of errors.
         fail "medusa_lint reported diagnostics on a pipeline artifact"
+    elif ! "$BUILD/tools/medusa_lint" --json "$ARTIFACT" \
+            > "$BUILD/check-lint.json" ||
+         ! "$BUILD/tools/trace_check" --lint "$BUILD/check-lint.json"; then
+        fail "medusa_lint --json failed schema validation"
     fi
 else
     fail "offline_materialize / medusa_lint binaries missing"
+fi
+
+note "trace smoke: one traced cold start, schema-checked exports"
+if [ -x "$BUILD/bench/bench_micro" ] && [ -x "$BUILD/tools/trace_check" ]
+then
+    TRACE_JSON="$BUILD/check-trace.json"
+    METRICS_JSON="$BUILD/check-metrics.json"
+    if ! "$BUILD/bench/bench_micro" \
+            --benchmark_filter=BM_CachingAllocatorReuse \
+            --trace-out "$TRACE_JSON" --metrics-out "$METRICS_JSON" \
+            >/dev/null 2>&1; then
+        fail "traced bench_micro run failed"
+    elif ! "$BUILD/tools/trace_check" --chrome "$TRACE_JSON"; then
+        fail "exported Chrome trace failed schema validation"
+    elif ! "$BUILD/tools/trace_check" --metrics "$METRICS_JSON"; then
+        fail "exported metrics JSON failed schema validation"
+    fi
+else
+    fail "bench_micro / trace_check binaries missing"
 fi
 
 note "fault-injected tier-1 suite under ASan (fixed fault seed)"

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cross-cutting pipeline knobs shared by the offline materializer
+ * (OfflineOptions), the online restore engines (RestoreOptions, both
+ * single-GPU and TP) and the cluster simulator (ClusterOptions). Each
+ * of those structs embeds one PipelineOptions so lint / validation /
+ * fault-injection / observability are configured identically on every
+ * path instead of through per-struct duplicate fields.
+ */
+
+#ifndef MEDUSA_COMMON_PIPELINE_OPTIONS_H
+#define MEDUSA_COMMON_PIPELINE_OPTIONS_H
+
+#include <vector>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "common/types.h"
+
+namespace medusa {
+
+/** See file comment. All pointers are borrowed and may be null. */
+struct PipelineOptions
+{
+    /**
+     * Run medusa-lint over the artifact (before restoring online, after
+     * materializing offline) and refuse to proceed on any
+     * error-severity diagnostic.
+     */
+    bool lint = false;
+    /** Compare restored/captured graph outputs against eager forward. */
+    bool validate = false;
+    /** Batch sizes exercised when validate is set. */
+    std::vector<u32> validate_batch_sizes = {1, 4, 64};
+    /**
+     * Deterministic fault injection (test/bench only). Null disables
+     * every hook; the pipeline is then bit-identical to a build
+     * without the subsystem.
+     */
+    FaultInjector *fault = nullptr;
+    /**
+     * Span sink for the run. Engines always collect their own spans
+     * into the ColdStartReport; when this is set they additionally
+     * stream into the caller's recorder (e.g. a bench aggregating
+     * several cold starts into one timeline). Null = no extra sink.
+     */
+    TraceRecorder *trace = nullptr;
+    /**
+     * Metrics sink: engine-local counters are merged into this
+     * registry after the run (in addition to the snapshot embedded in
+     * the ColdStartReport). Null = report-only.
+     */
+    MetricsRegistry *metrics = nullptr;
+};
+
+} // namespace medusa
+
+#endif // MEDUSA_COMMON_PIPELINE_OPTIONS_H

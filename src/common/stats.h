@@ -8,6 +8,7 @@
 #define MEDUSA_COMMON_STATS_H
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -38,8 +39,21 @@ class Summary
     u64 count() const { return count_; }
     f64 sum() const { return sum_; }
     f64 mean() const { return count_ ? sum_ / static_cast<f64>(count_) : 0; }
-    f64 min() const { return count_ ? min_ : 0; }
-    f64 max() const { return count_ ? max_ : 0; }
+    /**
+     * Smallest sample, or NaN when empty — 0 would masquerade as a
+     * real observation (a 0-second minimum latency reads as "free").
+     */
+    f64
+    min() const
+    {
+        return count_ ? min_ : std::numeric_limits<f64>::quiet_NaN();
+    }
+    /** Largest sample, or NaN when empty (see min()). */
+    f64
+    max() const
+    {
+        return count_ ? max_ : std::numeric_limits<f64>::quiet_NaN();
+    }
 
   private:
     u64 count_ = 0;

@@ -58,12 +58,15 @@ BaselineEngine::coldStart(const Options &opts)
     std::unique_ptr<BaselineEngine> engine(
         new BaselineEngine(opts.strategy, opts.aslr_seed,
                            std::move(runtime)));
-    StageTimes &t = engine->times_;
+    ColdStartReport &report = engine->report_;
+    report.strategy = strategyName(opts.strategy);
+    StageTimes &t = report.times;
     t.runtime_init = opts.warm_container
                          ? cost.runtime_init_warm_ms / 1e3
                          : cost.runtime_init_cold_ms / 1e3;
 
     SimClock &clock = rt.clock();
+    TraceRecorder rec(&clock);
     f64 mark = clock.nowSec();
     auto lap = [&clock, &mark]() {
         const f64 now = clock.nowSec();
@@ -72,26 +75,45 @@ BaselineEngine::coldStart(const Options &opts)
         return d;
     };
 
-    MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    {
+        Span s(&rec, "cold_start.struct_init", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    }
     t.struct_init = lap();
 
-    MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    {
+        Span s(&rec, "cold_start.weights", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    }
     t.weights = lap();
 
-    MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    {
+        Span s(&rec, "cold_start.tokenizer", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    }
     t.tokenizer = lap();
 
-    MEDUSA_ASSIGN_OR_RETURN(u64 free_bytes, rt.profileFreeMemory());
-    MEDUSA_RETURN_IF_ERROR(rt.initKvCache(free_bytes));
+    {
+        Span s(&rec, "cold_start.kv_init", "stage");
+        MEDUSA_ASSIGN_OR_RETURN(u64 free_bytes, rt.profileFreeMemory());
+        MEDUSA_RETURN_IF_ERROR(rt.initKvCache(free_bytes));
+    }
     t.kv_init = lap();
 
     if (opts.strategy != Strategy::kNoCudaGraph &&
         opts.strategy != Strategy::kDeferredCapture) {
+        Span s(&rec, "cold_start.capture", "stage");
         MEDUSA_RETURN_IF_ERROR(rt.captureDecodeGraphs());
+        s.end();
         t.capture = lap();
     }
 
     t.loading = composeLoading(opts.strategy, t, cost);
+    report.outcome = ColdStartOutcome::kColdStart;
+    report.spans = rec.events();
+    if (opts.trace != nullptr) {
+        opts.trace->appendAll(report.spans);
+    }
     return engine;
 }
 

@@ -24,6 +24,7 @@
 
 #include <memory>
 
+#include "common/cold_start_report.h"
 #include "llm/runtime.h"
 
 namespace medusa::llm {
@@ -43,29 +44,11 @@ enum class Strategy {
 
 const char *strategyName(Strategy strategy);
 
-/** Measured per-stage latencies and the composed visible latencies. */
-struct StageTimes
-{
-    // Raw per-stage durations (virtual seconds).
-    f64 struct_init = 0;
-    f64 weights = 0;
-    f64 tokenizer = 0;
-    f64 kv_init = 0;
-    f64 capture = 0;
-
-    /** Runtime (container/Python) initialization before loading. */
-    f64 runtime_init = 0;
-    /** Composed, visible loading-phase latency for the strategy. */
-    f64 loading = 0;
-
-    f64 coldStart() const { return runtime_init + loading; }
-    /** Sum of the raw stage durations (the fully-serial lower bound). */
-    f64
-    serialSum() const
-    {
-        return struct_init + weights + tokenizer + kv_init + capture;
-    }
-};
+/**
+ * StageTimes moved to common/cold_start_report.h with the unified
+ * reporting schema; llm::StageTimes remains valid via this alias.
+ */
+using medusa::StageTimes;
 
 /**
  * Runs a full cold start under one of the three baseline strategies and
@@ -85,6 +68,11 @@ class BaselineEngine
          * (the setting of the paper's trace experiments).
          */
         bool warm_container = true;
+        /**
+         * Optional extra span sink; the engine always records its own
+         * spans into the ColdStartReport (see PipelineOptions::trace).
+         */
+        TraceRecorder *trace = nullptr;
     };
 
     /** Execute the cold start; returns the live engine on success. */
@@ -92,7 +80,16 @@ class BaselineEngine
     coldStart(const Options &opts);
 
     ModelRuntime &runtime() { return *runtime_; }
-    const StageTimes &times() const { return times_; }
+
+    /** The consolidated report for this cold start (DESIGN.md §12). */
+    const ColdStartReport &coldStartReport() const { return report_; }
+
+    /**
+     * @deprecated Thin view over coldStartReport().times; new code
+     * should consume the consolidated report.
+     */
+    const StageTimes &times() const { return report_.times; }
+
     Strategy strategy() const { return strategy_; }
     /** The process-launch seed this engine was cold-started with. */
     u64 aslrSeed() const { return aslr_seed_; }
@@ -108,7 +105,7 @@ class BaselineEngine
     Strategy strategy_;
     u64 aslr_seed_;
     std::unique_ptr<ModelRuntime> runtime_;
-    StageTimes times_;
+    ColdStartReport report_;
 };
 
 /**

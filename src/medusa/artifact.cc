@@ -6,7 +6,9 @@
 
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace medusa::core {
 
@@ -507,6 +509,8 @@ Artifact::deserializeView(std::span<const u8> bytes,
 {
     BinaryReader r(bytes);
     Artifact a;
+    Span span(options.trace, "artifact.deserialize", "artifact");
+    span.arg("bytes", std::to_string(bytes.size()));
     MEDUSA_FAULT_POINT(options.fault, FaultPoint::kArtifactDeserialize,
                        "deserializeView of " +
                            std::to_string(bytes.size()) + " bytes");
@@ -662,6 +666,30 @@ Artifact::totalNodes() const
         total += g.nodes.size();
     }
     return total;
+}
+
+void
+AnalysisStats::publishTo(MetricsRegistry &registry) const
+{
+    registry.counter("analysis.total_nodes").add(total_nodes);
+    registry.counter("analysis.total_params").add(total_params);
+    registry.counter("analysis.pointer_params").add(pointer_params);
+    registry.counter("analysis.constant_params").add(constant_params);
+    registry.counter("analysis.decoy_candidates").add(decoy_candidates);
+    registry.counter("analysis.validation_repairs").add(validation_repairs);
+    registry.counter("analysis.dlsym_visible_nodes")
+        .add(dlsym_visible_nodes);
+    registry.counter("analysis.hidden_kernel_nodes")
+        .add(hidden_kernel_nodes);
+    registry.counter("analysis.model_param_buffers")
+        .add(model_param_buffers);
+    registry.counter("analysis.temp_buffers").add(temp_buffers);
+    registry.counter("analysis.permanent_buffers").add(permanent_buffers);
+    registry.counter("analysis.indirect_pointer_words")
+        .add(indirect_pointer_words);
+    registry.counter("analysis.materialized_content_bytes")
+        .add(materialized_content_bytes);
+    registry.counter("analysis.full_dump_bytes").add(full_dump_bytes);
 }
 
 } // namespace medusa::core

@@ -33,7 +33,9 @@
 
 namespace medusa {
 class FaultInjector;
+class MetricsRegistry;
 class ThreadPool;
+class TraceRecorder;
 }
 
 namespace medusa::core {
@@ -139,6 +141,13 @@ struct AnalysisStats
     u64 materialized_content_bytes = 0;
     /** Bytes that a full (non-copy-free) dump would have materialized. */
     u64 full_dump_bytes = 0;
+
+    /**
+     * Publish every counter under the canonical `analysis.*` metric
+     * names (DESIGN.md §12). The struct itself stays the in-memory
+     * view; registries are how benches and pipelines consume it.
+     */
+    void publishTo(MetricsRegistry &registry) const;
 };
 
 /**
@@ -170,6 +179,11 @@ struct ArtifactReadOptions
      * (FaultPoint::kArtifactDeserialize / kArtifactCrc). Null disables.
      */
     FaultInjector *fault = nullptr;
+    /**
+     * Span sink for the deserialize (artifact.deserialize span). Null
+     * disables, at zero cost.
+     */
+    TraceRecorder *trace = nullptr;
 };
 
 /** The complete materialized state. */

@@ -20,6 +20,13 @@ ArtifactCache::setFaultInjector(FaultInjector *fault)
     fault_ = fault;
 }
 
+void
+ArtifactCache::setTraceRecorder(TraceRecorder *trace)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    trace_ = trace;
+}
+
 Status
 ArtifactCache::keyFailure(const std::string &key) const
 {
@@ -44,7 +51,10 @@ ArtifactCache::getOrLoad(const std::string &key, const Loader &loader,
                 continue;
             }
             it->second.last_used = ++tick_;
-            ++stats_.hits;
+            metrics_.counter("artifact_cache.hits").add(1);
+            if (trace_ != nullptr) {
+                trace_->instant("cache.hit", "cache");
+            }
             if (was_hit != nullptr) {
                 *was_hit = true;
             }
@@ -57,7 +67,7 @@ ArtifactCache::getOrLoad(const std::string &key, const Loader &loader,
         if (fit != failures_.end() &&
             std::chrono::steady_clock::now() <
                 fit->second.not_before) {
-            ++stats_.backoff_waits;
+            metrics_.counter("artifact_cache.backoff_waits").add(1);
             cv_.wait_until(lock, fit->second.not_before);
             continue;
         }
@@ -65,9 +75,12 @@ ArtifactCache::getOrLoad(const std::string &key, const Loader &loader,
     }
 
     slots_.emplace(key, Slot{});
-    ++stats_.misses;
+    metrics_.counter("artifact_cache.misses").add(1);
     FaultInjector *fault = fault_;
+    TraceRecorder *trace = trace_;
     lock.unlock();
+    Span load_span(trace, "cache.load", "cache");
+    load_span.arg("key", key);
     StatusOr<Artifact> loaded = [&]() -> StatusOr<Artifact> {
         if (fault != nullptr) {
             const Status injected =
@@ -78,11 +91,12 @@ ArtifactCache::getOrLoad(const std::string &key, const Loader &loader,
         }
         return loader();
     }();
+    load_span.end();
     lock.lock();
     if (!loaded.isOk()) {
         slots_.erase(key);
-        ++stats_.failed_loads;
-        stats_.last_failure = loaded.status();
+        metrics_.counter("artifact_cache.failed_loads").add(1);
+        last_failure_ = loaded.status();
         Failure &failure = failures_[key];
         failure.last = loaded.status();
         ++failure.consecutive;
@@ -135,15 +149,26 @@ ArtifactCache::evictOverCapacity()
             }
         }
         slots_.erase(victim);
-        ++stats_.evictions;
+        metrics_.counter("artifact_cache.evictions").add(1);
+        if (trace_ != nullptr) {
+            trace_->instant("cache.evict", "cache");
+        }
     }
 }
 
 ArtifactCache::Stats
 ArtifactCache::stats() const
 {
+    const MetricsSnapshot snap = metrics_.snapshot();
+    Stats s;
+    s.hits = snap.counterValue("artifact_cache.hits");
+    s.misses = snap.counterValue("artifact_cache.misses");
+    s.evictions = snap.counterValue("artifact_cache.evictions");
+    s.failed_loads = snap.counterValue("artifact_cache.failed_loads");
+    s.backoff_waits = snap.counterValue("artifact_cache.backoff_waits");
     std::unique_lock<std::mutex> lock(mu_);
-    return stats_;
+    s.last_failure = last_failure_;
+    return s;
 }
 
 std::size_t

@@ -31,6 +31,8 @@
 #include <unordered_map>
 
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "medusa/artifact.h"
 
 namespace medusa::core {
@@ -42,6 +44,11 @@ class ArtifactCache
     /** Produces the artifact on a miss (runs outside the cache lock). */
     using Loader = std::function<StatusOr<Artifact>()>;
 
+    /**
+     * Counter view kept for back-compat. The counters live in a
+     * MetricsRegistry under the `artifact_cache.*` names (DESIGN.md
+     * §12); stats() materializes this struct from a snapshot.
+     */
     struct Stats
     {
         u64 hits = 0;
@@ -70,6 +77,13 @@ class ArtifactCache
     void setFaultInjector(FaultInjector *fault);
 
     /**
+     * Stream cache events into @p trace: a `cache.load` span around
+     * each loader run, `cache.hit` / `cache.evict` instants. Null
+     * disables, at zero cost.
+     */
+    void setTraceRecorder(TraceRecorder *trace);
+
+    /**
      * The recorded failure Status for @p key: the last loader error if
      * the key is in failure backoff, ok() otherwise.
      */
@@ -86,7 +100,13 @@ class ArtifactCache
     getOrLoad(const std::string &key, const Loader &loader,
               bool *was_hit = nullptr);
 
+    /**
+     * @deprecated Back-compat view materialized from metricsSnapshot();
+     * new code should consume the `artifact_cache.*` metric names.
+     */
     Stats stats() const;
+    /** The cache's counters as a registry snapshot. */
+    MetricsSnapshot metricsSnapshot() const { return metrics_.snapshot(); }
     /** Resident (fully loaded) artifacts. */
     std::size_t size() const;
     /** Drop every resident entry (in-flight loads are unaffected). */
@@ -121,8 +141,12 @@ class ArtifactCache
     std::unordered_map<std::string, Slot> slots_;
     std::unordered_map<std::string, Failure> failures_;
     FaultInjector *fault_ = nullptr;
+    TraceRecorder *trace_ = nullptr;
     u64 tick_ = 0;
-    Stats stats_;
+    /** Counters (artifact_cache.*); its own lock, safe under mu_. */
+    MetricsRegistry metrics_;
+    /** Guarded by mu_ (Status is not atomic, unlike the counters). */
+    Status last_failure_ = Status::ok();
 };
 
 } // namespace medusa::core

@@ -88,7 +88,8 @@ std::string
 LintReport::toJson() const
 {
     std::ostringstream out;
-    out << "{\"diagnostics\":[";
+    out << "{\"schema_version\":" << kLintJsonSchemaVersion
+        << ",\"diagnostics\":[";
     for (std::size_t i = 0; i < diagnostics.size(); ++i) {
         const Diagnostic &d = diagnostics[i];
         if (i > 0) {

@@ -51,6 +51,9 @@ class Recorder; // record.h; only needed for trace-exact liveness
 
 namespace lint {
 
+/** Schema version stamped into LintReport::toJson() output. */
+inline constexpr u32 kLintJsonSchemaVersion = 1;
+
 /** How bad a finding is for replay safety. */
 enum class Severity : u8 {
     kInfo = 0,

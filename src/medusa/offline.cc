@@ -30,6 +30,7 @@ materialize(const OfflineOptions &opts)
     SimClock &clock = rt.clock();
     llm::StageTimes &t = result.capture_cold_start;
 
+    TraceRecorder rec(&clock);
     f64 mark = clock.nowSec();
     auto lap = [&clock, &mark]() {
         const f64 now = clock.nowSec();
@@ -38,20 +39,33 @@ materialize(const OfflineOptions &opts)
         return d;
     };
 
-    MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    Span capture_span(&rec, "offline.capture_stage", "offline");
+    {
+        Span s(&rec, "cold_start.struct_init", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    }
     recorder.markOrganicBoundary();
     t.struct_init = lap();
 
-    MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    {
+        Span s(&rec, "cold_start.weights", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    }
     t.weights = lap();
 
-    MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    {
+        Span s(&rec, "cold_start.tokenizer", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    }
     t.tokenizer = lap();
 
+    Span kv_span(&rec, "cold_start.kv_init", "stage");
     MEDUSA_ASSIGN_OR_RETURN(u64 free_bytes, rt.profileFreeMemory());
     MEDUSA_RETURN_IF_ERROR(rt.initKvCache(free_bytes));
+    kv_span.end();
     t.kv_init = lap();
 
+    Span cap_span(&rec, "cold_start.capture", "stage");
     recorder.markCaptureStageBegin();
     std::vector<std::pair<u32, CudaGraph>> graphs;
     auto sizes = llm::captureBatchSizes();
@@ -68,30 +82,38 @@ materialize(const OfflineOptions &opts)
         total_nodes += graph->nodeCount();
         graphs.emplace_back(bs, std::move(graph).value());
     }
+    cap_span.end();
     t.capture = lap();
     t.loading = t.serialSum();
     // Saving the captured graph state is part of the capturing stage.
-    clock.advance(units::usToNs(cost.offline_save_per_node_us *
-                                static_cast<f64>(total_nodes)));
+    {
+        Span s(&rec, "offline.save", "offline");
+        clock.advance(units::usToNs(cost.offline_save_per_node_us *
+                                    static_cast<f64>(total_nodes)));
+    }
     mark = clock.nowSec();
+    capture_span.end();
     result.capture_stage_sec = clock.nowSec();
 
     // ---- analysis stage -----------------------------------------------
+    Span analysis_span(&rec, "offline.analysis_stage", "offline");
     MEDUSA_ASSIGN_OR_RETURN(
         AnalysisResult analysis,
         analyze(recorder, rt.process(), opts.model.name,
                 opts.model.seed, graphs, free_bytes, opts.analyze));
+    analysis_span.end();
     result.analysis_stage_sec = clock.nowSec() - result.capture_stage_sec;
     result.artifact = std::move(analysis.artifact);
 
     // ---- validation dry-run + repair loop -------------------------------
-    if (opts.validate) {
+    if (opts.pipeline.validate) {
         MedusaEngine::Options vopts;
         vopts.model = opts.model;
         vopts.aslr_seed = opts.aslr_seed + 7777;
         vopts.cost = opts.cost;
-        vopts.restore.validate = true;
-        vopts.restore.validate_batch_sizes = opts.validate_batch_sizes;
+        vopts.restore.pipeline.validate = true;
+        vopts.restore.pipeline.validate_batch_sizes =
+            opts.pipeline.validate_batch_sizes;
 
         std::size_t next_repair = 0;
         for (u32 attempt = 0;; ++attempt) {
@@ -132,13 +154,17 @@ materialize(const OfflineOptions &opts)
                 graph->node(ref.node).params.at(ref.param);
             ++result.artifact.stats.validation_repairs;
         }
+        // The dry-run executes on a fresh process with its own clock;
+        // charge it as a pre-timed span at the materializer's clock.
+        rec.complete("offline.validation", "offline", 0, clock.now(),
+                     units::secToNs(result.validation_sec));
     }
 
     // ---- static lint gate -----------------------------------------------
     // Unlike the dry-run above this executes nothing: it proves
     // replay-safety properties of the (possibly repaired) artifact
     // directly, using the raw trace for exact per-launch liveness.
-    if (opts.lint) {
+    if (opts.pipeline.lint) {
         lint::LintOptions lopts;
         lopts.trace = &recorder;
         const lint::LintReport report =
@@ -147,6 +173,14 @@ materialize(const OfflineOptions &opts)
             return validationFailure("artifact failed lint: " +
                                      report.firstError());
         }
+    }
+
+    result.spans = rec.events();
+    if (opts.pipeline.trace != nullptr) {
+        opts.pipeline.trace->appendAll(result.spans);
+    }
+    if (opts.pipeline.metrics != nullptr) {
+        result.artifact.stats.publishTo(*opts.pipeline.metrics);
     }
     return result;
 }

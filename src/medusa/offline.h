@@ -13,6 +13,7 @@
 #ifndef MEDUSA_MEDUSA_OFFLINE_H
 #define MEDUSA_MEDUSA_OFFLINE_H
 
+#include "common/pipeline_options.h"
 #include "llm/engine.h"
 #include "medusa/analyze.h"
 #include "medusa/artifact.h"
@@ -26,18 +27,18 @@ struct OfflineOptions
     u64 aslr_seed = 1;
     const CostModel *cost = nullptr;
     AnalyzeOptions analyze;
-    /** Run the online dry-run validation (and repair) after analysis. */
-    bool validate = true;
-    std::vector<u32> validate_batch_sizes = {1, 4, 64};
+    /**
+     * Cross-cutting pipeline knobs (shared shape with RestoreOptions
+     * and ClusterOptions). `pipeline.validate` runs the online dry-run
+     * validation (and repair) after analysis — on by default here;
+     * `pipeline.lint` runs medusa-lint over the final artifact with
+     * the raw recorder trace, so indirect-index liveness is checked at
+     * each launch's exact trace position, and fails materialization on
+     * any error-severity diagnostic.
+     */
+    PipelineOptions pipeline = {.validate = true};
     /** Bound on validation/repair iterations. */
     u32 max_repair_attempts = 16;
-    /**
-     * Run medusa-lint over the final artifact (with the raw recorder
-     * trace, so indirect-index liveness is checked at each launch's
-     * exact trace position) and fail materialization on any
-     * error-severity diagnostic. Static, unlike the dry-run.
-     */
-    bool lint = false;
 };
 
 /** The offline phase's output. */
@@ -52,6 +53,8 @@ struct OfflineResult
     f64 validation_sec = 0;
     /** The recorded cold start's per-stage times (vLLM-shaped). */
     llm::StageTimes capture_cold_start;
+    /** Offline-phase spans (offline.* taxonomy), simulated time. */
+    std::vector<TraceEvent> spans;
 
     f64 totalOffline() const
     {

@@ -205,7 +205,7 @@ resolveKernel(const NodeBlueprint &nb, ModelRuntime &rt,
               const RestoreOptions &options, RestoreReport &report)
 {
     if (options.use_dlsym) {
-        MEDUSA_FAULT_POINT(options.fault, FaultPoint::kKernelDlsym,
+        MEDUSA_FAULT_POINT(options.pipeline.fault, FaultPoint::kKernelDlsym,
                            "dlsym " + nb.kernel_name);
         auto sym = rt.process().dlsym(nb.module_name, nb.kernel_name);
         if (sym.isOk()) {
@@ -309,9 +309,11 @@ restoreGraphs(const Artifact &artifact, const ReplayTable &table,
 {
     const CostModel &cost = rt.process().cost();
     const std::size_t n = artifact.graphs.size();
+    TraceRecorder *rec = options.pipeline.trace;
 
     // Phase 1 — serial resolution: every clock charge and counter
     // mutation stays on this thread, in exact artifact order.
+    Span resolve_span(rec, "restore.graphs.resolve", "restore");
     std::vector<std::vector<KernelAddr>> fns(n);
     for (std::size_t g = 0; g < n; ++g) {
         const GraphBlueprint &bp = artifact.graphs[g];
@@ -327,8 +329,13 @@ restoreGraphs(const Artifact &artifact, const ReplayTable &table,
                 units::usToNs(cost.restore_per_node_us));
         }
     }
+    resolve_span.end();
 
     // Phase 2 — parallel pure build into disjoint pre-sized slots.
+    // The build does not advance the simulated clock, so the span
+    // records fan-out shape (graph count), not virtual time.
+    Span build_span(rec, "restore.graphs.build", "restore");
+    build_span.arg("graphs", std::to_string(n));
     std::vector<CudaGraph> graphs(n);
     std::vector<Status> statuses(n);
     auto buildOne = [&](std::size_t g) {
@@ -351,15 +358,17 @@ restoreGraphs(const Artifact &artifact, const ReplayTable &table,
     for (const Status &s : statuses) {
         MEDUSA_RETURN_IF_ERROR(s);
     }
+    build_span.end();
 
     // Phase 3 — serial instantiation in artifact order.
+    Span inst_span(rec, "restore.graphs.instantiate", "restore");
     std::vector<std::pair<u32, const CudaGraph *>> ordered;
     ordered.reserve(n);
     for (std::size_t g = 0; g < n; ++g) {
         ordered.emplace_back(artifact.graphs[g].batch_size, &graphs[g]);
     }
     MEDUSA_RETURN_IF_ERROR(
-        rt.instantiateGraphs(ordered, options.fault));
+        rt.instantiateGraphs(ordered, options.pipeline.fault));
     report.graphs_restored += n;
     return Status::ok();
 }

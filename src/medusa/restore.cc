@@ -26,7 +26,8 @@ runRestoreAttempt(const MedusaEngine::Options &opts,
                   RestoreReport &report)
 {
     const CostModel &cost = rt.process().cost();
-    FaultInjector *fault = opts.restore.fault;
+    FaultInjector *fault = opts.restore.pipeline.fault;
+    TraceRecorder *rec = opts.restore.pipeline.trace;
 
     SimClock &clock = rt.clock();
     f64 mark = clock.nowSec();
@@ -38,40 +39,62 @@ runRestoreAttempt(const MedusaEngine::Options &opts,
     };
 
     // 1. Structure init (organic; verified against the artifact).
-    MEDUSA_RETURN_IF_ERROR(rt.initStructure());
-    MEDUSA_RETURN_IF_ERROR(table.organicStatus());
-    if (table.allocCount() != artifact.organic_alloc_count) {
-        return validationFailure(
-            "structure init produced a different allocation count than "
-            "the materialized sequence");
+    {
+        Span s(rec, "cold_start.struct_init", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+        MEDUSA_RETURN_IF_ERROR(table.organicStatus());
+        if (table.allocCount() != artifact.organic_alloc_count) {
+            return validationFailure(
+                "structure init produced a different allocation count "
+                "than the materialized sequence");
+        }
     }
     t.struct_init = lap();
 
     // 2. Tokenizer.
-    MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    {
+        Span s(rec, "cold_start.tokenizer", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    }
     t.tokenizer = lap();
 
+    Span kv_span(rec, "cold_start.kv_init", "stage");
     // 3. KV-init restoration: read the artifact, adopt the materialized
     //    free-memory value (no profiling forwarding). The parse-time
     //    size hint avoids re-serializing just to price the read.
-    clock.advance(units::usToNs(
-        static_cast<f64>(artifact.serializedByteSize()) /
-        (cost.artifact_read_gbps * 1e3)));
+    {
+        Span s(rec, "restore.artifact_read", "restore");
+        clock.advance(units::usToNs(
+            static_cast<f64>(artifact.serializedByteSize()) /
+            (cost.artifact_read_gbps * 1e3)));
+    }
 
     // 4. Replay the recorded (de)allocation sequence (§4.2).
-    MEDUSA_RETURN_IF_ERROR(
-        replayAllocSequence(artifact, rt, table, report, fault));
-    MEDUSA_RETURN_IF_ERROR(
-        rebindEngineBuffers(artifact, opts.model, table, rt));
+    {
+        Span s(rec, "restore.replay_alloc_seq", "restore");
+        MEDUSA_RETURN_IF_ERROR(
+            replayAllocSequence(artifact, rt, table, report, fault));
+    }
+    {
+        Span s(rec, "restore.rebind", "restore");
+        MEDUSA_RETURN_IF_ERROR(
+            rebindEngineBuffers(artifact, opts.model, table, rt));
+    }
+    kv_span.end();
     t.kv_init = lap();
 
     // 5. Weights.
-    MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    {
+        Span s(rec, "cold_start.weights", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    }
     t.weights = lap();
 
+    Span cap_span(rec, "cold_start.capture", "stage");
     // 6. Permanent-buffer contents (§4.3 copy-free restoration) and
     //    indirect pointer words (§8 extension).
     if (opts.restore.restore_contents) {
+        Span s(rec, "restore.contents", "restore");
         MEDUSA_RETURN_IF_ERROR(
             restoreContents(artifact, rt, table, report));
     }
@@ -80,6 +103,7 @@ runRestoreAttempt(const MedusaEngine::Options &opts,
     //    build the kernel name -> address table (§5).
     std::unordered_map<std::string, KernelAddr> name_table;
     if (opts.restore.use_triggering_kernels) {
+        Span s(rec, "restore.kernel_table", "restore");
         MEDUSA_ASSIGN_OR_RETURN(name_table,
                                 buildKernelNameTable(rt, fault));
     }
@@ -91,6 +115,7 @@ runRestoreAttempt(const MedusaEngine::Options &opts,
     MEDUSA_RETURN_IF_ERROR(restoreGraphs(artifact, table, rt,
                                          name_table, opts.restore,
                                          report, pool.get()));
+    cap_span.end();
     t.capture = lap();
 
     // Visible loading latency (Figure 8(c)'s timeline): the tokenizer,
@@ -104,8 +129,9 @@ runRestoreAttempt(const MedusaEngine::Options &opts,
                 (t.capture - overlappable);
 
     // Optional output validation (used by the offline dry-run).
-    if (opts.restore.validate) {
-        for (u32 bs : opts.restore.validate_batch_sizes) {
+    if (opts.restore.pipeline.validate) {
+        Span s(rec, "restore.validate", "restore");
+        for (u32 bs : opts.restore.pipeline.validate_batch_sizes) {
             if (!rt.hasGraph(bs)) {
                 continue;
             }
@@ -136,7 +162,7 @@ runRestoreAttempt(const MedusaEngine::Options &opts,
  * composition; no Medusa machinery touches the runtime.
  */
 Status
-runVanillaColdStart(ModelRuntime &rt, StageTimes &t)
+runVanillaColdStart(ModelRuntime &rt, StageTimes &t, TraceRecorder *rec)
 {
     SimClock &clock = rt.clock();
     f64 mark = clock.nowSec();
@@ -147,16 +173,32 @@ runVanillaColdStart(ModelRuntime &rt, StageTimes &t)
         return d;
     };
 
-    MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    Span vanilla_span(rec, "fallback.vanilla_cold_start", "fallback");
+    {
+        Span s(rec, "cold_start.struct_init", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+    }
     t.struct_init = lap();
-    MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    {
+        Span s(rec, "cold_start.weights", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    }
     t.weights = lap();
-    MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    {
+        Span s(rec, "cold_start.tokenizer", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadTokenizer());
+    }
     t.tokenizer = lap();
-    MEDUSA_ASSIGN_OR_RETURN(u64 free_bytes, rt.profileFreeMemory());
-    MEDUSA_RETURN_IF_ERROR(rt.initKvCache(free_bytes));
+    {
+        Span s(rec, "cold_start.kv_init", "stage");
+        MEDUSA_ASSIGN_OR_RETURN(u64 free_bytes, rt.profileFreeMemory());
+        MEDUSA_RETURN_IF_ERROR(rt.initKvCache(free_bytes));
+    }
     t.kv_init = lap();
-    MEDUSA_RETURN_IF_ERROR(rt.captureDecodeGraphs());
+    {
+        Span s(rec, "cold_start.capture", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.captureDecodeGraphs());
+    }
     t.capture = lap();
     t.loading = llm::composeLoading(llm::Strategy::kVllm, t,
                                     rt.process().cost());
@@ -173,9 +215,12 @@ MedusaEngine::coldStart(const Options &caller_opts,
     // explicit injector, so whole test suites can run fault-hooked
     // without per-call-site wiring.
     Options opts = caller_opts;
-    if (opts.restore.fault == nullptr) {
-        opts.restore.fault = envFaultInjector();
+    if (opts.restore.pipeline.fault == nullptr) {
+        opts.restore.pipeline.fault = envFaultInjector();
     }
+    // Spans always land in the engine-local recorder (and thus the
+    // ColdStartReport); the caller's sink, when set, gets a copy.
+    TraceRecorder *user_trace = opts.restore.pipeline.trace;
 
     if (artifact.model_name != opts.model.name ||
         artifact.model_seed != opts.model.seed) {
@@ -185,7 +230,7 @@ MedusaEngine::coldStart(const Options &caller_opts,
 
     // Optional static pre-restore check: refuse to replay an artifact
     // that provably faults or corrupts, before touching device state.
-    if (opts.restore.lint) {
+    if (opts.restore.pipeline.lint) {
         const lint::LintReport lint_report = lint::lintArtifact(artifact);
         if (!lint_report.replaySafe()) {
             return validationFailure("artifact failed pre-restore lint: " +
@@ -202,7 +247,9 @@ MedusaEngine::coldStart(const Options &caller_opts,
     const CostModel &cost = rt.process().cost();
 
     std::unique_ptr<MedusaEngine> engine(new MedusaEngine());
-    RestoreReport &report = engine->report_;
+    ColdStartReport &cs = engine->report_;
+    cs.strategy = llm::strategyName(llm::Strategy::kMedusa);
+    RestoreReport &report = cs.restore;
     const f64 runtime_init = opts.warm_container
                                  ? cost.runtime_init_warm_ms / 1e3
                                  : cost.runtime_init_cold_ms / 1e3;
@@ -214,6 +261,24 @@ MedusaEngine::coldStart(const Options &caller_opts,
             : 1;
     f64 backoff = fb.backoff_sec;
     SimClock &clock = rt.clock();
+
+    TraceRecorder rec(&clock);
+    opts.restore.pipeline.trace = &rec;
+
+    // On every exit path: snapshot spans/metrics into the report and
+    // propagate them to the caller's sinks.
+    auto finishReport = [&]() {
+        MetricsRegistry registry;
+        publishRestoreMetrics(report, registry);
+        cs.metrics = registry.snapshot();
+        cs.spans = rec.events();
+        if (user_trace != nullptr) {
+            user_trace->appendAll(cs.spans);
+        }
+        if (caller_opts.restore.pipeline.metrics != nullptr) {
+            caller_opts.restore.pipeline.metrics->mergeFrom(cs.metrics);
+        }
+    };
 
     for (u32 attempt = 1; attempt <= max_attempts; ++attempt) {
         ++report.restore_attempts;
@@ -227,8 +292,11 @@ MedusaEngine::coldStart(const Options &caller_opts,
         t.runtime_init = runtime_init;
         RestoreReport working;
         const f64 start = clock.nowSec();
+        Span attempt_span(&rec, "restore.attempt", "restore");
+        attempt_span.arg("attempt", std::to_string(attempt));
         const Status st =
             runRestoreAttempt(opts, artifact, rt, *table, t, working);
+        attempt_span.end();
         if (st.isOk()) {
             rt.process().endJournal();
             // Fold the accumulated failure accounting into this
@@ -241,7 +309,11 @@ MedusaEngine::coldStart(const Options &caller_opts,
             working.last_failure = report.last_failure;
             report = std::move(working);
             t.loading += report.wasted_restore_sec + report.backoff_sec;
-            engine->times_ = t;
+            cs.times = t;
+            cs.outcome = attempt == 1
+                             ? ColdStartOutcome::kRestored
+                             : ColdStartOutcome::kRestoredAfterRetry;
+            finishReport();
             engine->interceptor_ = std::move(table);
             engine->runtime_ = std::move(runtime);
             return engine;
@@ -253,7 +325,11 @@ MedusaEngine::coldStart(const Options &caller_opts,
         ++report.restore_failures;
         report.wasted_restore_sec += clock.nowSec() - start;
         report.last_failure = st.toString();
-        rt.rollbackToPristine();
+        rec.instant("restore.attempt_failed", "restore");
+        {
+            Span s(&rec, "restore.rollback", "restore");
+            rt.rollbackToPristine();
+        }
         rt.process().endJournal();
 
         if (fb.mode == FallbackMode::kFail) {
@@ -261,6 +337,7 @@ MedusaEngine::coldStart(const Options &caller_opts,
         }
         if (attempt < max_attempts) {
             ++report.retries;
+            Span s(&rec, "restore.backoff", "restore");
             clock.advance(units::secToNs(backoff));
             report.backoff_sec += backoff;
             backoff *= fb.backoff_multiplier;
@@ -273,9 +350,12 @@ MedusaEngine::coldStart(const Options &caller_opts,
     report.fallback_vanilla = true;
     StageTimes t;
     t.runtime_init = runtime_init;
-    MEDUSA_RETURN_IF_ERROR(runVanillaColdStart(rt, t));
+    MEDUSA_RETURN_IF_ERROR(runVanillaColdStart(rt, t, &rec));
     t.loading += report.wasted_restore_sec + report.backoff_sec;
-    engine->times_ = t;
+    cs.times = t;
+    cs.outcome = ColdStartOutcome::kFellBack;
+    cs.strategy = llm::strategyName(llm::Strategy::kVllm);
+    finishReport();
     engine->runtime_ = std::move(runtime);
     return engine;
 }

@@ -54,14 +54,32 @@ class MedusaEngine
     /**
      * Run the online cold start against a materialized artifact.
      * Fails with kValidationFailure if the artifact does not match the
-     * model or (when options.restore.validate) outputs mismatch.
+     * model or (when options.restore.pipeline.validate) outputs
+     * mismatch.
      */
     static StatusOr<std::unique_ptr<MedusaEngine>>
     coldStart(const Options &opts, const Artifact &artifact);
 
     llm::ModelRuntime &runtime() { return *runtime_; }
-    const llm::StageTimes &times() const { return times_; }
-    const RestoreReport &report() const { return report_; }
+
+    /**
+     * The consolidated report for this cold start: outcome, stage
+     * times, restore counters, spans and a metrics snapshot
+     * (DESIGN.md §12).
+     */
+    const ColdStartReport &coldStartReport() const { return report_; }
+
+    /**
+     * @deprecated Thin view over coldStartReport().times; new code
+     * should consume the consolidated report.
+     */
+    const llm::StageTimes &times() const { return report_.times; }
+
+    /**
+     * @deprecated Thin view over coldStartReport().restore; new code
+     * should consume the consolidated report.
+     */
+    const RestoreReport &report() const { return report_.restore; }
 
   private:
     MedusaEngine() = default;
@@ -70,8 +88,7 @@ class MedusaEngine
      *  holds a raw pointer to it. */
     std::unique_ptr<simcuda::AllocObserver> interceptor_;
     std::unique_ptr<llm::ModelRuntime> runtime_;
-    llm::StageTimes times_;
-    RestoreReport report_;
+    ColdStartReport report_;
 };
 
 } // namespace medusa::core

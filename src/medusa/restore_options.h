@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "common/cold_start_report.h"
 #include "common/fault.h"
+#include "common/pipeline_options.h"
 #include "common/types.h"
 
 namespace medusa::core {
@@ -53,16 +55,12 @@ struct RestoreOptions
     bool use_dlsym = true;
     /** Restore permanent-buffer contents (off only for experiments). */
     bool restore_contents = true;
-    /** Compare restored-graph outputs against eager forwarding. */
-    bool validate = false;
-    /** Batch sizes to validate when validate is set. */
-    std::vector<u32> validate_batch_sizes = {1, 4, 64};
     /**
-     * Run medusa-lint over the artifact before restoring and refuse to
-     * replay on any error-severity diagnostic — a fast static check
-     * that catches corrupt artifacts before they touch device state.
+     * Cross-cutting pipeline knobs (lint gate, validation, fault
+     * injection, trace/metrics sinks) — shared shape with
+     * OfflineOptions and ClusterOptions.
      */
-    bool lint = false;
+    PipelineOptions pipeline;
     /**
      * Host threads for the graph-rebuild stage (restoreGraphs): 1 =
      * serial, 0 = one per hardware thread. Parallelism only shrinks
@@ -72,44 +70,13 @@ struct RestoreOptions
     u32 restore_threads = 1;
     /** What to do when a restore attempt fails mid-flight. */
     FallbackPolicy fallback;
-    /**
-     * Deterministic fault injection (test/bench only). Null disables
-     * every hook; the restore path is then bit-identical to a build
-     * without the subsystem.
-     */
-    FaultInjector *fault = nullptr;
 };
 
-/** What the restoration did (for benches and tests). */
-struct RestoreReport
-{
-    u64 nodes_restored = 0;
-    u64 graphs_restored = 0;
-    u64 kernels_via_dlsym = 0;
-    u64 kernels_via_enumeration = 0;
-    u64 replayed_allocs = 0;
-    u64 replayed_frees = 0;
-    u64 restored_content_bytes = 0;
-    /** Indirect pointer words rewritten after replay (§8 extension). */
-    u64 indirect_pointers_fixed = 0;
-    bool validated = false;
-
-    // ---- transactional-restore outcome (all zero without faults) -----
-    /** Restore attempts started (1 for a clean first-try success). */
-    u64 restore_attempts = 0;
-    /** Attempts that failed and were rolled back. */
-    u64 restore_failures = 0;
-    /** Failed attempts that were retried (kRetryThenVanilla). */
-    u64 retries = 0;
-    /** True when the engine degraded to the vanilla cold start. */
-    bool fallback_vanilla = false;
-    /** Simulated seconds burned in failed restore attempts. */
-    f64 wasted_restore_sec = 0;
-    /** Simulated seconds slept in retry backoff. */
-    f64 backoff_sec = 0;
-    /** toString() of the last attempt failure (empty when none). */
-    std::string last_failure;
-};
+/**
+ * RestoreReport moved to common/cold_start_report.h with the unified
+ * reporting schema; core::RestoreReport remains valid via this alias.
+ */
+using medusa::RestoreReport;
 
 } // namespace medusa::core
 

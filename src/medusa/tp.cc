@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "llm/engine.h"
 #include "medusa/analyze.h"
 #include "medusa/lint/lint.h"
 #include "medusa/record.h"
@@ -110,9 +111,10 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
     // As in MedusaEngine::coldStart: the environment's fault plan
     // applies when no injector was wired explicitly.
     Options opts = caller_opts;
-    if (opts.restore.fault == nullptr) {
-        opts.restore.fault = envFaultInjector();
+    if (opts.restore.pipeline.fault == nullptr) {
+        opts.restore.pipeline.fault = envFaultInjector();
     }
+    TraceRecorder *user_trace = opts.restore.pipeline.trace;
 
     if (rank_artifacts.size() != opts.world) {
         return invalidArgument("one artifact per rank required");
@@ -129,7 +131,7 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
     // Optional static pre-restore check: per-rank rules plus the
     // cross-rank MDL6xx family (topology, batch sets, collective
     // ordering) — a divergent rank would deadlock lockstep replay.
-    if (opts.restore.lint) {
+    if (opts.restore.pipeline.lint) {
         const lint::LintReport lint_report =
             lint::lintTpArtifacts(rank_artifacts);
         if (!lint_report.replaySafe()) {
@@ -153,7 +155,15 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
     // One pool serves every rank's graph-rebuild stage in turn.
     std::unique_ptr<ThreadPool> pool = makeRestorePool(opts.restore);
 
-    FaultInjector *fault = opts.restore.fault;
+    // Per-rank recorders bound to each rank's clock; merged into the
+    // consolidated report on track = rank at the end.
+    std::vector<std::unique_ptr<TraceRecorder>> recs;
+    for (u32 r = 0; r < opts.world; ++r) {
+        recs.push_back(
+            std::make_unique<TraceRecorder>(&cluster.rank(r).clock()));
+    }
+
+    FaultInjector *fault = opts.restore.pipeline.fault;
     const FallbackPolicy &fb = opts.restore.fallback;
     const u32 max_attempts =
         fb.mode == FallbackMode::kRetryThenVanilla
@@ -192,12 +202,21 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
             MEDUSA_RETURN_IF_ERROR(engine->tables_[r]->organicStatus());
         }
         for (u32 r = 0; r < opts.world; ++r) {
+            TraceRecorder *rec = recs[r].get();
+            Span rank_span(rec, "tp.rank_restore", "restore");
+            rank_span.arg("rank", std::to_string(r));
             MEDUSA_FAULT_POINT(fault, FaultPoint::kTpRankRestore,
                                "rank " + std::to_string(r));
-            MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadTokenizer());
-            MEDUSA_RETURN_IF_ERROR(replayAllocSequence(
-                rank_artifacts[r], cluster.rank(r), *engine->tables_[r],
-                engine->reports_[r], fault));
+            {
+                Span s(rec, "cold_start.tokenizer", "stage");
+                MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadTokenizer());
+            }
+            {
+                Span s(rec, "restore.replay_alloc_seq", "restore");
+                MEDUSA_RETURN_IF_ERROR(replayAllocSequence(
+                    rank_artifacts[r], cluster.rank(r),
+                    *engine->tables_[r], engine->reports_[r], fault));
+            }
             llm::ModelConfig rank_model = opts.model;
             rank_model.tp_world = opts.world;
             rank_model.tp_rank = r;
@@ -205,28 +224,35 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
                 rebindEngineBuffers(rank_artifacts[r], rank_model,
                                     *engine->tables_[r],
                                     cluster.rank(r)));
-            MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadWeights());
+            {
+                Span s(rec, "cold_start.weights", "stage");
+                MEDUSA_RETURN_IF_ERROR(cluster.rank(r).loadWeights());
+            }
             if (opts.restore.restore_contents) {
+                Span s(rec, "restore.contents", "restore");
                 MEDUSA_RETURN_IF_ERROR(restoreContents(
                     rank_artifacts[r], cluster.rank(r),
                     *engine->tables_[r], engine->reports_[r]));
             }
             std::unordered_map<std::string, KernelAddr> name_table;
             if (opts.restore.use_triggering_kernels) {
+                Span s(rec, "restore.kernel_table", "restore");
                 MEDUSA_ASSIGN_OR_RETURN(
                     name_table,
                     buildKernelNameTable(cluster.rank(r), fault));
             }
+            RestoreOptions rank_restore = opts.restore;
+            rank_restore.pipeline.trace = rec;
             MEDUSA_RETURN_IF_ERROR(restoreGraphs(
                 rank_artifacts[r], *engine->tables_[r],
-                cluster.rank(r), name_table, opts.restore,
+                cluster.rank(r), name_table, rank_restore,
                 engine->reports_[r], pool.get()));
         }
         restored_loading = maxClockSec();
 
         // Optional validation: restored lockstep replay must match a
         // reference (vanilla-captured) cluster bit for bit.
-        if (opts.restore.validate) {
+        if (opts.restore.pipeline.validate) {
             TpCluster::Options vopts;
             vopts.model = opts.model;
             vopts.world = opts.world;
@@ -235,7 +261,7 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
             MEDUSA_ASSIGN_OR_RETURN(auto reference,
                                     TpCluster::create(vopts));
             MEDUSA_RETURN_IF_ERROR(reference->loadAll());
-            for (u32 bs : opts.restore.validate_batch_sizes) {
+            for (u32 bs : opts.restore.pipeline.validate_batch_sizes) {
                 if (!cluster.rank(0).hasGraph(bs)) {
                     continue;
                 }
@@ -298,7 +324,10 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
         wasted_sec += maxClockSec() - start;
         last_failure = st.toString();
         for (u32 r = 0; r < opts.world; ++r) {
+            recs[r]->instant("restore.attempt_failed", "restore");
+            Span s(recs[r].get(), "restore.rollback", "restore");
             cluster.rank(r).rollbackToPristine();
+            s.end();
             cluster.rank(r).process().endJournal();
         }
         std::fill(engine->reports_.begin(), engine->reports_.end(),
@@ -309,6 +338,7 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
         if (attempt < max_attempts) {
             ++retries;
             for (u32 r = 0; r < opts.world; ++r) {
+                Span s(recs[r].get(), "restore.backoff", "restore");
                 cluster.rank(r).clock().advance(units::secToNs(backoff));
             }
             backoff_total += backoff;
@@ -322,16 +352,26 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
         // the clean processes (all ranks together).
         fallback_vanilla = true;
         engine->tables_.clear();
+        std::vector<Span> fb_spans;
+        fb_spans.reserve(opts.world);
+        for (u32 r = 0; r < opts.world; ++r) {
+            fb_spans.emplace_back(recs[r].get(),
+                                  "fallback.vanilla_cold_start",
+                                  "fallback");
+        }
         MEDUSA_RETURN_IF_ERROR(cluster.loadAll());
         std::vector<u32> sizes = llm::captureBatchSizes();
         std::sort(sizes.begin(), sizes.end(), std::greater<>());
         MEDUSA_RETURN_IF_ERROR(cluster.captureAll(sizes));
+        for (Span &s : fb_spans) {
+            s.end();
+        }
     }
 
     // The slowest rank gates readiness; its clock already includes the
     // wasted attempts and the backoff pauses. Validation time (when it
     // ran) is excluded, as before.
-    engine->loading_sec_ = restored ? restored_loading : maxClockSec();
+    const f64 loading = restored ? restored_loading : maxClockSec();
     for (auto &report : engine->reports_) {
         report.restore_attempts = attempts;
         report.restore_failures = failures;
@@ -340,6 +380,56 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
         report.wasted_restore_sec = wasted_sec;
         report.backoff_sec = backoff_total;
         report.last_failure = last_failure;
+    }
+
+    // ---- consolidated whole-cluster report ---------------------------
+    ColdStartReport &cs = engine->report_;
+    cs.strategy = llm::strategyName(fallback_vanilla
+                                        ? llm::Strategy::kVllm
+                                        : llm::Strategy::kMedusa);
+    if (fallback_vanilla) {
+        cs.outcome = ColdStartOutcome::kFellBack;
+    } else {
+        cs.outcome = retries > 0 ? ColdStartOutcome::kRestoredAfterRetry
+                                 : ColdStartOutcome::kRestored;
+    }
+    cs.times.loading = loading;
+    // Counters summed over ranks; shared attempt accounting kept
+    // per-cluster (not multiplied by world size).
+    for (const RestoreReport &r : engine->reports_) {
+        cs.restore.nodes_restored += r.nodes_restored;
+        cs.restore.graphs_restored += r.graphs_restored;
+        cs.restore.kernels_via_dlsym += r.kernels_via_dlsym;
+        cs.restore.kernels_via_enumeration += r.kernels_via_enumeration;
+        cs.restore.replayed_allocs += r.replayed_allocs;
+        cs.restore.replayed_frees += r.replayed_frees;
+        cs.restore.restored_content_bytes += r.restored_content_bytes;
+        cs.restore.indirect_pointers_fixed += r.indirect_pointers_fixed;
+        cs.restore.validated = cs.restore.validated || r.validated;
+    }
+    cs.restore.restore_attempts = attempts;
+    cs.restore.restore_failures = failures;
+    cs.restore.retries = retries;
+    cs.restore.fallback_vanilla = fallback_vanilla;
+    cs.restore.wasted_restore_sec = wasted_sec;
+    cs.restore.backoff_sec = backoff_total;
+    cs.restore.last_failure = last_failure;
+
+    TraceRecorder merged;
+    for (u32 r = 0; r < opts.world; ++r) {
+        merged.appendAll(recs[r]->events(), /*track_offset=*/r);
+    }
+    cs.spans = merged.events();
+    if (user_trace != nullptr) {
+        user_trace->appendAll(cs.spans);
+    }
+
+    MetricsRegistry registry;
+    publishRestoreMetrics(cs.restore, registry);
+    registry.counter("tp.ranks").add(opts.world);
+    cs.metrics = registry.snapshot();
+    if (caller_opts.restore.pipeline.metrics != nullptr) {
+        caller_opts.restore.pipeline.metrics->mergeFrom(cs.metrics);
     }
     return engine;
 }

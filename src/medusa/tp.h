@@ -75,12 +75,30 @@ class TpMedusaEngine
               const std::vector<Artifact> &rank_artifacts);
 
     llm::TpCluster &cluster() { return *cluster_; }
+
+    /**
+     * The consolidated whole-cluster report: shared attempt accounting,
+     * counters summed over ranks, per-rank spans on track = rank, and
+     * times.loading = the slowest rank's visible loading latency
+     * (DESIGN.md §12).
+     */
+    const ColdStartReport &coldStartReport() const { return report_; }
+
+    /**
+     * @deprecated Per-rank view kept for back-compat; new code should
+     * consume coldStartReport() (whole-cluster restore counters) or
+     * this view only for genuinely per-rank detail.
+     */
     const RestoreReport &report(u32 rank) const
     {
         return reports_.at(rank);
     }
-    /** Visible loading latency (the slowest rank gates readiness). */
-    f64 loadingSec() const { return loading_sec_; }
+
+    /**
+     * Visible loading latency (the slowest rank gates readiness).
+     * @deprecated Thin view over coldStartReport().times.loading.
+     */
+    f64 loadingSec() const { return report_.times.loading; }
 
   private:
     TpMedusaEngine() = default;
@@ -89,7 +107,7 @@ class TpMedusaEngine
     std::vector<std::unique_ptr<ReplayTable>> tables_;
     std::unique_ptr<llm::TpCluster> cluster_;
     std::vector<RestoreReport> reports_;
-    f64 loading_sec_ = 0;
+    ColdStartReport report_;
 };
 
 } // namespace medusa::core

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
 #include <memory>
+#include <set>
+#include <string_view>
 
 #include "serverless/event_sim.h"
 
@@ -56,13 +57,26 @@ class ClusterSim
   public:
     ClusterSim(const ClusterOptions &options,
                const ServingProfile &profile)
-        : options_(options), profile_(profile)
+        : options_(options), profile_(profile),
+          rec_([this]() { return units::secToNs(loop_.now()); }),
+          trace_(options_.pipeline.trace != nullptr ? &rec_ : nullptr)
     {
     }
 
     TraceMetrics
     run(const std::vector<workload::Request> &trace)
     {
+        // Stream cache events (cache.hit / cache.load) into the run's
+        // timeline while we own the loop clock; detached at the end.
+        const bool hooked_cache =
+            trace_ != nullptr && options_.artifact_cache != nullptr;
+        if (hooked_cache) {
+            options_.artifact_cache->setTraceRecorder(trace_);
+        }
+        if (trace_ != nullptr) {
+            rec_.setTrackName(0, "cluster");
+            rec_.setTrackName(1, "requests");
+        }
         // Pre-provisioned hot spares (§2.4): live from t=0, never
         // reclaimed, no cold start charged to requests.
         for (u32 i = 0;
@@ -87,6 +101,9 @@ class ClusterSim
             });
         }
         const f64 end = loop_.run();
+        if (hooked_cache) {
+            options_.artifact_cache->setTraceRecorder(nullptr);
+        }
 
         TraceMetrics m;
         f64 first_arrival = trace.empty() ? 0 : trace.front().arrival_sec;
@@ -99,19 +116,50 @@ class ClusterSim
             m.ttft_sec.add(req->first_token_at - req->arrival);
             m.e2e_sec.add(req->finished_at - req->arrival);
             last_finish = std::max(last_finish, req->finished_at);
+            if (trace_ != nullptr) {
+                TraceEvent ev;
+                ev.name = "request";
+                ev.category = "request";
+                ev.track = 1;
+                ev.start_ns = units::secToNs(req->arrival);
+                ev.dur_ns =
+                    units::secToNs(req->finished_at - req->arrival);
+                ev.args.emplace_back(
+                    "ttft_sec",
+                    std::to_string(req->first_token_at - req->arrival));
+                trace_->append(std::move(ev));
+            }
         }
-        m.cold_starts = cold_starts_;
-        m.artifact_loads = artifact_loads_;
-        m.artifact_cache_hits = artifact_cache_hits_;
-        m.restore_failures = restore_failures_;
-        m.fallback_cold_starts = fallback_cold_starts_;
-        m.retries = retries_;
-        m.wasted_restore_sec = wasted_restore_sec_;
         m.makespan_sec = std::max(last_finish - first_arrival, 1e-9);
         m.achieved_qps = static_cast<f64>(m.completed) / m.makespan_sec;
         for (const auto &inst : instances_) {
             const f64 death = inst->died_at >= 0 ? inst->died_at : end;
             m.gpu_seconds += std::max(0.0, death - inst->launched_at);
+        }
+        metrics_.counter("cluster.completed").add(m.completed);
+        metrics_.gauge("cluster.makespan_sec").set(m.makespan_sec);
+        metrics_.gauge("cluster.achieved_qps").set(m.achieved_qps);
+        metrics_.gauge("cluster.gpu_seconds").set(m.gpu_seconds);
+        m.metrics = metrics_.snapshot();
+        m.cold_starts = m.metrics.counterValue("cluster.cold_starts");
+        m.artifact_loads =
+            m.metrics.counterValue("cluster.artifact_loads");
+        m.artifact_cache_hits =
+            m.metrics.counterValue("cluster.artifact_cache_hits");
+        m.restore_failures =
+            m.metrics.counterValue("cluster.restore_failures");
+        m.fallback_cold_starts =
+            m.metrics.counterValue("cluster.fallback_cold_starts");
+        m.retries = m.metrics.counterValue("cluster.retries");
+        m.wasted_restore_sec =
+            m.metrics.gaugeValue("cluster.wasted_restore_sec");
+        if (options_.pipeline.trace != nullptr) {
+            options_.pipeline.trace->appendAll(rec_.events());
+            options_.pipeline.trace->setTrackName(0, "cluster");
+            options_.pipeline.trace->setTrackName(1, "requests");
+        }
+        if (options_.pipeline.metrics != nullptr) {
+            options_.pipeline.metrics->mergeFrom(m.metrics);
         }
         return m;
     }
@@ -167,14 +215,27 @@ class ClusterSim
         }
     }
 
+    /** Pre-timed complete span at @p start_sec on the cluster track. */
+    void
+    traceLaunchSpan(std::string_view name, std::string_view category,
+                    f64 start_sec, f64 dur_sec)
+    {
+        if (trace_ != nullptr) {
+            trace_->complete(name, category, 0,
+                             units::secToNs(start_sec),
+                             units::secToNs(dur_sec));
+        }
+    }
+
     void
     launchInstance()
     {
-        ++cold_starts_;
+        metrics_.counter("cluster.cold_starts").add(1);
         auto inst = std::make_unique<Instance>();
         inst->launched_at = loop_.now();
         Instance *ptr = inst.get();
         instances_.push_back(std::move(inst));
+        const f64 t0 = loop_.now();
         // Artifact fetch: the first cold start on the node loads the
         // <GPU type, model> artifact; every later one shares the
         // resident copy and skips the fetch latency.
@@ -184,9 +245,9 @@ class ClusterSim
             bool hit = false;
             auto artifact = options_.artifact_cache->getOrLoad(
                 options_.artifact_key, options_.artifact_loader, &hit);
-            ++artifact_loads_;
+            metrics_.counter("cluster.artifact_loads").add(1);
             if (artifact.isOk() && hit) {
-                ++artifact_cache_hits_;
+                metrics_.counter("cluster.artifact_cache_hits").add(1);
             } else {
                 fetch_sec = options_.artifact_miss_sec;
             }
@@ -198,7 +259,10 @@ class ClusterSim
         // backoff+retry, the vanilla cold start, or instance death.
         f64 launch_delay = fetch_sec;
         bool comes_alive = true;
-        if (options_.fault == nullptr) {
+        FaultInjector *fault = options_.pipeline.fault;
+        if (fault == nullptr) {
+            traceLaunchSpan("restore.attempt", "restore",
+                            t0 + launch_delay, profile_.cold_start_sec);
             launch_delay += profile_.cold_start_sec;
         } else {
             const core::FallbackPolicy &fb = options_.fallback;
@@ -209,10 +273,13 @@ class ClusterSim
             f64 backoff = fb.backoff_sec;
             bool restored = false;
             for (u32 attempt = 1; attempt <= max_attempts; ++attempt) {
-                if (options_.fault
+                if (fault
                         ->check(FaultPoint::kClusterRestore,
                                 "instance launch")
                         .isOk()) {
+                    traceLaunchSpan("restore.attempt", "restore",
+                                    t0 + launch_delay,
+                                    profile_.cold_start_sec);
                     launch_delay += profile_.cold_start_sec;
                     restored = true;
                     break;
@@ -220,18 +287,28 @@ class ClusterSim
                 // The fault hit partway through the restore; the work
                 // done so far is wasted and rolled back.
                 const f64 wasted =
-                    options_.fault->drawFraction(
-                        FaultPoint::kClusterRestore) *
+                    fault->drawFraction(FaultPoint::kClusterRestore) *
                     profile_.cold_start_sec;
+                traceLaunchSpan("restore.attempt", "restore",
+                                t0 + launch_delay, wasted);
+                if (trace_ != nullptr) {
+                    TraceEvent ev;
+                    ev.name = "restore.attempt_failed";
+                    ev.category = "restore";
+                    ev.phase = TraceEvent::Phase::kInstant;
+                    ev.start_ns =
+                        units::secToNs(t0 + launch_delay + wasted);
+                    trace_->append(std::move(ev));
+                }
                 launch_delay += wasted;
-                wasted_restore_sec_ += wasted;
-                ++restore_failures_;
+                metrics_.gauge("cluster.wasted_restore_sec").add(wasted);
+                metrics_.counter("cluster.restore_failures").add(1);
                 if (fb.mode == core::FallbackMode::kFail) {
                     comes_alive = false;
                     break;
                 }
                 if (attempt < max_attempts) {
-                    ++retries_;
+                    metrics_.counter("cluster.retries").add(1);
                     launch_delay += backoff;
                     backoff *= fb.backoff_multiplier;
                 }
@@ -239,12 +316,17 @@ class ClusterSim
             if (!restored && comes_alive) {
                 // Degrade to the classic profile+capture cold start on
                 // the rolled-back (clean) process.
-                ++fallback_cold_starts_;
-                launch_delay += options_.vanilla_cold_start_sec > 0
-                                    ? options_.vanilla_cold_start_sec
-                                    : profile_.cold_start_sec;
+                metrics_.counter("cluster.fallback_cold_starts").add(1);
+                const f64 vanilla =
+                    options_.vanilla_cold_start_sec > 0
+                        ? options_.vanilla_cold_start_sec
+                        : profile_.cold_start_sec;
+                traceLaunchSpan("fallback.vanilla_cold_start",
+                                "fallback", t0 + launch_delay, vanilla);
+                launch_delay += vanilla;
             }
         }
+        traceLaunchSpan("instance.launch", "cluster", t0, launch_delay);
         if (!comes_alive) {
             // kFail: the instance dies after the wasted restore time;
             // dispatch() sees the freed GPU and relaunches for any
@@ -376,16 +458,15 @@ class ClusterSim
     ClusterOptions options_;
     const ServingProfile &profile_;
     EventLoop loop_;
+    /** Run-local recorder on the event-loop clock (exported at end). */
+    TraceRecorder rec_;
+    /** &rec_ when the caller asked for tracing, else null (zero cost). */
+    TraceRecorder *trace_ = nullptr;
+    /** Canonical `cluster.*` counters; TraceMetrics is a view of it. */
+    MetricsRegistry metrics_;
     std::vector<std::unique_ptr<SimRequest>> requests_;
     std::vector<std::unique_ptr<Instance>> instances_;
     std::deque<SimRequest *> waiting_;
-    u64 cold_starts_ = 0;
-    u64 artifact_loads_ = 0;
-    u64 artifact_cache_hits_ = 0;
-    u64 restore_failures_ = 0;
-    u64 fallback_cold_starts_ = 0;
-    u64 retries_ = 0;
-    f64 wasted_restore_sec_ = 0;
 };
 
 } // namespace

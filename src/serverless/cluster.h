@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/pipeline_options.h"
 #include "common/stats.h"
 #include "medusa/artifact_cache.h"
 #include "medusa/restore_options.h"
@@ -59,13 +60,22 @@ struct ClusterOptions
     /** Extra cold-start latency charged on an artifact-cache miss. */
     f64 artifact_miss_sec = 0.0;
     /**
-     * Deterministic fault injection for instance launches
-     * (FaultPoint::kClusterRestore). When a launch's restore attempt
-     * fails, the fraction of the restore that ran before the fault is
-     * charged as wasted latency, the process rolls back, and the
-     * fallback policy decides what happens next. Null disables.
+     * Shared pipeline knobs (DESIGN.md §12). The simulator consumes:
+     *  - pipeline.fault: deterministic fault injection for instance
+     *    launches (FaultPoint::kClusterRestore). When a launch's
+     *    restore attempt fails, the fraction of the restore that ran
+     *    before the fault is charged as wasted latency, the process
+     *    rolls back, and the fallback policy decides what happens next.
+     *    Null disables.
+     *  - pipeline.trace: receives the whole run's span stream —
+     *    instance.launch / restore.attempt / fallback.vanilla_cold_start
+     *    completes, cache.hit and restore.attempt_failed instants, and
+     *    one `request` complete per finished request.
+     *  - pipeline.metrics: the run's `cluster.*` counters are merged in.
+     * The lint/validate knobs are inert here (nothing to lint in the
+     * discrete-event model).
      */
-    FaultInjector *fault = nullptr;
+    PipelineOptions pipeline;
     /** Degrade policy for failed restores (mirrors RestoreOptions). */
     core::FallbackPolicy fallback;
     /**
@@ -76,7 +86,12 @@ struct ClusterOptions
     f64 vanilla_cold_start_sec = 0.0;
 };
 
-/** Simulation output. */
+/**
+ * Simulation output. The scalar counters are a back-compat view: they
+ * are materialized from the `cluster.*` names in @ref metrics, which is
+ * the canonical record (and what ClusterOptions::pipeline.metrics
+ * receives).
+ */
 struct TraceMetrics
 {
     PercentileTracker ttft_sec;
@@ -103,6 +118,8 @@ struct TraceMetrics
     u64 retries = 0;
     /** Latency burned in failed restore attempts (pre-rollback). */
     f64 wasted_restore_sec = 0;
+    /** The run's counters under their canonical `cluster.*` names. */
+    MetricsSnapshot metrics;
 };
 
 /** Replay a trace against a cluster running the profiled engine. */

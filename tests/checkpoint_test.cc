@@ -75,7 +75,7 @@ TEST(CheckpointTest, RestoreFasterThanColdStartSlowerThanMedusa)
 
     OfflineOptions oopts;
     oopts.model = m;
-    oopts.validate = false;
+    oopts.pipeline.validate = false;
     auto offline = materialize(oopts);
     ASSERT_TRUE(offline.isOk());
     MedusaEngine::Options mopts;

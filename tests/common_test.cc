@@ -288,6 +288,20 @@ TEST(StatsTest, SummaryTracksMoments)
     EXPECT_DOUBLE_EQ(s.max(), 3.0);
 }
 
+TEST(StatsTest, SummaryEmptyIsNaN)
+{
+    // 0 would masquerade as a real observation; an empty summary's
+    // extrema must be unmistakably "no data".
+    Summary s;
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
 TEST(StatsTest, PercentileNearestRank)
 {
     PercentileTracker t;

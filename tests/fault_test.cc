@@ -40,7 +40,7 @@ tinyArtifact()
     static const core::Artifact artifact = []() {
         OfflineOptions opts;
         opts.model = tinyModel();
-        opts.validate = false;
+        opts.pipeline.validate = false;
         auto result = materialize(opts);
         EXPECT_TRUE(result.isOk()) << result.status().toString();
         return std::move(result->artifact);
@@ -196,7 +196,7 @@ TEST(FaultRestoreTest, DefaultPolicyPropagatesInjectedFailure)
 
     MedusaEngine::Options eopts;
     eopts.model = tinyModel();
-    eopts.restore.fault = &injector;
+    eopts.restore.pipeline.fault = &injector;
     auto engine = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_FALSE(engine.isOk());
     EXPECT_EQ(engine.status().code(), StatusCode::kFaultInjected);
@@ -212,8 +212,8 @@ TEST(FaultRestoreTest, RetrySucceedsAndAccountsWaste)
 
     MedusaEngine::Options eopts;
     eopts.model = tinyModel();
-    eopts.restore.validate = true;
-    eopts.restore.fault = &injector;
+    eopts.restore.pipeline.validate = true;
+    eopts.restore.pipeline.fault = &injector;
     eopts.restore.fallback.mode = FallbackMode::kRetryThenVanilla;
     eopts.restore.fallback.max_attempts = 2;
     auto engine = MedusaEngine::coldStart(eopts, tinyArtifact());
@@ -234,7 +234,7 @@ TEST(FaultRestoreTest, RetrySucceedsAndAccountsWaste)
 
     // The waste and the backoff are charged to the visible latency.
     MedusaEngine::Options clean = eopts;
-    clean.restore.fault = nullptr;
+    clean.restore.pipeline.fault = nullptr;
     auto reference = MedusaEngine::coldStart(clean, tinyArtifact());
     ASSERT_TRUE(reference.isOk());
     EXPECT_GT((*engine)->times().loading,
@@ -251,7 +251,7 @@ TEST(FaultRestoreTest, VanillaFallbackYieldsWorkingEngine)
 
     MedusaEngine::Options eopts;
     eopts.model = tinyModel();
-    eopts.restore.fault = &injector;
+    eopts.restore.pipeline.fault = &injector;
     eopts.restore.fallback.mode = FallbackMode::kVanillaColdStart;
     auto engine = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
@@ -280,7 +280,7 @@ TEST(FaultRestoreTest, RetriesExhaustedDegradeToVanilla)
 
     MedusaEngine::Options eopts;
     eopts.model = tinyModel();
-    eopts.restore.fault = &injector;
+    eopts.restore.pipeline.fault = &injector;
     eopts.restore.fallback.mode = FallbackMode::kRetryThenVanilla;
     eopts.restore.fallback.max_attempts = 3;
     auto engine = MedusaEngine::coldStart(eopts, tinyArtifact());
@@ -305,11 +305,11 @@ TEST(FaultRestoreTest, DisabledInjectionIsBitIdentical)
     MedusaEngine::Options eopts;
     eopts.model = tinyModel();
     eopts.aslr_seed = 777;
-    eopts.restore.validate = true;
+    eopts.restore.pipeline.validate = true;
     auto plain = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(plain.isOk());
 
-    eopts.restore.fault = &idle;
+    eopts.restore.pipeline.fault = &idle;
     auto hooked = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(hooked.isOk());
 
@@ -424,7 +424,7 @@ TEST(FaultClusterTest, AllRequestsCompleteUnderRetryThenVanilla)
     FaultInjector injector(*plan);
 
     ClusterOptions opts;
-    opts.fault = &injector;
+    opts.pipeline.fault = &injector;
     opts.fallback.mode = FallbackMode::kRetryThenVanilla;
     opts.fallback.max_attempts = 2;
     opts.vanilla_cold_start_sec = 8.0;
@@ -451,7 +451,7 @@ TEST(FaultClusterTest, FaultFreeRunMatchesNoInjector)
         simulateCluster(plain, toyProfile(), simpleTrace(10, 1.0));
 
     ClusterOptions hooked;
-    hooked.fault = &idle;
+    hooked.pipeline.fault = &idle;
     const auto b =
         simulateCluster(hooked, toyProfile(), simpleTrace(10, 1.0));
 
@@ -473,7 +473,7 @@ TEST(FaultClusterTest, FailPolicyStillDrainsTheTrace)
     FaultInjector injector(*plan);
 
     ClusterOptions opts;
-    opts.fault = &injector;
+    opts.pipeline.fault = &injector;
     opts.fallback.mode = FallbackMode::kFail;
     const auto metrics =
         simulateCluster(opts, toyProfile(), simpleTrace(10, 1.0));

@@ -499,6 +499,7 @@ TEST(LintTest, ReportRendersTextAndJson)
     EXPECT_NE(text.find("MDL101"), std::string::npos);
     EXPECT_NE(text.find("error"), std::string::npos);
     const std::string json = r.toJson();
+    EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
     EXPECT_NE(json.find("\"rule\":\"MDL101\""), std::string::npos);
     EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
 }
@@ -617,8 +618,8 @@ TEST(LintTest, OfflineLintGateAcceptsDefaultPipeline)
 {
     OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false; // the static gate alone
-    opts.lint = true;
+    opts.pipeline.validate = false; // the static gate alone
+    opts.pipeline.lint = true;
     auto result = materialize(opts);
     ASSERT_TRUE(result.isOk()) << result.status().toString();
     // And the full-strength check: the shipped artifact has zero
@@ -631,13 +632,13 @@ TEST(LintTest, PreRestoreLintGateRejectsCorruptArtifact)
 {
     OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto result = materialize(opts);
     ASSERT_TRUE(result.isOk()) << result.status().toString();
 
     MedusaEngine::Options eopts;
     eopts.model = opts.model;
-    eopts.restore.lint = true;
+    eopts.restore.pipeline.lint = true;
 
     // Clean artifact: the gate lets the restore proceed.
     auto ok = MedusaEngine::coldStart(eopts, result->artifact);
@@ -666,7 +667,7 @@ TEST(LintTest, TpPreRestoreLintGateRejectsDivergentRank)
     TpMedusaEngine::Options eopts;
     eopts.model = topts.model;
     eopts.world = 2;
-    eopts.restore.lint = true;
+    eopts.restore.pipeline.lint = true;
 
     auto ok = TpMedusaEngine::coldStart(eopts, offline->rank_artifacts);
     ASSERT_TRUE(ok.isOk()) << ok.status().toString();

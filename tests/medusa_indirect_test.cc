@@ -50,7 +50,7 @@ TEST(IndirectPointerTest, AnalysisFindsPointerWords)
 {
     core::OfflineOptions opts;
     opts.model = indirectModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto offline = core::materialize(opts);
     ASSERT_TRUE(offline.isOk()) << offline.status().toString();
     // Each captured batch size has one operand array with 3 pointers.
@@ -62,16 +62,16 @@ TEST(IndirectPointerTest, ExtensionRestoresAcrossProcesses)
 {
     core::OfflineOptions opts;
     opts.model = indirectModel();
-    opts.validate = true;
-    opts.validate_batch_sizes = {1, 64};
+    opts.pipeline.validate = true;
+    opts.pipeline.validate_batch_sizes = {1, 64};
     auto offline = core::materialize(opts);
     ASSERT_TRUE(offline.isOk()) << offline.status().toString();
 
     core::MedusaEngine::Options eopts;
     eopts.model = opts.model;
     eopts.aslr_seed = 90210;
-    eopts.restore.validate = true;
-    eopts.restore.validate_batch_sizes = {1, 8, 64};
+    eopts.restore.pipeline.validate = true;
+    eopts.restore.pipeline.validate_batch_sizes = {1, 8, 64};
     auto engine = core::MedusaEngine::coldStart(eopts,
                                                 offline->artifact);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
@@ -91,7 +91,7 @@ TEST(IndirectPointerTest, BasePaperBehaviourFailsValidation)
     // exactly the limitation §8 acknowledges.
     core::OfflineOptions opts;
     opts.model = indirectModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     opts.analyze.handle_indirect_pointers = false;
     auto offline = core::materialize(opts);
     ASSERT_TRUE(offline.isOk());
@@ -100,8 +100,8 @@ TEST(IndirectPointerTest, BasePaperBehaviourFailsValidation)
     core::MedusaEngine::Options eopts;
     eopts.model = opts.model;
     eopts.aslr_seed = 555;
-    eopts.restore.validate = true;
-    eopts.restore.validate_batch_sizes = {1};
+    eopts.restore.pipeline.validate = true;
+    eopts.restore.pipeline.validate_batch_sizes = {1};
     auto engine = core::MedusaEngine::coldStart(eopts,
                                                 offline->artifact);
     ASSERT_FALSE(engine.isOk());
@@ -116,7 +116,7 @@ TEST(IndirectPointerTest, ZooModelsHaveNoIndirectPointers)
     m.num_layers = 2;
     core::OfflineOptions opts;
     opts.model = m;
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto offline = core::materialize(opts);
     ASSERT_TRUE(offline.isOk());
     EXPECT_EQ(offline->artifact.stats.indirect_pointer_words, 0u);

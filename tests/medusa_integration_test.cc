@@ -33,8 +33,8 @@ TEST(MedusaIntegration, OfflineProducesArtifact)
 {
     OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = true;
-    opts.validate_batch_sizes = {1, 64};
+    opts.pipeline.validate = true;
+    opts.pipeline.validate_batch_sizes = {1, 64};
     auto result = materialize(opts);
     ASSERT_TRUE(result.isOk()) << result.status().toString();
 
@@ -60,15 +60,15 @@ TEST(MedusaIntegration, OnlineRestoreValidatesAgainstEager)
 {
     OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false; // validate explicitly below
+    opts.pipeline.validate = false; // validate explicitly below
     auto offline = materialize(opts);
     ASSERT_TRUE(offline.isOk()) << offline.status().toString();
 
     MedusaEngine::Options eopts;
     eopts.model = opts.model;
     eopts.aslr_seed = 424242; // a very different process layout
-    eopts.restore.validate = true;
-    eopts.restore.validate_batch_sizes = {1, 8, 64};
+    eopts.restore.pipeline.validate = true;
+    eopts.restore.pipeline.validate_batch_sizes = {1, 8, 64};
     auto engine = MedusaEngine::coldStart(eopts, offline->artifact);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
 
@@ -86,7 +86,7 @@ TEST(MedusaIntegration, RestoredEngineGenerates)
     const ModelConfig model = tinyModel();
     core::OfflineOptions oopts;
     oopts.model = model;
-    oopts.validate = false;
+    oopts.pipeline.validate = false;
     auto offline = materialize(oopts);
     ASSERT_TRUE(offline.isOk()) << offline.status().toString();
 
@@ -121,15 +121,15 @@ TEST(MedusaIntegration, SkippingContentRestorationFailsValidation)
     // contents are functionally necessary, not bookkeeping.
     OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto offline = materialize(opts);
     ASSERT_TRUE(offline.isOk());
 
     MedusaEngine::Options eopts;
     eopts.model = opts.model;
     eopts.restore.restore_contents = false;
-    eopts.restore.validate = true;
-    eopts.restore.validate_batch_sizes = {1};
+    eopts.restore.pipeline.validate = true;
+    eopts.restore.pipeline.validate_batch_sizes = {1};
     auto engine = MedusaEngine::coldStart(eopts, offline->artifact);
     ASSERT_FALSE(engine.isOk());
     EXPECT_EQ(engine.status().code(), StatusCode::kValidationFailure);
@@ -139,7 +139,7 @@ TEST(MedusaIntegration, ArtifactSurvivesDiskRoundTrip)
 {
     OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto offline = materialize(opts);
     ASSERT_TRUE(offline.isOk());
 
@@ -153,8 +153,8 @@ TEST(MedusaIntegration, ArtifactSurvivesDiskRoundTrip)
 
     MedusaEngine::Options eopts;
     eopts.model = opts.model;
-    eopts.restore.validate = true;
-    eopts.restore.validate_batch_sizes = {8};
+    eopts.restore.pipeline.validate = true;
+    eopts.restore.pipeline.validate_batch_sizes = {8};
     auto engine = MedusaEngine::coldStart(eopts, *artifact);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
     EXPECT_TRUE((*engine)->report().validated);
@@ -164,7 +164,7 @@ TEST(MedusaIntegration, WrongModelArtifactRejected)
 {
     OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto offline = materialize(opts);
     ASSERT_TRUE(offline.isOk());
 
@@ -179,7 +179,7 @@ TEST(MedusaIntegration, RestoredGraphsServeManyBatchSizes)
 {
     OfflineOptions opts;
     opts.model = tinyModel();
-    opts.validate = false;
+    opts.pipeline.validate = false;
     auto offline = materialize(opts);
     ASSERT_TRUE(offline.isOk());
     MedusaEngine::Options eopts;
@@ -206,7 +206,7 @@ TEST(MedusaIntegration, MedusaLoadingFasterThanBaselines)
     const ModelConfig model = tinyModel();
     core::OfflineOptions oopts;
     oopts.model = model;
-    oopts.validate = false;
+    oopts.pipeline.validate = false;
     auto offline = materialize(oopts);
     ASSERT_TRUE(offline.isOk());
 

@@ -72,8 +72,8 @@ TEST(MedusaTpTest, RestoreValidatesAgainstReferenceCluster)
     opts.model = m;
     opts.world = 2;
     opts.aslr_seed = 20250707;
-    opts.restore.validate = true;
-    opts.restore.validate_batch_sizes = {1, 64};
+    opts.restore.pipeline.validate = true;
+    opts.restore.pipeline.validate_batch_sizes = {1, 64};
     auto engine = TpMedusaEngine::coldStart(opts,
                                             offline.rank_artifacts);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
@@ -141,8 +141,8 @@ TEST(MedusaTpTest, ContentSkipBreaksTpRestoreToo)
     opts.model = m;
     opts.world = 2;
     opts.restore.restore_contents = false;
-    opts.restore.validate = true;
-    opts.restore.validate_batch_sizes = {1};
+    opts.restore.pipeline.validate = true;
+    opts.restore.pipeline.validate_batch_sizes = {1};
     auto engine = TpMedusaEngine::coldStart(opts,
                                             offline.rank_artifacts);
     ASSERT_FALSE(engine.isOk());

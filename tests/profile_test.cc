@@ -42,7 +42,7 @@ class ProfileBuildTest : public ::testing::Test
     {
         core::OfflineOptions oopts;
         oopts.model = tinyModel();
-        oopts.validate = false;
+        oopts.pipeline.validate = false;
         auto offline = core::materialize(oopts);
         MEDUSA_CHECK(offline.isOk(), "offline failed");
         artifact_ = new core::Artifact(std::move(offline->artifact));

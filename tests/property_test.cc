@@ -344,7 +344,7 @@ TEST(ArtifactRobustness, CorruptArtifactNeverCrashes)
     m.num_layers = 2;
     core::OfflineOptions oopts;
     oopts.model = m;
-    oopts.validate = false;
+    oopts.pipeline.validate = false;
     auto offline = core::materialize(oopts);
     ASSERT_TRUE(offline.isOk());
     const auto bytes = offline->artifact.serialize();
@@ -366,8 +366,8 @@ TEST(ArtifactRobustness, CorruptArtifactNeverCrashes)
         ++parsed;
         core::MedusaEngine::Options eopts;
         eopts.model = m;
-        eopts.restore.validate = true;
-        eopts.restore.validate_batch_sizes = {1};
+        eopts.restore.pipeline.validate = true;
+        eopts.restore.pipeline.validate_batch_sizes = {1};
         auto engine = core::MedusaEngine::coldStart(eopts, *artifact);
         if (engine.isOk()) {
             ++restored; // corruption hit a don't-care byte

@@ -49,7 +49,7 @@ sharedArtifact()
     static const Artifact artifact = []() {
         OfflineOptions opts;
         opts.model = tinyModel();
-        opts.validate = false;
+        opts.pipeline.validate = false;
         return std::move(materialize(opts).value().artifact);
     }();
     return artifact;
@@ -61,7 +61,7 @@ coldStartWithThreads(u32 restore_threads, bool validate = false)
     MedusaEngine::Options opts;
     opts.model = tinyModel();
     opts.restore.restore_threads = restore_threads;
-    opts.restore.validate = validate;
+    opts.restore.pipeline.validate = validate;
     return MedusaEngine::coldStart(opts, sharedArtifact());
 }
 

@@ -42,7 +42,7 @@ tinyArtifact()
     static const core::Artifact artifact = []() {
         OfflineOptions opts;
         opts.model = tinyModel();
-        opts.validate = false;
+        opts.pipeline.validate = false;
         auto result = materialize(opts);
         EXPECT_TRUE(result.isOk()) << result.status().toString();
         return std::move(result->artifact);
@@ -145,11 +145,23 @@ TEST(RollbackTest, FallbackLogitsIdenticalToNeverRestoredEngine)
     MedusaEngine::Options eopts;
     eopts.model = tinyModel();
     eopts.aslr_seed = kSeed;
-    eopts.restore.fault = &injector;
+    eopts.restore.pipeline.fault = &injector;
     eopts.restore.fallback.mode = FallbackMode::kVanillaColdStart;
     auto degraded = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(degraded.isOk()) << degraded.status().toString();
     ASSERT_TRUE((*degraded)->report().fallback_vanilla);
+
+    // The consolidated report narrates the same story: the outcome, the
+    // rollback and fallback spans, and the canonical restore.* metrics.
+    const ColdStartReport &cs = (*degraded)->coldStartReport();
+    EXPECT_EQ(cs.outcome, ColdStartOutcome::kFellBack);
+    EXPECT_EQ(cs.strategy, llm::strategyName(llm::Strategy::kVllm));
+    EXPECT_TRUE(cs.hasSpan("fallback.vanilla_cold_start"));
+    EXPECT_TRUE(cs.hasSpan("restore.rollback"));
+    EXPECT_GE(cs.spanCount("restore.attempt_failed"), 1u);
+    EXPECT_EQ(cs.metrics.counterValue("restore.failures"), 1u);
+    EXPECT_EQ(cs.metrics.counterValue("restore.fallback_vanilla"), 1u);
+    EXPECT_GT(cs.coldStartSec(), 0.0);
 
     llm::BaselineEngine::Options bopts;
     bopts.model = eopts.model;
@@ -252,9 +264,9 @@ TEST(RollbackTest, TpRetryRollsBackEveryRankCoherently)
     opts.model = m;
     opts.world = 2;
     opts.aslr_seed = 808;
-    opts.restore.validate = true;
-    opts.restore.validate_batch_sizes = {1};
-    opts.restore.fault = &injector;
+    opts.restore.pipeline.validate = true;
+    opts.restore.pipeline.validate_batch_sizes = {1};
+    opts.restore.pipeline.fault = &injector;
     opts.restore.fallback.mode = FallbackMode::kRetryThenVanilla;
     opts.restore.fallback.max_attempts = 2;
     auto engine = core::TpMedusaEngine::coldStart(
@@ -273,6 +285,17 @@ TEST(RollbackTest, TpRetryRollsBackEveryRankCoherently)
         EXPECT_EQ(report.graphs_restored, 2u) << "rank " << r;
         EXPECT_TRUE(report.validated) << "rank " << r;
     }
+
+    // Consolidated report: shared attempt accounting appears once,
+    // per-rank counters are summed, and the outcome names the retry.
+    const ColdStartReport &cs = (*engine)->coldStartReport();
+    EXPECT_EQ(cs.outcome, ColdStartOutcome::kRestoredAfterRetry);
+    EXPECT_EQ(cs.restore.restore_attempts, 2u);
+    EXPECT_EQ(cs.restore.restore_failures, 1u);
+    EXPECT_EQ(cs.restore.graphs_restored, 4u); // 2 graphs x 2 ranks
+    EXPECT_EQ(cs.metrics.counterValue("tp.ranks"), 2u);
+    EXPECT_TRUE(cs.hasSpan("tp.rank_restore"));
+    EXPECT_DOUBLE_EQ(cs.times.loading, (*engine)->loadingSec());
 }
 
 TEST(RollbackTest, TpFallbackDegradesAllRanksTogether)
@@ -287,9 +310,9 @@ TEST(RollbackTest, TpFallbackDegradesAllRanksTogether)
     opts.model = m;
     opts.world = 2;
     opts.aslr_seed = 909;
-    opts.restore.validate = true; // lockstep faults fire here
-    opts.restore.validate_batch_sizes = {1};
-    opts.restore.fault = &injector;
+    opts.restore.pipeline.validate = true; // lockstep faults fire here
+    opts.restore.pipeline.validate_batch_sizes = {1};
+    opts.restore.pipeline.fault = &injector;
     opts.restore.fallback.mode = FallbackMode::kVanillaColdStart;
     auto engine = core::TpMedusaEngine::coldStart(
         opts, tpOffline().rank_artifacts);
@@ -310,6 +333,60 @@ TEST(RollbackTest, TpFallbackDegradesAllRanksTogether)
     ASSERT_TRUE(cluster.stageValidationState(1).isOk());
     auto logits = cluster.lockstepDecodeLogits(1);
     EXPECT_TRUE(logits.isOk()) << logits.status().toString();
+
+    const ColdStartReport &cs = (*engine)->coldStartReport();
+    EXPECT_EQ(cs.outcome, ColdStartOutcome::kFellBack);
+    EXPECT_TRUE(cs.restore.fallback_vanilla);
+    EXPECT_TRUE(cs.hasSpan("fallback.vanilla_cold_start"));
+    EXPECT_EQ(cs.metrics.counterValue("restore.fallback_vanilla"), 1u);
+}
+
+// ---- consolidated-report plumbing (clean restore) -----------------------
+
+TEST(RollbackTest, ColdStartReportCarriesSpansAndMergesUserSinks)
+{
+    TraceRecorder sink;
+    MetricsRegistry registry;
+
+    MedusaEngine::Options eopts;
+    eopts.model = tinyModel();
+    eopts.restore.pipeline.trace = &sink;
+    eopts.restore.pipeline.metrics = &registry;
+    auto engine = MedusaEngine::coldStart(eopts, tinyArtifact());
+    ASSERT_TRUE(engine.isOk()) << engine.status().toString();
+
+    const ColdStartReport &cs = (*engine)->coldStartReport();
+    EXPECT_EQ(cs.outcome, ColdStartOutcome::kRestored);
+    EXPECT_TRUE(cs.status.isOk());
+    EXPECT_EQ(cs.strategy, llm::strategyName(llm::Strategy::kMedusa));
+
+    // The stage spans reproduce the hand-kept StageTimes (this is what
+    // lets the figure benches derive their numbers from spans).
+    for (const char *stage : {"cold_start.struct_init",
+                              "cold_start.tokenizer",
+                              "cold_start.kv_init",
+                              "cold_start.weights",
+                              "cold_start.capture"}) {
+        EXPECT_TRUE(cs.hasSpan(stage)) << stage;
+    }
+    EXPECT_DOUBLE_EQ(cs.spanSec("cold_start.weights"),
+                     cs.times.weights);
+    EXPECT_DOUBLE_EQ(cs.spanSec("cold_start.capture"),
+                     cs.times.capture);
+    EXPECT_TRUE(cs.hasSpan("restore.replay_alloc_seq"));
+    EXPECT_TRUE(cs.hasSpan("restore.rebind"));
+    EXPECT_EQ(cs.metrics.counterValue("restore.attempts"), 1u);
+    EXPECT_EQ(cs.metrics.counterValue("restore.graphs"),
+              cs.restore.graphs_restored);
+
+    // User-supplied sinks received the same spans and counters.
+    EXPECT_EQ(sink.eventCount(), cs.spans.size());
+    EXPECT_EQ(registry.snapshot().counterValue("restore.attempts"), 1u);
+
+    // Deprecated views stay coherent with the consolidated report.
+    EXPECT_DOUBLE_EQ((*engine)->times().loading, cs.times.loading);
+    EXPECT_EQ((*engine)->report().graphs_restored,
+              cs.restore.graphs_restored);
 }
 
 } // namespace

@@ -35,8 +35,8 @@ TEST_P(ZooSweepTest, OfflineOnlineRoundTripValidates)
 
     core::OfflineOptions oopts;
     oopts.model = m;
-    oopts.validate = true;
-    oopts.validate_batch_sizes = {1, 64};
+    oopts.pipeline.validate = true;
+    oopts.pipeline.validate_batch_sizes = {1, 64};
     auto offline = core::materialize(oopts);
     ASSERT_TRUE(offline.isOk()) << offline.status().toString();
     EXPECT_EQ(offline->artifact.graphs.size(), 35u);
@@ -48,8 +48,8 @@ TEST_P(ZooSweepTest, OfflineOnlineRoundTripValidates)
     core::MedusaEngine::Options eopts;
     eopts.model = m;
     eopts.aslr_seed = 0xabcd;
-    eopts.restore.validate = true;
-    eopts.restore.validate_batch_sizes = {4, 128};
+    eopts.restore.pipeline.validate = true;
+    eopts.restore.pipeline.validate_batch_sizes = {4, 128};
     auto engine = core::MedusaEngine::coldStart(eopts,
                                                 offline->artifact);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * trace_check: validates the observability layer's JSON exports so CI
+ * can gate on them (scripts/check.sh's trace smoke step).
+ *
+ * Modes:
+ *   trace_check --chrome FILE    Chrome trace_event export
+ *   trace_check --metrics FILE   flat metrics export
+ *   trace_check --lint FILE      medusa_lint --json report
+ *
+ * Each mode parses the file with a minimal self-contained JSON parser
+ * (no dependencies) and checks the schema_version plus the structural
+ * invariants documented in DESIGN.md §12.
+ *
+ * Exit codes: 0 = valid, 1 = schema violation, 2 = usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- minimal JSON ------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered; lookups are linear (tiny documents). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object) {
+            if (k == key) {
+                return &v;
+            }
+        }
+        return nullptr;
+    }
+};
+
+/** Recursive-descent parser over the whole input string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out)) {
+            return false;
+        }
+        skipSpace();
+        return pos_ == text_.size(); // no trailing garbage
+    }
+
+    std::string error() const { return error_; }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            std::ostringstream out;
+            out << what << " at byte " << pos_;
+            error_ = out.str();
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0) {
+            return fail(std::string("expected '") + word + "'");
+        }
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size()) {
+            return fail("unexpected end of input");
+        }
+        switch (text_[pos_]) {
+        case '{':
+            return parseObject(out);
+        case '[':
+            return parseArray(out);
+        case '"':
+            out.kind = JsonValue::Kind::kString;
+            return parseString(out.string);
+        case 't':
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = false;
+            return literal("false");
+        case 'n':
+            out.kind = JsonValue::Kind::kNull;
+            return literal("null");
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (text_[pos_] != '"') {
+            return fail("expected string");
+        }
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size()) {
+                    return fail("dangling escape");
+                }
+                ++pos_;
+                switch (text_[pos_]) {
+                case '"':
+                    out += '"';
+                    break;
+                case '\\':
+                    out += '\\';
+                    break;
+                case '/':
+                    out += '/';
+                    break;
+                case 'n':
+                    out += '\n';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 'b':
+                case 'f':
+                    out += ' ';
+                    break;
+                case 'u':
+                    if (pos_ + 4 >= text_.size()) {
+                        return fail("truncated \\u escape");
+                    }
+                    out += '?'; // preserved length-wise only
+                    pos_ += 4;
+                    break;
+                default:
+                    return fail("bad escape");
+                }
+                ++pos_;
+            } else {
+                out += c;
+                ++pos_;
+            }
+        }
+        if (pos_ >= text_.size()) {
+            return fail("unterminated string");
+        }
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            return fail("expected a value");
+        }
+        try {
+            out.number = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return fail("bad number");
+        }
+        out.kind = JsonValue::Kind::kNumber;
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::kArray;
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue item;
+            skipSpace();
+            if (!parseValue(item)) {
+                return false;
+            }
+            out.array.push_back(std::move(item));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                return fail("unterminated array");
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::kObject;
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key)) {
+                return false;
+            }
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                return fail("expected ':'");
+            }
+            ++pos_;
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value)) {
+                return false;
+            }
+            out.object.emplace_back(std::move(key), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                return fail("unterminated object");
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+// ---- validators --------------------------------------------------------
+
+int
+violation(const char *what)
+{
+    std::fprintf(stderr, "trace_check: %s\n", what);
+    return 1;
+}
+
+bool
+schemaVersionIs(const JsonValue &obj, double expected)
+{
+    const JsonValue *v = obj.find("schema_version");
+    return v != nullptr && v->kind == JsonValue::Kind::kNumber &&
+           v->number == expected;
+}
+
+int
+checkChrome(const JsonValue &root)
+{
+    if (root.kind != JsonValue::Kind::kObject) {
+        return violation("chrome trace: top level must be an object");
+    }
+    const JsonValue *medusa = root.find("medusa");
+    if (medusa == nullptr ||
+        medusa->kind != JsonValue::Kind::kObject ||
+        !schemaVersionIs(*medusa, 1)) {
+        return violation("chrome trace: missing medusa.schema_version=1");
+    }
+    const JsonValue *events = root.find("traceEvents");
+    if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+        return violation("chrome trace: traceEvents must be an array");
+    }
+    for (const JsonValue &ev : events->array) {
+        if (ev.kind != JsonValue::Kind::kObject) {
+            return violation("chrome trace: event is not an object");
+        }
+        const JsonValue *name = ev.find("name");
+        const JsonValue *ph = ev.find("ph");
+        if (name == nullptr ||
+            name->kind != JsonValue::Kind::kString ||
+            ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+            return violation("chrome trace: event missing name/ph");
+        }
+        if (ph->string == "M") {
+            continue; // metadata events carry no timestamp
+        }
+        if (ph->string != "X" && ph->string != "i") {
+            return violation("chrome trace: unknown event phase");
+        }
+        const JsonValue *ts = ev.find("ts");
+        if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber ||
+            ts->number < 0) {
+            return violation("chrome trace: event needs ts >= 0");
+        }
+        if (ph->string == "X") {
+            const JsonValue *dur = ev.find("dur");
+            if (dur == nullptr ||
+                dur->kind != JsonValue::Kind::kNumber ||
+                dur->number < 0) {
+                return violation(
+                    "chrome trace: complete event needs dur >= 0");
+            }
+        }
+    }
+    std::printf("trace_check: chrome trace OK (%zu events)\n",
+                events->array.size());
+    return 0;
+}
+
+int
+checkMetrics(const JsonValue &root)
+{
+    if (root.kind != JsonValue::Kind::kObject ||
+        !schemaVersionIs(root, 1)) {
+        return violation("metrics: missing schema_version=1");
+    }
+    const JsonValue *metrics = root.find("metrics");
+    if (metrics == nullptr ||
+        metrics->kind != JsonValue::Kind::kObject) {
+        return violation("metrics: 'metrics' must be an object");
+    }
+    for (const auto &[name, value] : metrics->object) {
+        if (name.empty()) {
+            return violation("metrics: empty metric name");
+        }
+        const bool scalar = value.kind == JsonValue::Kind::kNumber ||
+                            value.kind == JsonValue::Kind::kNull;
+        const bool histogram =
+            value.kind == JsonValue::Kind::kObject &&
+            value.find("buckets") != nullptr;
+        if (!scalar && !histogram) {
+            return violation(
+                "metrics: value must be a number or a histogram");
+        }
+    }
+    std::printf("trace_check: metrics OK (%zu metrics)\n",
+                metrics->object.size());
+    return 0;
+}
+
+int
+checkLint(const JsonValue &root)
+{
+    if (root.kind != JsonValue::Kind::kObject ||
+        !schemaVersionIs(root, 1)) {
+        return violation("lint: missing schema_version=1");
+    }
+    const JsonValue *diags = root.find("diagnostics");
+    if (diags == nullptr || diags->kind != JsonValue::Kind::kArray) {
+        return violation("lint: 'diagnostics' must be an array");
+    }
+    for (const JsonValue &d : diags->array) {
+        if (d.kind != JsonValue::Kind::kObject ||
+            d.find("rule") == nullptr ||
+            d.find("severity") == nullptr) {
+            return violation("lint: diagnostic missing rule/severity");
+        }
+    }
+    for (const char *key : {"errors", "warnings"}) {
+        const JsonValue *v = root.find(key);
+        if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+            return violation("lint: missing errors/warnings counters");
+        }
+    }
+    std::printf("trace_check: lint report OK (%zu diagnostics)\n",
+                diags->array.size());
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_check --chrome|--metrics|--lint FILE\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        return usage();
+    }
+    const std::string mode = argv[1];
+    std::ifstream in(argv[2], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "trace_check: cannot open %s\n", argv[2]);
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.parse(root)) {
+        std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n",
+                     argv[2], parser.error().c_str());
+        return 1;
+    }
+    if (mode == "--chrome") {
+        return checkChrome(root);
+    }
+    if (mode == "--metrics") {
+        return checkMetrics(root);
+    }
+    if (mode == "--lint") {
+        return checkLint(root);
+    }
+    return usage();
+}
