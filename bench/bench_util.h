@@ -16,6 +16,7 @@
 #include "common/metrics.h"
 #include "common/serialize.h"
 #include "common/trace.h"
+#include "medusa/image.h"
 #include "medusa/offline.h"
 
 namespace medusa::bench {
@@ -166,7 +167,42 @@ materializeCached(const llm::ModelConfig &model,
     }
     MEDUSA_RETURN_IF_ERROR(
         writeFile(path, result.artifact.serialize()));
+    MEDUSA_RETURN_IF_ERROR(writeFile(
+        "artifacts/" + model.name + ".image", result.image_bytes));
     return std::move(result.artifact);
+}
+
+/**
+ * The serialized v6 image for a model, disk-cached under ./artifacts
+ * next to the artifact. A stale or corrupt cache re-materializes both
+ * files so the artifact and image always come from the same offline
+ * run.
+ */
+inline StatusOr<std::vector<u8>>
+materializeImageCached(const llm::ModelConfig &model)
+{
+    const std::string path = "artifacts/" + model.name + ".image";
+    auto bytes = readFile(path);
+    if (bytes.isOk()) {
+        auto image = core::MaterializedImage::openView(
+            std::span<const u8>(*bytes));
+        if (image.isOk() && image->model_name == model.name &&
+            image->model_seed == model.seed) {
+            return std::move(*bytes);
+        }
+        // Stale or corrupt cache: fall through and rebuild.
+    }
+    core::OfflineOptions opts;
+    opts.model = model;
+    opts.pipeline.validate = true;
+    opts.pipeline.validate_batch_sizes = {1, 64};
+    MEDUSA_ASSIGN_OR_RETURN(core::OfflineResult result,
+                            core::materialize(opts));
+    MEDUSA_RETURN_IF_ERROR(writeFile(
+        "artifacts/" + model.name + ".medusa",
+        result.artifact.serialize()));
+    MEDUSA_RETURN_IF_ERROR(writeFile(path, result.image_bytes));
+    return std::move(result.image_bytes);
 }
 
 /** Abort the bench with a message if a status is an error. */

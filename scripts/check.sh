@@ -95,6 +95,36 @@ else
     fail "bench_micro / trace_check binaries missing"
 fi
 
+note "restore-speed smoke: patch path beats rebuild, patch spans traced"
+if [ -x "$BUILD/bench/bench_restore_parallel" ] &&
+   [ -x "$BUILD/tools/trace_check" ]; then
+    BUILD_ABS="$(cd "$BUILD" && pwd)"
+    RESTORE_JSON="$BUILD_ABS/check-restore.json"
+    RESTORE_TRACE="$BUILD_ABS/check-restore-trace.json"
+    # cd: the bench caches materialized artifacts under ./artifacts.
+    if ! (cd "$BUILD_ABS" && ./bench/bench_restore_parallel --json \
+            --reps=1 --trace-out "$RESTORE_TRACE") > "$RESTORE_JSON"; then
+        fail "bench_restore_parallel reported a determinism/fidelity bug"
+    else
+        SPEEDUP=$(sed -n 's/.*"coldstart_speedup": \([0-9.]*\).*/\1/p' \
+                      "$RESTORE_JSON")
+        # 1.5 is a smoke floor for sanitized single-rep runs; release
+        # numbers (BENCH_restore.json) must clear 5x (DESIGN.md §13).
+        if [ -z "$SPEEDUP" ] ||
+           ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.5) }'; then
+            fail "coldstart_speedup ${SPEEDUP:-missing} below 1.5x floor"
+        fi
+        if ! "$BUILD/tools/trace_check" --chrome "$RESTORE_TRACE" \
+                --expect restore.image_open \
+                --expect restore.patch_pass \
+                --expect restore.graphs.patch; then
+            fail "patch-pass spans missing from restore trace"
+        fi
+    fi
+else
+    fail "bench_restore_parallel / trace_check binaries missing"
+fi
+
 note "fault-injected tier-1 suite under ASan (fixed fault seed)"
 # An enabled-but-never-firing env plan keeps every MEDUSA_FAULT_POINT
 # hook live through the whole suite: the sanitized tier-1 run must

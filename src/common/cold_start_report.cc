@@ -57,6 +57,11 @@ publishRestoreMetrics(const RestoreReport &report, MetricsRegistry &registry)
         .add(report.restored_content_bytes);
     registry.counter("restore.indirect_pointers_fixed")
         .add(report.indirect_pointers_fixed);
+    registry.counter("restore.relocations_applied")
+        .add(report.relocations_applied);
+    registry.counter("restore.kernels_resolved")
+        .add(report.kernels_resolved);
+    registry.counter("restore.graphs_patched").add(report.graphs_patched);
     registry.counter("restore.attempts").add(report.restore_attempts);
     registry.counter("restore.failures").add(report.restore_failures);
     registry.counter("restore.retries").add(report.retries);

@@ -66,6 +66,14 @@ struct RestoreReport
     u64 indirect_pointers_fixed = 0;
     bool validated = false;
 
+    // ---- v6 relocation-patch path (zero for the rebuild path) --------
+    /** Relocation entries applied by the in-place patch pass. */
+    u64 relocations_applied = 0;
+    /** Distinct kernels resolved for the image's kernel table. */
+    u64 kernels_resolved = 0;
+    /** Graphs instantiated directly from the patched image. */
+    u64 graphs_patched = 0;
+
     // ---- transactional-restore outcome (all zero without faults) -----
     /** Restore attempts started (1 for a clean first-try success). */
     u64 restore_attempts = 0;

@@ -1,26 +1,38 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace medusa {
 
 namespace {
 
-constexpr std::array<u32, 256>
-makeCrcTable()
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// folds a byte that sits k positions deeper in the stream. Output is
+// bit-identical to the byte-at-a-time loop — only throughput changes
+// (the v6 image checksums the whole multi-MB file on every open).
+constexpr std::array<std::array<u32, 256>, 8>
+makeCrcTables()
 {
-    std::array<u32, 256> table{};
+    std::array<std::array<u32, 256>, 8> tables{};
     for (u32 i = 0; i < 256; ++i) {
         u32 c = i;
         for (int k = 0; k < 8; ++k) {
             c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
     }
-    return table;
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = tables[0][i];
+        for (std::size_t t = 1; t < 8; ++t) {
+            c = tables[0][c & 0xFFu] ^ (c >> 8);
+            tables[t][i] = c;
+        }
+    }
+    return tables;
 }
 
-constexpr std::array<u32, 256> kCrcTable = makeCrcTable();
+constexpr std::array<std::array<u32, 256>, 8> kCrcTables = makeCrcTables();
 
 } // namespace
 
@@ -29,8 +41,21 @@ crc32(const void *data, std::size_t size)
 {
     const u8 *p = static_cast<const u8 *>(data);
     u32 crc = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < size; ++i) {
-        crc = kCrcTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    while (size >= 8) {
+        u32 lo;
+        u32 hi;
+        std::memcpy(&lo, p, 4);
+        std::memcpy(&hi, p + 4, 4);
+        lo ^= crc;
+        crc = kCrcTables[7][lo & 0xFFu] ^ kCrcTables[6][(lo >> 8) & 0xFFu] ^
+              kCrcTables[5][(lo >> 16) & 0xFFu] ^ kCrcTables[4][lo >> 24] ^
+              kCrcTables[3][hi & 0xFFu] ^ kCrcTables[2][(hi >> 8) & 0xFFu] ^
+              kCrcTables[1][(hi >> 16) & 0xFFu] ^ kCrcTables[0][hi >> 24];
+        p += 8;
+        size -= 8;
+    }
+    while (size-- > 0) {
+        crc = kCrcTables[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
     }
     return crc ^ 0xFFFFFFFFu;
 }

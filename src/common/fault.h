@@ -65,11 +65,17 @@ enum class FaultPoint : u8 {
     kTpLockstep,
     /** Cluster-simulator coarse per-cold-start restore outcome. */
     kClusterRestore,
+    /** One parallel graph build of restoreGraphs phase 2. */
+    kGraphBuild,
+    /** v6 image open (structure decode + whole-image CRC). */
+    kImageOpen,
+    /** One relocation batch of the in-place patch pass (torn patch). */
+    kImagePatch,
 };
 
 /** Number of distinct fault points. */
 inline constexpr std::size_t kFaultPointCount =
-    static_cast<std::size_t>(FaultPoint::kClusterRestore) + 1;
+    static_cast<std::size_t>(FaultPoint::kImagePatch) + 1;
 
 /** Stable short name ("dlsym", "crc", ...) used by specs and reports. */
 const char *faultPointName(FaultPoint point);

@@ -127,6 +127,20 @@ ModelRuntime::loadTokenizer()
     return Status::ok();
 }
 
+Status
+ModelRuntime::adoptTokenizer(BpeTokenizer tokenizer)
+{
+    tokenizer_ = std::move(tokenizer);
+    // Identical simulated charge to loadTokenizer: what changed is the
+    // host-side work, not the modeled system's tokenizer load.
+    clock_.advance(units::msToNs(cost_->tokenizer_fixed_ms));
+    clock_.advance(
+        units::usToNs(cost_->tokenizer_per_entry_ns *
+                      static_cast<f64>(model_.vocab) / 1000.0));
+    tokenizer_loaded_ = true;
+    return Status::ok();
+}
+
 StatusOr<u64>
 ModelRuntime::profileFreeMemory()
 {
@@ -347,6 +361,41 @@ ModelRuntime::instantiateGraphs(
         // Unregister this batch's slots so a mid-batch failure cannot
         // leak partially-built graphs into the serving table (they
         // would be replayed against rolled-back device state).
+        for (u32 bs : registered) {
+            graphs_.erase(bs);
+        }
+    }
+    return st;
+}
+
+Status
+ModelRuntime::instantiatePatchedGraphs(
+    const std::vector<std::pair<u32, simcuda::GpuProcess::PatchedGraphDesc>>
+        &ordered,
+    FaultInjector *fault)
+{
+    std::vector<u32> registered;
+    registered.reserve(ordered.size());
+    Status st = Status::ok();
+    for (const auto &[bs, desc] : ordered) {
+        if (fault != nullptr) {
+            st = fault->check(FaultPoint::kGraphInstantiate,
+                              "graph bs=" + std::to_string(bs));
+            if (!st.isOk()) {
+                break;
+            }
+        }
+        auto exec = process_->instantiatePatched(desc);
+        if (!exec.isOk()) {
+            st = exec.status();
+            break;
+        }
+        graphs_.insert_or_assign(bs, std::move(*exec));
+        registered.push_back(bs);
+    }
+    if (!st.isOk()) {
+        // Same contract as instantiateGraphs: a failed batch leaves the
+        // graph table exactly as it found it.
         for (u32 bs : registered) {
             graphs_.erase(bs);
         }

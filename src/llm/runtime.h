@@ -92,6 +92,15 @@ class ModelRuntime
     Status loadTokenizer();
 
     /**
+     * ❸ Medusa patch path: adopt a tokenizer rebuilt from materialized
+     * merges instead of re-training over the corpus. Charges exactly
+     * the simulated cost of loadTokenizer — the real system still reads
+     * the tokenizer data — so simulated stage times are identical
+     * across the rebuild and patch paths; only host time drops.
+     */
+    Status adoptTokenizer(BpeTokenizer tokenizer);
+
+    /**
      * ❹ (first half) Allocate the I/O buffers, then run the profiling
      * forwarding at the maximum token budget and report the residual
      * free GPU memory — the value Medusa materializes.
@@ -158,6 +167,17 @@ class ModelRuntime
     Status instantiateGraphs(
         const std::vector<std::pair<u32, const simcuda::CudaGraph *>>
             &ordered,
+        FaultInjector *fault = nullptr);
+
+    /**
+     * Patch-path counterpart of instantiateGraphs: instantiate decode
+     * graphs directly from relocation-patched image arrays, strictly in
+     * the order given, with the same first-failure-wins + unregister
+     * rollback contract and the same kGraphInstantiate fault point.
+     */
+    Status instantiatePatchedGraphs(
+        const std::vector<
+            std::pair<u32, simcuda::GpuProcess::PatchedGraphDesc>> &ordered,
         FaultInjector *fault = nullptr);
 
     bool hasGraph(u32 bs) const { return graphs_.count(bs) != 0; }

@@ -67,6 +67,32 @@ BpeTokenizer::train(const std::string &corpus, u32 target_vocab)
     return tok;
 }
 
+StatusOr<BpeTokenizer>
+BpeTokenizer::fromMerges(const std::vector<std::pair<i32, i32>> &merges)
+{
+    BpeTokenizer tok;
+    tok.expansions_.resize(256);
+    for (int b = 0; b < 256; ++b) {
+        tok.expansions_[b] = std::string(1, static_cast<char>(b));
+    }
+    for (const auto &pair : merges) {
+        const i32 new_id = static_cast<i32>(tok.vocabSize());
+        // A merge may only reference byte tokens or earlier merges.
+        if (pair.first < 0 || pair.second < 0 || pair.first >= new_id ||
+            pair.second >= new_id) {
+            return invalidArgument(
+                "merge " + std::to_string(new_id - 256) +
+                " references out-of-range token id");
+        }
+        tok.merges_.push_back(pair);
+        tok.merge_to_id_[pair] = new_id;
+        tok.expansions_.push_back(
+            tok.expansions_[static_cast<std::size_t>(pair.first)] +
+            tok.expansions_[static_cast<std::size_t>(pair.second)]);
+    }
+    return tok;
+}
+
 std::vector<i32>
 BpeTokenizer::encode(const std::string &text) const
 {

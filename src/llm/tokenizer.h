@@ -47,6 +47,21 @@ class BpeTokenizer
     /** The byte expansion of a token id. */
     StatusOr<std::string> tokenBytes(i32 id) const;
 
+    /** The learned merge list, in rank order (for materialization). */
+    const std::vector<std::pair<i32, i32>> &merges() const
+    {
+        return merges_;
+    }
+
+    /**
+     * Rebuild a tokenizer from a materialized merge list — the inverse
+     * of merges(). Equivalent to the training that produced the list,
+     * minus the corpus scan: fromMerges(t.merges()) encodes and decodes
+     * identically to t.
+     */
+    static StatusOr<BpeTokenizer>
+    fromMerges(const std::vector<std::pair<i32, i32>> &merges);
+
   private:
     /** merge index -> (left id, right id). */
     std::vector<std::pair<i32, i32>> merges_;

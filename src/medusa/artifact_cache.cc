@@ -1,194 +1,16 @@
-#include "medusa/artifact_cache.h"
+/**
+ * @file
+ * Pinned instantiations of MaterializationCache. The template lives in
+ * the header (every member is inline there); compiling the two aliases
+ * here once keeps the per-TU cost of including artifact_cache.h down
+ * and makes template build errors surface in exactly one place.
+ */
 
-#include <algorithm>
-#include <cmath>
+#include "medusa/artifact_cache.h"
 
 namespace medusa::core {
 
-ArtifactCache::ArtifactCache(std::size_t capacity,
-                             f64 initial_backoff_ms, f64 max_backoff_ms)
-    : capacity_(std::max<std::size_t>(1, capacity)),
-      initial_backoff_ms_(std::max(0.0, initial_backoff_ms)),
-      max_backoff_ms_(std::max(initial_backoff_ms, max_backoff_ms))
-{
-}
-
-void
-ArtifactCache::setFaultInjector(FaultInjector *fault)
-{
-    std::unique_lock<std::mutex> lock(mu_);
-    fault_ = fault;
-}
-
-void
-ArtifactCache::setTraceRecorder(TraceRecorder *trace)
-{
-    std::unique_lock<std::mutex> lock(mu_);
-    trace_ = trace;
-}
-
-Status
-ArtifactCache::keyFailure(const std::string &key) const
-{
-    std::unique_lock<std::mutex> lock(mu_);
-    auto it = failures_.find(key);
-    return it == failures_.end() ? Status::ok() : it->second.last;
-}
-
-StatusOr<std::shared_ptr<const Artifact>>
-ArtifactCache::getOrLoad(const std::string &key, const Loader &loader,
-                         bool *was_hit)
-{
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-        auto it = slots_.find(key);
-        if (it != slots_.end()) {
-            if (it->second.loading) {
-                // Single-flight: block until the in-flight load
-                // resolves. A failed load erases the slot, so the loop
-                // re-enters the loader path and retries.
-                cv_.wait(lock);
-                continue;
-            }
-            it->second.last_used = ++tick_;
-            metrics_.counter("artifact_cache.hits").add(1);
-            if (trace_ != nullptr) {
-                trace_->instant("cache.hit", "cache");
-            }
-            if (was_hit != nullptr) {
-                *was_hit = true;
-            }
-            return it->second.value;
-        }
-        // Failure backoff: do not hot-loop a key whose loader just
-        // failed — wait out the exponential-backoff deadline first (a
-        // concurrent success wakes us early via notify_all).
-        auto fit = failures_.find(key);
-        if (fit != failures_.end() &&
-            std::chrono::steady_clock::now() <
-                fit->second.not_before) {
-            metrics_.counter("artifact_cache.backoff_waits").add(1);
-            cv_.wait_until(lock, fit->second.not_before);
-            continue;
-        }
-        break; // this caller becomes the loader
-    }
-
-    slots_.emplace(key, Slot{});
-    metrics_.counter("artifact_cache.misses").add(1);
-    FaultInjector *fault = fault_;
-    TraceRecorder *trace = trace_;
-    lock.unlock();
-    Span load_span(trace, "cache.load", "cache");
-    load_span.arg("key", key);
-    StatusOr<Artifact> loaded = [&]() -> StatusOr<Artifact> {
-        if (fault != nullptr) {
-            const Status injected =
-                fault->check(FaultPoint::kCacheLoader, key);
-            if (!injected.isOk()) {
-                return injected;
-            }
-        }
-        return loader();
-    }();
-    load_span.end();
-    lock.lock();
-    if (!loaded.isOk()) {
-        slots_.erase(key);
-        metrics_.counter("artifact_cache.failed_loads").add(1);
-        last_failure_ = loaded.status();
-        Failure &failure = failures_[key];
-        failure.last = loaded.status();
-        ++failure.consecutive;
-        const f64 delay_ms = std::min(
-            max_backoff_ms_,
-            initial_backoff_ms_ *
-                std::pow(2.0, static_cast<f64>(
-                                  failure.consecutive - 1)));
-        failure.not_before =
-            std::chrono::steady_clock::now() +
-            std::chrono::microseconds(
-                static_cast<long>(delay_ms * 1e3));
-        cv_.notify_all();
-        return loaded.status();
-    }
-    Slot &slot = slots_[key];
-    slot.loading = false;
-    slot.value =
-        std::make_shared<const Artifact>(std::move(loaded).value());
-    slot.last_used = ++tick_;
-    std::shared_ptr<const Artifact> value = slot.value;
-    failures_.erase(key);
-    evictOverCapacity();
-    cv_.notify_all();
-    if (was_hit != nullptr) {
-        *was_hit = false;
-    }
-    return value;
-}
-
-void
-ArtifactCache::evictOverCapacity()
-{
-    auto resident = [this]() {
-        std::size_t n = 0;
-        for (const auto &[key, slot] : slots_) {
-            n += slot.loading ? 0 : 1;
-        }
-        return n;
-    };
-    while (resident() > capacity_) {
-        auto victim = slots_.end();
-        for (auto it = slots_.begin(); it != slots_.end(); ++it) {
-            if (it->second.loading) {
-                continue;
-            }
-            if (victim == slots_.end() ||
-                it->second.last_used < victim->second.last_used) {
-                victim = it;
-            }
-        }
-        slots_.erase(victim);
-        metrics_.counter("artifact_cache.evictions").add(1);
-        if (trace_ != nullptr) {
-            trace_->instant("cache.evict", "cache");
-        }
-    }
-}
-
-ArtifactCache::Stats
-ArtifactCache::stats() const
-{
-    const MetricsSnapshot snap = metrics_.snapshot();
-    Stats s;
-    s.hits = snap.counterValue("artifact_cache.hits");
-    s.misses = snap.counterValue("artifact_cache.misses");
-    s.evictions = snap.counterValue("artifact_cache.evictions");
-    s.failed_loads = snap.counterValue("artifact_cache.failed_loads");
-    s.backoff_waits = snap.counterValue("artifact_cache.backoff_waits");
-    std::unique_lock<std::mutex> lock(mu_);
-    s.last_failure = last_failure_;
-    return s;
-}
-
-std::size_t
-ArtifactCache::size() const
-{
-    std::unique_lock<std::mutex> lock(mu_);
-    std::size_t n = 0;
-    for (const auto &[key, slot] : slots_) {
-        n += slot.loading ? 0 : 1;
-    }
-    return n;
-}
-
-void
-ArtifactCache::clear()
-{
-    std::unique_lock<std::mutex> lock(mu_);
-    for (auto it = slots_.begin(); it != slots_.end();) {
-        it = it->second.loading ? std::next(it) : slots_.erase(it);
-    }
-}
+template class MaterializationCache<Artifact>;
+template class MaterializationCache<MaterializedImage>;
 
 } // namespace medusa::core

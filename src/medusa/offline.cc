@@ -175,6 +175,19 @@ materialize(const OfflineOptions &opts)
         }
     }
 
+    // ---- v6 image emission ----------------------------------------------
+    // Flatten the (repaired, linted) artifact into the
+    // relocation-patchable image, embedding the merges the capture
+    // stage's tokenizer learned — the online patch path rebuilds the
+    // tokenizer from them instead of re-training.
+    {
+        Span s(&rec, "offline.emit_image", "offline");
+        MEDUSA_ASSIGN_OR_RETURN(
+            result.image_bytes,
+            buildImageBytes(result.artifact, rt.tokenizer().merges()));
+        s.arg("bytes", std::to_string(result.image_bytes.size()));
+    }
+
     result.spans = rec.events();
     if (opts.pipeline.trace != nullptr) {
         opts.pipeline.trace->appendAll(result.spans);

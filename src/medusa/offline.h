@@ -45,6 +45,14 @@ struct OfflineOptions
 struct OfflineResult
 {
     Artifact artifact;
+    /**
+     * The serialized v6 materialized image (DESIGN.md §13): the
+     * artifact flattened into a relocation-patchable structure of
+     * arrays, with the tokenizer's learned merges embedded. Open with
+     * MaterializedImage::open and restore with
+     * MedusaEngine::coldStartFromImage.
+     */
+    std::vector<u8> image_bytes;
     /** Capturing-stage virtual seconds (cold start + graph saving). */
     f64 capture_stage_sec = 0;
     /** Analysis-stage virtual seconds. */

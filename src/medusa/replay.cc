@@ -1,5 +1,6 @@
 #include "medusa/replay.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace medusa::core {
@@ -8,10 +9,23 @@ using llm::ModelRuntime;
 using simcuda::CudaGraph;
 using simcuda::RawParams;
 
-ReplayTable::ReplayTable(const Artifact *artifact) : artifact_(artifact)
+ReplayTable::ReplayTable(const Artifact *artifact)
+    : organic_alloc_count_(artifact->organic_alloc_count)
 {
     alloc_ops_.reserve(artifact->ops.size());
     for (const AllocOp &op : artifact->ops) {
+        if (op.kind == AllocOp::kAlloc) {
+            alloc_ops_.push_back(&op);
+        }
+    }
+}
+
+ReplayTable::ReplayTable(std::span<const AllocOp> ops,
+                         u64 organic_alloc_count)
+    : organic_alloc_count_(organic_alloc_count)
+{
+    alloc_ops_.reserve(ops.size());
+    for (const AllocOp &op : ops) {
         if (op.kind == AllocOp::kAlloc) {
             alloc_ops_.push_back(&op);
         }
@@ -29,7 +43,7 @@ ReplayTable::onAlloc(u64 seq_index, DeviceAddr addr, u64 logical_size,
     if (!mismatch_.empty()) {
         return;
     }
-    if (seq_index < artifact_->organic_alloc_count) {
+    if (seq_index < organic_alloc_count_) {
         if (seq_index >= alloc_ops_.size() ||
             alloc_ops_[seq_index]->logical_size != logical_size) {
             mismatch_ = "organic allocation " +
@@ -64,13 +78,22 @@ replayAllocSequence(const Artifact &artifact, ModelRuntime &rt,
                     const ReplayTable &table, RestoreReport &report,
                     FaultInjector *fault)
 {
+    return replayAllocSequence(std::span<const AllocOp>(artifact.ops),
+                               artifact.organic_op_count, rt, table,
+                               report, fault);
+}
+
+Status
+replayAllocSequence(std::span<const AllocOp> ops, u64 organic_op_count,
+                    ModelRuntime &rt, const ReplayTable &table,
+                    RestoreReport &report, FaultInjector *fault)
+{
     MEDUSA_FAULT_POINT(fault, FaultPoint::kReplayPrefix,
                        "organic prefix handoff at op " +
-                           std::to_string(artifact.organic_op_count));
+                           std::to_string(organic_op_count));
     simcuda::CachingAllocator &alloc = rt.allocator();
-    for (u64 pos = artifact.organic_op_count; pos < artifact.ops.size();
-         ++pos) {
-        const AllocOp &op = artifact.ops[pos];
+    for (u64 pos = organic_op_count; pos < ops.size(); ++pos) {
+        const AllocOp &op = ops[pos];
         if (op.kind == AllocOp::kAlloc) {
             MEDUSA_FAULT_POINT(fault, FaultPoint::kReplayAlloc,
                                "replayed op " + std::to_string(pos));
@@ -96,9 +119,18 @@ rebindEngineBuffers(const Artifact &artifact,
                     const llm::ModelConfig &m, const ReplayTable &table,
                     ModelRuntime &rt)
 {
+    return rebindEngineBuffers(artifact.tags, artifact.free_gpu_memory,
+                               m, table, rt);
+}
+
+Status
+rebindEngineBuffers(const std::map<std::string, u64> &tags,
+                    u64 free_gpu_memory, const llm::ModelConfig &m,
+                    const ReplayTable &table, ModelRuntime &rt)
+{
     auto tagged = [&](const std::string &tag) -> StatusOr<DeviceAddr> {
-        auto it = artifact.tags.find(tag);
-        if (it == artifact.tags.end()) {
+        auto it = tags.find(tag);
+        if (it == tags.end()) {
             return validationFailure("artifact missing buffer tag " +
                                      tag);
         }
@@ -132,7 +164,7 @@ rebindEngineBuffers(const Artifact &artifact,
     // Rederive the accounting from the materialized free-memory value —
     // the §6 restoration that replaces the profiling forwarding.
     const u64 budget = static_cast<u64>(
-        static_cast<f64>(artifact.free_gpu_memory) * 0.9);
+        static_cast<f64>(free_gpu_memory) * 0.9);
     kv.real_num_blocks = budget / m.kvBlockBytes();
     kv.logical_bytes = kv.real_num_blocks * m.kvBlockBytes();
     kv.blocks = llm::BlockManager(f.num_blocks);
@@ -199,15 +231,16 @@ namespace {
  * loads) and the report — callers keep this on the restoring thread.
  */
 StatusOr<KernelAddr>
-resolveKernel(const NodeBlueprint &nb, ModelRuntime &rt,
+resolveKernel(const std::string &kernel_name,
+              const std::string &module_name, ModelRuntime &rt,
               const std::unordered_map<std::string, KernelAddr>
                   &name_table,
               const RestoreOptions &options, RestoreReport &report)
 {
     if (options.use_dlsym) {
         MEDUSA_FAULT_POINT(options.pipeline.fault, FaultPoint::kKernelDlsym,
-                           "dlsym " + nb.kernel_name);
-        auto sym = rt.process().dlsym(nb.module_name, nb.kernel_name);
+                           "dlsym " + kernel_name);
+        auto sym = rt.process().dlsym(module_name, kernel_name);
         if (sym.isOk()) {
             auto addr = rt.process().cudaGetFuncBySymbol(*sym);
             if (addr.isOk()) {
@@ -216,10 +249,10 @@ resolveKernel(const NodeBlueprint &nb, ModelRuntime &rt,
             }
         }
     }
-    auto it = name_table.find(nb.kernel_name);
+    auto it = name_table.find(kernel_name);
     if (it == name_table.end()) {
         return notFound("cannot restore kernel address for " +
-                        nb.kernel_name +
+                        kernel_name +
                         (options.use_triggering_kernels
                              ? " (not in any loaded module)"
                              : " (hidden; triggering-kernels disabled)"));
@@ -289,10 +322,10 @@ rebuildGraph(const GraphBlueprint &bp, const ReplayTable &table,
     MEDUSA_RETURN_IF_ERROR(validateEdges(bp));
     std::vector<KernelAddr> fns(bp.nodes.size());
     for (u32 ni = 0; ni < bp.nodes.size(); ++ni) {
-        MEDUSA_ASSIGN_OR_RETURN(fns[ni],
-                                resolveKernel(bp.nodes[ni], rt,
-                                              name_table, options,
-                                              report));
+        MEDUSA_ASSIGN_OR_RETURN(
+            fns[ni], resolveKernel(bp.nodes[ni].kernel_name,
+                                   bp.nodes[ni].module_name, rt,
+                                   name_table, options, report));
         ++report.nodes_restored;
         rt.clock().advance(units::usToNs(cost.restore_per_node_us));
     }
@@ -320,10 +353,10 @@ restoreGraphs(const Artifact &artifact, const ReplayTable &table,
         MEDUSA_RETURN_IF_ERROR(validateEdges(bp));
         fns[g].resize(bp.nodes.size());
         for (u32 ni = 0; ni < bp.nodes.size(); ++ni) {
-            MEDUSA_ASSIGN_OR_RETURN(fns[g][ni],
-                                    resolveKernel(bp.nodes[ni], rt,
-                                                  name_table, options,
-                                                  report));
+            MEDUSA_ASSIGN_OR_RETURN(
+                fns[g][ni], resolveKernel(bp.nodes[ni].kernel_name,
+                                          bp.nodes[ni].module_name, rt,
+                                          name_table, options, report));
             ++report.nodes_restored;
             rt.clock().advance(
                 units::usToNs(cost.restore_per_node_us));
@@ -338,13 +371,32 @@ restoreGraphs(const Artifact &artifact, const ReplayTable &table,
     build_span.arg("graphs", std::to_string(n));
     std::vector<CudaGraph> graphs(n);
     std::vector<Status> statuses(n);
+    // The first failing task flips `cancel`; later tasks finish as
+    // no-ops instead of building graphs destined for the bin. The
+    // parallelFor below joins before anything propagates, so when an
+    // error reaches the caller every worker is quiescent — a rollback
+    // can never race a straggling build task.
+    std::atomic<bool> cancel{false};
     auto buildOne = [&](std::size_t g) {
+        if (cancel.load(std::memory_order_acquire)) {
+            return; // statuses[g] stays OK: cancelled, not failed
+        }
+        if (options.pipeline.fault != nullptr) {
+            const Status injected = options.pipeline.fault->check(
+                FaultPoint::kGraphBuild, "graph " + std::to_string(g));
+            if (!injected.isOk()) {
+                statuses[g] = injected;
+                cancel.store(true, std::memory_order_release);
+                return;
+            }
+        }
         auto built = buildGraphFromBlueprint(artifact.graphs[g],
                                              fns[g], table);
         if (built.isOk()) {
             graphs[g] = std::move(built).value();
         } else {
             statuses[g] = built.status();
+            cancel.store(true, std::memory_order_release);
         }
     };
     if (pool != nullptr && n > 1) {
@@ -354,7 +406,7 @@ restoreGraphs(const Artifact &artifact, const ReplayTable &table,
             buildOne(g);
         }
     }
-    // First failure in artifact order, independent of thread count.
+    // First real failure in artifact order, independent of thread count.
     for (const Status &s : statuses) {
         MEDUSA_RETURN_IF_ERROR(s);
     }
@@ -370,6 +422,137 @@ restoreGraphs(const Artifact &artifact, const ReplayTable &table,
     MEDUSA_RETURN_IF_ERROR(
         rt.instantiateGraphs(ordered, options.pipeline.fault));
     report.graphs_restored += n;
+    return Status::ok();
+}
+
+Status
+restoreImageContents(const MaterializedImage &image, ModelRuntime &rt,
+                     const ReplayTable &table, RestoreReport &report)
+{
+    for (const MaterializedImage::PermanentView &pb : image.permanent) {
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr addr,
+                                table.addrOf(pb.alloc_index));
+        if (!pb.contents.empty()) {
+            MEDUSA_RETURN_IF_ERROR(rt.process().memcpyH2D(
+                addr, pb.contents.data(), pb.contents.size(),
+                pb.contents.size()));
+        }
+        report.restored_content_bytes += pb.contents.size();
+    }
+    for (const PointerWordFix &fix : image.pointer_fixes) {
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr buffer,
+                                table.addrOf(fix.buffer_alloc_index));
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr target,
+                                table.addrOf(fix.target_alloc_index));
+        const u64 word = target + fix.target_offset;
+        MEDUSA_RETURN_IF_ERROR(rt.process().memcpyH2D(
+            buffer + fix.byte_offset, &word, sizeof(word),
+            sizeof(word)));
+        ++report.indirect_pointers_fixed;
+    }
+    return Status::ok();
+}
+
+StatusOr<std::vector<KernelAddr>>
+resolveImageKernels(const MaterializedImage &image, ModelRuntime &rt,
+                    const std::unordered_map<std::string, KernelAddr>
+                        &name_table,
+                    const RestoreOptions &options, RestoreReport &report)
+{
+    const CostModel &cost = rt.process().cost();
+    std::vector<KernelAddr> addrs(image.kernel_table.size());
+    for (std::size_t k = 0; k < image.kernel_table.size(); ++k) {
+        const MaterializedImage::KernelEntry &entry =
+            image.kernel_table[k];
+        MEDUSA_ASSIGN_OR_RETURN(
+            addrs[k], resolveKernel(entry.name, entry.module, rt,
+                                    name_table, options, report));
+        ++report.kernels_resolved;
+        rt.clock().advance(units::usToNs(cost.restore_per_node_us));
+    }
+    return addrs;
+}
+
+StatusOr<std::vector<u64>>
+applyImageRelocations(const MaterializedImage &image,
+                      const ReplayTable &table,
+                      const std::vector<KernelAddr> &kernel_addrs,
+                      ModelRuntime &rt, const RestoreOptions &options,
+                      RestoreReport &report)
+{
+    Span span(options.pipeline.trace, "restore.patch_pass", "restore");
+    FaultInjector *fault = options.pipeline.fault;
+    std::vector<u64> slots(image.patch_template.begin(),
+                           image.patch_template.end());
+    // Indexes were bounds-checked once at image open; both sweeps below
+    // run unchecked.
+    MEDUSA_FAULT_POINT(fault, FaultPoint::kImagePatch,
+                       "data relocation batch of " +
+                           std::to_string(image.data_relocs.size()));
+    for (const MaterializedImage::DataReloc &rel : image.data_relocs) {
+        MEDUSA_ASSIGN_OR_RETURN(DeviceAddr base,
+                                table.addrOf(rel.alloc_index));
+        slots[rel.slot] = base + rel.addend;
+    }
+    MEDUSA_FAULT_POINT(fault, FaultPoint::kImagePatch,
+                       "kernel relocation batch of " +
+                           std::to_string(image.kernel_relocs.size()));
+    if (kernel_addrs.size() != image.kernel_table.size()) {
+        return internalError("kernel address table size mismatch");
+    }
+    for (const MaterializedImage::KernelReloc &rel :
+         image.kernel_relocs) {
+        slots[rel.slot] = kernel_addrs[rel.kernel_index];
+    }
+    const u64 applied =
+        image.data_relocs.size() + image.kernel_relocs.size();
+    report.relocations_applied += applied;
+    rt.clock().advance(units::usToNs(
+        rt.process().cost().restore_reloc_us *
+        static_cast<f64>(applied)));
+    span.arg("relocations", std::to_string(applied));
+    return slots;
+}
+
+Status
+patchRestoreGraphs(const MaterializedImage &image,
+                   const std::vector<u64> &patched_slots,
+                   ModelRuntime &rt, const RestoreOptions &options,
+                   RestoreReport &report)
+{
+    TraceRecorder *rec = options.pipeline.trace;
+    const std::size_t n = image.graphs.size();
+
+    // Carving spans out of the patched slots and the image columns is
+    // pure pointer arithmetic — the whole "build" is O(graphs), not
+    // O(nodes), which is the point of the format.
+    Span patch_span(rec, "restore.graphs.patch", "restore");
+    patch_span.arg("graphs", std::to_string(n));
+    std::vector<std::pair<u32, simcuda::GpuProcess::PatchedGraphDesc>>
+        ordered;
+    ordered.reserve(n);
+    for (const MaterializedImage::GraphView &g : image.graphs) {
+        simcuda::GpuProcess::PatchedGraphDesc desc;
+        desc.node_fn = std::span<const KernelAddr>(
+            patched_slots.data() + g.fn_slot_begin, g.node_count);
+        desc.param_begin = g.param_begin;
+        desc.param_bits = std::span<const u64>(
+            patched_slots.data() + g.param_slot_begin,
+            g.param_len.size());
+        desc.param_len = g.param_len;
+        desc.timing = g.timings;
+        desc.order = g.order;
+        desc.edges = g.edges;
+        ordered.emplace_back(g.batch_size, desc);
+    }
+    patch_span.end();
+
+    Span inst_span(rec, "restore.graphs.instantiate", "restore");
+    MEDUSA_RETURN_IF_ERROR(
+        rt.instantiatePatchedGraphs(ordered, options.pipeline.fault));
+    report.graphs_patched += n;
+    report.graphs_restored += n;
+    report.nodes_restored += image.total_nodes;
     return Status::ok();
 }
 

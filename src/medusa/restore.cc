@@ -14,6 +14,39 @@ using simcuda::CudaGraph;
 namespace {
 
 /**
+ * Optional output validation (§4): replayed-graph logits must match an
+ * eager forwarding from identical staged state. Shared by the rebuild
+ * and patch attempts — the fidelity bar is the same for both.
+ */
+Status
+validateOutputs(const MedusaEngine::Options &opts, ModelRuntime &rt,
+                RestoreReport &report)
+{
+    Span s(opts.restore.pipeline.trace, "restore.validate", "restore");
+    for (u32 bs : opts.restore.pipeline.validate_batch_sizes) {
+        if (!rt.hasGraph(bs)) {
+            continue;
+        }
+        MEDUSA_RETURN_IF_ERROR(rt.stageValidationState(bs));
+        MEDUSA_ASSIGN_OR_RETURN(auto eager, rt.eagerDecodeLogits(bs));
+        MEDUSA_RETURN_IF_ERROR(rt.stageValidationState(bs));
+        auto replayed = rt.graphDecodeLogits(bs);
+        if (!replayed.isOk()) {
+            return validationFailure(
+                "restored graph bs=" + std::to_string(bs) +
+                " failed to replay: " + replayed.status().toString());
+        }
+        if (*replayed != eager) {
+            return validationFailure(
+                "restored graph bs=" + std::to_string(bs) +
+                " output mismatches eager forwarding");
+        }
+        report.validated = true;
+    }
+    return Status::ok();
+}
+
+/**
  * One restore attempt: steps 1-8 of the online phase plus optional
  * output validation. Fills @p t (including the overlap-composed
  * t.loading) and @p report. On error the caller rolls the runtime back;
@@ -130,28 +163,138 @@ runRestoreAttempt(const MedusaEngine::Options &opts,
 
     // Optional output validation (used by the offline dry-run).
     if (opts.restore.pipeline.validate) {
-        Span s(rec, "restore.validate", "restore");
-        for (u32 bs : opts.restore.pipeline.validate_batch_sizes) {
-            if (!rt.hasGraph(bs)) {
-                continue;
-            }
-            MEDUSA_RETURN_IF_ERROR(rt.stageValidationState(bs));
-            MEDUSA_ASSIGN_OR_RETURN(auto eager, rt.eagerDecodeLogits(bs));
-            MEDUSA_RETURN_IF_ERROR(rt.stageValidationState(bs));
-            auto replayed = rt.graphDecodeLogits(bs);
-            if (!replayed.isOk()) {
-                return validationFailure(
-                    "restored graph bs=" + std::to_string(bs) +
-                    " failed to replay: " +
-                    replayed.status().toString());
-            }
-            if (*replayed != eager) {
-                return validationFailure(
-                    "restored graph bs=" + std::to_string(bs) +
-                    " output mismatches eager forwarding");
-            }
-            report.validated = true;
+        MEDUSA_RETURN_IF_ERROR(validateOutputs(opts, rt, report));
+    }
+    return Status::ok();
+}
+
+/**
+ * One PATCH restore attempt — the v6 image twin of runRestoreAttempt.
+ * Steps 1-6 are shared physics (structure init, tokenizer, replay,
+ * rebind, weights, contents); steps 7-8 become: resolve the
+ * first-occurrence kernel table, apply the relocation table to a copy
+ * of the patch template, and instantiate executable graphs straight
+ * from the patched arrays. Device and module state after this attempt
+ * is bit-identical to the rebuild path's (same fingerprint, same
+ * logits); only the charged restore work differs.
+ */
+Status
+runPatchRestoreAttempt(const MedusaEngine::Options &opts,
+                       const MaterializedImage &image, ModelRuntime &rt,
+                       ReplayTable &table, StageTimes &t,
+                       RestoreReport &report)
+{
+    const CostModel &cost = rt.process().cost();
+    FaultInjector *fault = opts.restore.pipeline.fault;
+    TraceRecorder *rec = opts.restore.pipeline.trace;
+
+    SimClock &clock = rt.clock();
+    f64 mark = clock.nowSec();
+    auto lap = [&clock, &mark]() {
+        const f64 now = clock.nowSec();
+        const f64 d = now - mark;
+        mark = now;
+        return d;
+    };
+
+    // 1. Structure init (organic; verified against the image).
+    {
+        Span s(rec, "cold_start.struct_init", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.initStructure());
+        MEDUSA_RETURN_IF_ERROR(table.organicStatus());
+        if (table.allocCount() != image.organic_alloc_count) {
+            return validationFailure(
+                "structure init produced a different allocation count "
+                "than the materialized sequence");
         }
+    }
+    t.struct_init = lap();
+
+    // 2. Tokenizer: rebuilt from the image's materialized merge list —
+    //    no corpus re-training. Simulated charge matches loadTokenizer.
+    {
+        Span s(rec, "cold_start.tokenizer", "stage");
+        MEDUSA_ASSIGN_OR_RETURN(
+            auto tok, llm::BpeTokenizer::fromMerges(image.tokenizer_merges));
+        MEDUSA_RETURN_IF_ERROR(rt.adoptTokenizer(std::move(tok)));
+    }
+    t.tokenizer = lap();
+
+    Span kv_span(rec, "cold_start.kv_init", "stage");
+    // 3. Image read: same bandwidth pricing as the artifact read; the
+    //    image was decoded zero-copy, so this is the whole parse cost.
+    {
+        Span s(rec, "restore.image_open", "restore");
+        clock.advance(
+            units::usToNs(static_cast<f64>(image.serialized_size) /
+                          (cost.artifact_read_gbps * 1e3)));
+    }
+
+    // 4. Replay the recorded (de)allocation sequence (§4.2).
+    {
+        Span s(rec, "restore.replay_alloc_seq", "restore");
+        MEDUSA_RETURN_IF_ERROR(replayAllocSequence(
+            std::span<const AllocOp>(image.ops), image.organic_op_count,
+            rt, table, report, fault));
+    }
+    {
+        Span s(rec, "restore.rebind", "restore");
+        MEDUSA_RETURN_IF_ERROR(rebindEngineBuffers(
+            image.tags, image.free_gpu_memory, opts.model, table, rt));
+    }
+    kv_span.end();
+    t.kv_init = lap();
+
+    // 5. Weights.
+    {
+        Span s(rec, "cold_start.weights", "stage");
+        MEDUSA_RETURN_IF_ERROR(rt.loadWeights());
+    }
+    t.weights = lap();
+
+    Span cap_span(rec, "cold_start.capture", "stage");
+    // 6. Permanent-buffer contents + indirect pointer words.
+    if (opts.restore.restore_contents) {
+        Span s(rec, "restore.contents", "restore");
+        MEDUSA_RETURN_IF_ERROR(
+            restoreImageContents(image, rt, table, report));
+    }
+
+    // 7. Triggering-kernels + the §5 name table, then ONE resolution
+    //    per unique kernel in first-occurrence order — the order that
+    //    makes module loads (and ASLR draws) match the rebuild path.
+    std::unordered_map<std::string, KernelAddr> name_table;
+    if (opts.restore.use_triggering_kernels) {
+        Span s(rec, "restore.kernel_table", "restore");
+        MEDUSA_ASSIGN_OR_RETURN(name_table,
+                                buildKernelNameTable(rt, fault));
+    }
+    std::vector<KernelAddr> kernel_addrs;
+    {
+        Span s(rec, "restore.graphs.resolve", "restore");
+        MEDUSA_ASSIGN_OR_RETURN(
+            kernel_addrs, resolveImageKernels(image, rt, name_table,
+                                              opts.restore, report));
+    }
+
+    // 8. The patch pass + direct instantiation from the patched image.
+    MEDUSA_ASSIGN_OR_RETURN(
+        const std::vector<u64> patched,
+        applyImageRelocations(image, table, kernel_addrs, rt,
+                              opts.restore, report));
+    MEDUSA_RETURN_IF_ERROR(
+        patchRestoreGraphs(image, patched, rt, opts.restore, report));
+    cap_span.end();
+    t.capture = lap();
+
+    const f64 overlappable = cost.restore_overlap_fraction * t.capture;
+    t.loading = t.struct_init +
+                std::max(t.weights,
+                         t.tokenizer + t.kv_init + overlappable) +
+                (t.capture - overlappable);
+
+    if (opts.restore.pipeline.validate) {
+        MEDUSA_RETURN_IF_ERROR(validateOutputs(opts, rt, report));
     }
     return Status::ok();
 }
@@ -238,6 +381,52 @@ MedusaEngine::coldStart(const Options &caller_opts,
         }
     }
 
+    return runTransactional(
+        std::move(opts), user_trace,
+        [&artifact]() { return std::make_unique<ReplayTable>(&artifact); },
+        [&artifact](const Options &o, ModelRuntime &rt, ReplayTable &tb,
+                    StageTimes &t, RestoreReport &rep) {
+            return runRestoreAttempt(o, artifact, rt, tb, t, rep);
+        });
+}
+
+StatusOr<std::unique_ptr<MedusaEngine>>
+MedusaEngine::coldStartFromImage(const Options &caller_opts,
+                                 const MaterializedImage &image)
+{
+    Options opts = caller_opts;
+    if (opts.restore.pipeline.fault == nullptr) {
+        opts.restore.pipeline.fault = envFaultInjector();
+    }
+    TraceRecorder *user_trace = opts.restore.pipeline.trace;
+
+    if (image.model_name != opts.model.name ||
+        image.model_seed != opts.model.seed) {
+        return validationFailure("image was materialized for model " +
+                                 image.model_name);
+    }
+    // No pre-restore lint here: structural invariants (CRC, relocation
+    // bounds, slot layout) were already enforced when the image was
+    // opened.
+
+    return runTransactional(
+        std::move(opts), user_trace,
+        [&image]() {
+            return std::make_unique<ReplayTable>(
+                std::span<const AllocOp>(image.ops),
+                image.organic_alloc_count);
+        },
+        [&image](const Options &o, ModelRuntime &rt, ReplayTable &tb,
+                 StageTimes &t, RestoreReport &rep) {
+            return runPatchRestoreAttempt(o, image, rt, tb, t, rep);
+        });
+}
+
+StatusOr<std::unique_ptr<MedusaEngine>>
+MedusaEngine::runTransactional(Options opts, TraceRecorder *user_trace,
+                               const MakeTableFn &make_table,
+                               const AttemptFn &attempt_fn)
+{
     ModelRuntime::Options ropts;
     ropts.model = opts.model;
     ropts.aslr_seed = opts.aslr_seed;
@@ -263,6 +452,7 @@ MedusaEngine::coldStart(const Options &caller_opts,
     SimClock &clock = rt.clock();
 
     TraceRecorder rec(&clock);
+    MetricsRegistry *user_metrics = opts.restore.pipeline.metrics;
     opts.restore.pipeline.trace = &rec;
 
     // On every exit path: snapshot spans/metrics into the report and
@@ -275,8 +465,8 @@ MedusaEngine::coldStart(const Options &caller_opts,
         if (user_trace != nullptr) {
             user_trace->appendAll(cs.spans);
         }
-        if (caller_opts.restore.pipeline.metrics != nullptr) {
-            caller_opts.restore.pipeline.metrics->mergeFrom(cs.metrics);
+        if (user_metrics != nullptr) {
+            user_metrics->mergeFrom(cs.metrics);
         }
     };
 
@@ -284,7 +474,7 @@ MedusaEngine::coldStart(const Options &caller_opts,
         ++report.restore_attempts;
         // Fresh interceptor per attempt: the replay table's sequence
         // numbering restarts with the reconstructed allocator.
-        auto table = std::make_unique<ReplayTable>(&artifact);
+        std::unique_ptr<ReplayTable> table = make_table();
         rt.allocator().setObserver(table.get());
         rt.process().beginJournal();
 
@@ -294,8 +484,7 @@ MedusaEngine::coldStart(const Options &caller_opts,
         const f64 start = clock.nowSec();
         Span attempt_span(&rec, "restore.attempt", "restore");
         attempt_span.arg("attempt", std::to_string(attempt));
-        const Status st =
-            runRestoreAttempt(opts, artifact, rt, *table, t, working);
+        const Status st = attempt_fn(opts, rt, *table, t, working);
         attempt_span.end();
         if (st.isOk()) {
             rt.process().endJournal();

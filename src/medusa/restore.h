@@ -28,13 +28,17 @@
 #ifndef MEDUSA_MEDUSA_RESTORE_H
 #define MEDUSA_MEDUSA_RESTORE_H
 
+#include <functional>
 #include <memory>
 
 #include "llm/engine.h"
 #include "medusa/artifact.h"
+#include "medusa/image.h"
 #include "medusa/restore_options.h"
 
 namespace medusa::core {
+
+class ReplayTable;
 
 /**
  * A serving engine cold-started through Medusa's online phase.
@@ -60,6 +64,21 @@ class MedusaEngine
     static StatusOr<std::unique_ptr<MedusaEngine>>
     coldStart(const Options &opts, const Artifact &artifact);
 
+    /**
+     * The v6 relocation-patch online phase (DESIGN.md §13): restore
+     * against an opened MaterializedImage instead of a v5 artifact.
+     * Steps 1-6 match coldStart; steps 7-8 are replaced by a single
+     * patch pass (template copy + relocations) and direct instantiation
+     * from the patched arrays — no CudaGraph rebuild, no per-node
+     * kernel resolution. Same transactional attempt loop, fallback
+     * policy and fidelity contract: restore fingerprints and decode
+     * logits are bit-identical to the rebuild path's. The image must
+     * outlive the returned engine (its replay interceptor observes
+     * against the image's op sequence).
+     */
+    static StatusOr<std::unique_ptr<MedusaEngine>>
+    coldStartFromImage(const Options &opts, const MaterializedImage &image);
+
     llm::ModelRuntime &runtime() { return *runtime_; }
 
     /**
@@ -83,6 +102,23 @@ class MedusaEngine
 
   private:
     MedusaEngine() = default;
+
+    using MakeTableFn = std::function<std::unique_ptr<ReplayTable>()>;
+    using AttemptFn =
+        std::function<Status(const Options &, llm::ModelRuntime &,
+                             ReplayTable &, llm::StageTimes &,
+                             RestoreReport &)>;
+
+    /**
+     * The shared transactional attempt loop: journalled attempts,
+     * rollback-on-failure, retry backoff and the vanilla fallback tail.
+     * The artifact and image cold starts differ only in how a replay
+     * table is built and what one attempt does.
+     */
+    static StatusOr<std::unique_ptr<MedusaEngine>>
+    runTransactional(Options opts, TraceRecorder *user_trace,
+                     const MakeTableFn &make_table,
+                     const AttemptFn &attempt);
 
     /** Declared before the runtime so it outlives the allocator that
      *  holds a raw pointer to it. */

@@ -101,6 +101,15 @@ materializeTp(const TpOfflineOptions &opts)
             cluster->rank(r).clock().nowSec() - before);
         result.rank_artifacts.push_back(std::move(analysis.artifact));
     }
+
+    // ---- per-rank v6 image emission ----------------------------------
+    for (u32 r = 0; r < opts.world; ++r) {
+        MEDUSA_ASSIGN_OR_RETURN(
+            auto image_bytes,
+            buildImageBytes(result.rank_artifacts[r],
+                            cluster->rank(r).tokenizer().merges()));
+        result.rank_images.push_back(std::move(image_bytes));
+    }
     return result;
 }
 
@@ -405,6 +414,9 @@ TpMedusaEngine::coldStart(const Options &caller_opts,
         cs.restore.replayed_frees += r.replayed_frees;
         cs.restore.restored_content_bytes += r.restored_content_bytes;
         cs.restore.indirect_pointers_fixed += r.indirect_pointers_fixed;
+        cs.restore.relocations_applied += r.relocations_applied;
+        cs.restore.kernels_resolved += r.kernels_resolved;
+        cs.restore.graphs_patched += r.graphs_patched;
         cs.restore.validated = cs.restore.validated || r.validated;
     }
     cs.restore.restore_attempts = attempts;

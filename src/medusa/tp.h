@@ -41,6 +41,12 @@ struct TpOfflineOptions
 struct TpOfflineResult
 {
     std::vector<Artifact> rank_artifacts;
+    /**
+     * One serialized v6 image per rank (DESIGN.md §13): each rank's
+     * artifact flattened for the relocation-patch restore path, with
+     * that rank's tokenizer merges embedded.
+     */
+    std::vector<std::vector<u8>> rank_images;
     f64 capture_stage_sec = 0;
     f64 analysis_stage_sec = 0;
 

@@ -167,6 +167,29 @@ GpuProcess::stateFingerprint() const
     return h;
 }
 
+u64
+GpuProcess::logicalStateFingerprint() const
+{
+    auto mix = [](u64 h, u64 v) {
+        return (h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2))) *
+               0x100000001b3ull;
+    };
+    u64 h = 0xcbf29ce484222325ull;
+    h = mix(h, memory_.stateFingerprint());
+    h = mix(h, modules_.stateFingerprint());
+    h = mix(h, streams_.size());
+    for (const auto &s : streams_) {
+        // gpu_ready_ns_ deliberately excluded: it tracks the simulated
+        // clock, which a faster restore path reaches earlier.
+        h = mix(h, s->session_ != nullptr ? 1 : 0);
+    }
+    h = mix(h, capture_ != nullptr ? 1 : 0);
+    h = mix(h, eager_launches_);
+    h = mix(h, captured_nodes_);
+    h = mix(h, graph_launches_);
+    return h;
+}
+
 Stream &
 GpuProcess::createStream()
 {
@@ -353,7 +376,10 @@ GpuProcess::instantiate(const CudaGraph &graph)
         return captureViolation("cudaGraphInstantiate during capture");
     }
     GraphExec exec;
-    exec.nodes_.reserve(graph.nodeCount());
+    exec.kernels_.reserve(graph.nodeCount());
+    exec.timings_.reserve(graph.nodeCount());
+    exec.param_begin_.reserve(graph.nodeCount() + 1);
+    exec.param_begin_.push_back(0);
     for (const GraphNode &node : graph.nodes()) {
         auto kernel = modules_.kernelAt(node.fn);
         if (!kernel.isOk()) {
@@ -362,15 +388,85 @@ GpuProcess::instantiate(const CudaGraph &graph)
                 "address " +
                 std::to_string(node.fn));
         }
-        GraphExec::ExecNode en;
-        en.kernel = *kernel;
-        en.params = node.params;
-        en.timing = node.timing;
-        exec.nodes_.push_back(std::move(en));
+        exec.kernels_.push_back(*kernel);
+        exec.timings_.push_back(node.timing);
+        for (const std::vector<u8> &bytes : node.params) {
+            exec.blobs_.push_back(makeParamBlob(bytes));
+        }
+        exec.param_begin_.push_back(static_cast<u32>(exec.blobs_.size()));
     }
     MEDUSA_ASSIGN_OR_RETURN(exec.order_, graph.topoOrder());
     clock_->advance(units::usToNs(cost_->graph_instantiate_per_node_us *
                                   static_cast<f64>(graph.nodeCount())));
+    if (journal_active_) {
+        ++journal_.graphs_instantiated;
+    }
+    return exec;
+}
+
+StatusOr<GraphExec>
+GpuProcess::instantiatePatched(const PatchedGraphDesc &desc)
+{
+    if (captureActive()) {
+        return captureViolation("cudaGraphInstantiate during capture");
+    }
+    const std::size_t n = desc.node_fn.size();
+    if (desc.param_begin.size() != n + 1 || desc.timing.size() != n ||
+        desc.order.size() != n ||
+        desc.param_bits.size() != desc.param_len.size() ||
+        desc.param_begin.front() != 0 ||
+        desc.param_begin.back() != desc.param_bits.size()) {
+        return invalidArgument(
+            "cudaGraphInstantiate: inconsistent patched graph arrays");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (desc.param_begin[i + 1] < desc.param_begin[i]) {
+            return invalidArgument(
+                "cudaGraphInstantiate: inconsistent patched graph arrays");
+        }
+    }
+    GraphExec exec;
+    exec.kernels_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto kernel = modules_.kernelAt(desc.node_fn[i]);
+        if (!kernel.isOk()) {
+            return invalidArgument(
+                "cudaGraphInstantiate: node references unknown kernel "
+                "address " +
+                std::to_string(desc.node_fn[i]));
+        }
+        exec.kernels_.push_back(*kernel);
+    }
+    // Re-verify the precomputed execution order instead of re-sorting:
+    // it must be a permutation of the node set that respects every edge.
+    constexpr u32 kUnseen = 0xffffffffu;
+    std::vector<u32> position(n, kUnseen);
+    for (std::size_t step = 0; step < n; ++step) {
+        const NodeId id = desc.order[step];
+        if (id >= n || position[id] != kUnseen) {
+            return invalidArgument(
+                "cudaGraphInstantiate: corrupt execution order");
+        }
+        position[id] = static_cast<u32>(step);
+    }
+    for (const GraphEdge &edge : desc.edges) {
+        if (edge.src >= n || edge.dst >= n ||
+            position[edge.src] >= position[edge.dst]) {
+            return invalidArgument("cudaGraphInstantiate: execution order "
+                                   "violates graph dependencies");
+        }
+    }
+    exec.param_begin_.assign(desc.param_begin.begin(),
+                             desc.param_begin.end());
+    exec.blobs_.resize(desc.param_bits.size());
+    for (std::size_t j = 0; j < desc.param_bits.size(); ++j) {
+        exec.blobs_[j].bits = desc.param_bits[j];
+        exec.blobs_[j].len = desc.param_len[j];
+    }
+    exec.timings_.assign(desc.timing.begin(), desc.timing.end());
+    exec.order_.assign(desc.order.begin(), desc.order.end());
+    clock_->advance(units::usToNs(cost_->graph_instantiate_per_node_us *
+                                  static_cast<f64>(n)));
     if (journal_active_) {
         ++journal_.graphs_instantiated;
     }
@@ -389,9 +485,11 @@ GpuProcess::launchGraph(const GraphExec &exec, Stream &stream)
     ++graph_launches_;
     SimTimeNs gpu_time = 0;
     for (NodeId id : exec.order_) {
-        const auto &node = exec.nodes_.at(id);
-        MEDUSA_RETURN_IF_ERROR(execute(node.kernel, node.params));
-        gpu_time += cost_->kernelExecTime(node.timing,
+        const u32 begin = exec.param_begin_.at(id);
+        const ParamView params(exec.blobs_.data() + begin,
+                               exec.param_begin_.at(id + 1) - begin);
+        MEDUSA_RETURN_IF_ERROR(execute(exec.kernels_.at(id), params));
+        gpu_time += cost_->kernelExecTime(exec.timings_.at(id),
                                           cost_->steady_efficiency) +
                     units::usToNs(cost_->graph_node_dispatch_us);
     }
@@ -463,7 +561,30 @@ GpuProcess::executeKernel(KernelId kernel, const RawParams &params)
 }
 
 Status
-GpuProcess::execute(KernelId kernel, const RawParams &params)
+GpuProcess::executeKernel(KernelId kernel, ParamView params)
+{
+    return execute(kernel, params);
+}
+
+namespace {
+
+inline std::size_t
+paramWidthAt(const RawParams &params, std::size_t i)
+{
+    return params[i].size();
+}
+
+inline std::size_t
+paramWidthAt(ParamView params, std::size_t i)
+{
+    return params.sizeAt(i);
+}
+
+} // namespace
+
+template <typename Params>
+Status
+GpuProcess::executeImpl(KernelId kernel, const Params &params)
 {
     const KernelDef &def = KernelRegistry::instance().def(kernel);
     if (params.size() != def.params.size()) {
@@ -473,7 +594,7 @@ GpuProcess::execute(KernelId kernel, const RawParams &params)
                                std::to_string(params.size()));
     }
     for (std::size_t i = 0; i < params.size(); ++i) {
-        if (params[i].size() != paramKindSize(def.params[i])) {
+        if (paramWidthAt(params, i) != paramKindSize(def.params[i])) {
             return invalidArgument("kernel " + def.mangled_name +
                                    ": param " + std::to_string(i) +
                                    " has wrong size");
@@ -486,6 +607,18 @@ GpuProcess::execute(KernelId kernel, const RawParams &params)
                                      " failed: " + st.message());
     }
     return Status::ok();
+}
+
+Status
+GpuProcess::execute(KernelId kernel, const RawParams &params)
+{
+    return executeImpl(kernel, params);
+}
+
+Status
+GpuProcess::execute(KernelId kernel, ParamView params)
+{
+    return executeImpl(kernel, params);
 }
 
 } // namespace medusa::simcuda

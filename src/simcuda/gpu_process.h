@@ -25,6 +25,7 @@
 #define MEDUSA_SIMCUDA_GPU_PROCESS_H
 
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -126,44 +127,52 @@ class Stream
     std::vector<NodeId> capture_frontier_;
 };
 
-/** An instantiated, ready-to-launch graph (cudaGraphExec_t). */
+/**
+ * An instantiated, ready-to-launch graph (cudaGraphExec_t).
+ *
+ * Stored as a structure of flat arrays — kernel ids, a shared ParamBlob
+ * pool with per-node prefix offsets, timings and the execution order —
+ * rather than per-node objects with heap-allocated byte vectors. The
+ * flat form is what the v6 materialized image can produce directly with
+ * a relocation patch pass, with no per-node reconstruction.
+ */
 class GraphExec
 {
   public:
-    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t nodeCount() const { return kernels_.size(); }
 
     /** The kernel of the i-th node in execution (topological) order. */
     KernelId
     kernelAtStep(std::size_t step) const
     {
-        return nodes_.at(order_.at(step)).kernel;
+        return kernels_.at(order_.at(step));
     }
 
-    /** The raw params of the i-th node in execution order. */
-    const RawParams &
+    /** The flattened params of the i-th node in execution order. */
+    ParamView
     paramsAtStep(std::size_t step) const
     {
-        return nodes_.at(order_.at(step)).params;
+        const NodeId node = order_.at(step);
+        const u32 begin = param_begin_.at(node);
+        return ParamView(blobs_.data() + begin,
+                         param_begin_.at(node + 1) - begin);
     }
 
     /** The timing metadata of the i-th node in execution order. */
     const TimingInfo &
     timingAtStep(std::size_t step) const
     {
-        return nodes_.at(order_.at(step)).timing;
+        return timings_.at(order_.at(step));
     }
 
   private:
     friend class GpuProcess;
 
-    struct ExecNode
-    {
-        KernelId kernel = kInvalidKernel;
-        RawParams params;
-        TimingInfo timing;
-    };
-
-    std::vector<ExecNode> nodes_;
+    std::vector<KernelId> kernels_;
+    /** nodeCount()+1 prefix offsets into blobs_, node-id order. */
+    std::vector<u32> param_begin_;
+    std::vector<ParamBlob> blobs_;
+    std::vector<TimingInfo> timings_;
     /** Execution order (topological). */
     std::vector<NodeId> order_;
 };
@@ -295,6 +304,39 @@ class GpuProcess
     StatusOr<GraphExec> instantiate(const CudaGraph &graph);
 
     /**
+     * One graph of a relocation-patched materialized image: flat node
+     * arrays whose pointer and kernel-address slots have already been
+     * patched in place. Spans borrow the caller's (patched) buffers;
+     * instantiatePatched copies what it keeps.
+     */
+    struct PatchedGraphDesc
+    {
+        /** Patched per-node kernel function addresses, node-id order. */
+        std::span<const KernelAddr> node_fn;
+        /** nodeCount()+1 prefix offsets into param_bits/param_len. */
+        std::span<const u32> param_begin;
+        /** Patched 8-byte parameter value slots. */
+        std::span<const u64> param_bits;
+        /** Byte width of each parameter. */
+        std::span<const u8> param_len;
+        /** Per-node timing metadata, node-id order. */
+        std::span<const TimingInfo> timing;
+        /** Precomputed execution (topological) order. */
+        std::span<const NodeId> order;
+        /** Dependency edges (src < dst), for order validation. */
+        std::span<const GraphEdge> edges;
+    };
+
+    /**
+     * cudaGraphInstantiate from a patched image graph: the same
+     * validation and accounting as instantiate(), but the executable is
+     * assembled by copying flat arrays — no CudaGraph object, no
+     * per-node parameter vectors, no topological sort (the offline
+     * phase precomputed the order; it is re-verified here in O(n+e)).
+     */
+    StatusOr<GraphExec> instantiatePatched(const PatchedGraphDesc &desc);
+
+    /**
      * cudaGraphLaunch: one CPU-side launch, then the whole node set
      * executes on the GPU pipeline of @p stream.
      */
@@ -307,6 +349,9 @@ class GpuProcess
      * provides collective semantics.
      */
     Status executeKernel(KernelId kernel, const RawParams &params);
+
+    /** As above, over a graph's flattened parameter view. */
+    Status executeKernel(KernelId kernel, ParamView params);
 
     // ---- observers & stats -----------------------------------------------
 
@@ -349,6 +394,17 @@ class GpuProcess
      */
     u64 stateFingerprint() const;
 
+    /**
+     * stateFingerprint() minus simulated-time-derived values (stream
+     * GPU-ready timestamps). Two processes with equal logical
+     * fingerprints hold identical memory, module, stream-topology and
+     * counter state but may have reached it on different simulated
+     * clocks — the equality contract for restore paths that produce
+     * the same state faster (the v6 relocation patch vs the graph
+     * rebuild, DESIGN.md §13).
+     */
+    u64 logicalStateFingerprint() const;
+
   private:
     friend class Stream;
 
@@ -358,6 +414,11 @@ class GpuProcess
 
     /** Execute a kernel functionally against device memory. */
     Status execute(KernelId kernel, const RawParams &params);
+    Status execute(KernelId kernel, ParamView params);
+
+    /** Shared validation + decode behind both execute overloads. */
+    template <typename Params>
+    Status executeImpl(KernelId kernel, const Params &params);
 
     SimClock *clock_;
     const CostModel *cost_;

@@ -8,10 +8,16 @@ namespace medusa::simcuda {
 StatusOr<std::vector<NodeId>>
 CudaGraph::topoOrder() const
 {
-    const std::size_t n = nodes_.size();
+    return topoOrderOf(nodes_.size(), edges_);
+}
+
+StatusOr<std::vector<NodeId>>
+topoOrderOf(std::size_t node_count, const std::vector<GraphEdge> &edges)
+{
+    const std::size_t n = node_count;
     std::vector<u32> indegree(n, 0);
     std::vector<std::vector<NodeId>> succ(n);
-    for (const GraphEdge &e : edges_) {
+    for (const GraphEdge &e : edges) {
         if (e.src >= n || e.dst >= n) {
             return invalidArgument("graph edge references unknown node");
         }

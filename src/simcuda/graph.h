@@ -106,6 +106,15 @@ class CudaGraph
     std::vector<GraphEdge> edges_;
 };
 
+/**
+ * Deterministic topological order (Kahn's algorithm, preferring node-id
+ * order) over an explicit edge list. Shared by CudaGraph::topoOrder and
+ * the offline image builder, which precomputes execution orders so the
+ * online patch pass never sorts.
+ */
+StatusOr<std::vector<NodeId>> topoOrderOf(std::size_t node_count,
+                                          const std::vector<GraphEdge> &edges);
+
 } // namespace medusa::simcuda
 
 #endif // MEDUSA_SIMCUDA_GRAPH_H

@@ -59,6 +59,71 @@ paramKindSize(ParamKind kind)
 using RawParams = std::vector<std::vector<u8>>;
 
 /**
+ * One flattened launch parameter: every kernel argument is at most 8
+ * bytes (paramKindSize), so an instantiated graph stores the value
+ * inline instead of as a heap-allocated byte vector. `bits` holds the
+ * little-endian value bytes; only the low `len` bytes are meaningful.
+ */
+struct ParamBlob
+{
+    u64 bits = 0;
+    u8 len = 0;
+};
+
+/** Flatten one raw byte blob (must be <= 8 bytes). */
+inline ParamBlob
+makeParamBlob(const std::vector<u8> &bytes)
+{
+    MEDUSA_CHECK(bytes.size() <= sizeof(u64),
+                 "launch parameter wider than 8 bytes");
+    ParamBlob blob;
+    blob.len = static_cast<u8>(bytes.size());
+    std::memcpy(&blob.bits, bytes.data(), bytes.size());
+    return blob;
+}
+
+/**
+ * Borrowed view of one node's flattened parameters — the contiguous
+ * slice of a GraphExec's (or patched image's) ParamBlob array. Cheap to
+ * copy; valid only while the backing storage lives.
+ */
+class ParamView
+{
+  public:
+    ParamView() = default;
+    ParamView(const ParamBlob *blobs, std::size_t count)
+        : blobs_(blobs), count_(count)
+    {
+    }
+
+    std::size_t size() const { return count_; }
+
+    const ParamBlob &
+    at(std::size_t i) const
+    {
+        MEDUSA_CHECK(i < count_, "param index " << i << " out of range");
+        return blobs_[i];
+    }
+
+    /** Byte width of the i-th parameter. */
+    std::size_t sizeAt(std::size_t i) const { return at(i).len; }
+
+    /** Copy the i-th parameter back out as an owned byte vector. */
+    std::vector<u8>
+    bytesAt(std::size_t i) const
+    {
+        const ParamBlob &blob = at(i);
+        std::vector<u8> bytes(blob.len);
+        std::memcpy(bytes.data(), &blob.bits, blob.len);
+        return bytes;
+    }
+
+  private:
+    const ParamBlob *blobs_ = nullptr;
+    std::size_t count_ = 0;
+};
+
+/**
  * Builds a RawParams blob in call order. The helper is used by the
  * forward-pass builder ("host code"); Medusa never sees the types.
  */
@@ -108,17 +173,25 @@ class ParamsBuilder
 };
 
 /**
- * Typed view over RawParams, decoded according to a kernel's signature.
+ * Typed view over launch parameters, decoded according to a kernel's
+ * signature. Works over either representation: owned byte vectors
+ * (RawParams, the eager-launch path) or flattened inline blobs
+ * (ParamView, the instantiated-graph path).
  */
 class KernelArgs
 {
   public:
     KernelArgs(const RawParams &raw, const std::vector<ParamKind> &kinds)
-        : raw_(raw), kinds_(kinds)
+        : raw_(&raw), kinds_(kinds)
     {
     }
 
-    std::size_t size() const { return raw_.size(); }
+    KernelArgs(ParamView view, const std::vector<ParamKind> &kinds)
+        : view_(view), kinds_(kinds)
+    {
+    }
+
+    std::size_t size() const { return raw_ ? raw_->size() : view_.size(); }
 
     DeviceAddr
     ptrAt(std::size_t i) const
@@ -135,18 +208,25 @@ class KernelArgs
     T
     readAs(std::size_t i, ParamKind kind) const
     {
-        MEDUSA_CHECK(i < raw_.size(), "param index " << i << " out of range");
+        MEDUSA_CHECK(i < size(), "param index " << i << " out of range");
         MEDUSA_CHECK(kinds_.at(i) == kind,
                      "param " << i << " decoded with wrong kind");
-        MEDUSA_CHECK(raw_[i].size() == sizeof(T),
-                     "param " << i << " has " << raw_[i].size()
-                              << " bytes, expected " << sizeof(T));
+        const std::size_t width = raw_ ? (*raw_)[i].size() : view_.sizeAt(i);
+        MEDUSA_CHECK(width == sizeof(T),
+                     "param " << i << " has " << width << " bytes, expected "
+                              << sizeof(T));
         T v;
-        std::memcpy(&v, raw_[i].data(), sizeof(T));
+        if (raw_) {
+            std::memcpy(&v, (*raw_)[i].data(), sizeof(T));
+        } else {
+            const u64 bits = view_.at(i).bits;
+            std::memcpy(&v, &bits, sizeof(T));
+        }
         return v;
     }
 
-    const RawParams &raw_;
+    const RawParams *raw_ = nullptr;
+    ParamView view_;
     const std::vector<ParamKind> &kinds_;
 };
 

@@ -54,7 +54,7 @@ lockstepLaunch(const std::vector<LockstepRank> &ranks,
             const auto &kinds = reg.def(kernel).params;
             i32 count = 0;
             for (std::size_t r = 0; r < ranks.size(); ++r) {
-                const RawParams &params =
+                const ParamView params =
                     ranks[r].exec->paramsAtStep(step);
                 KernelArgs args(params, kinds);
                 if (r == 0) {
@@ -84,7 +84,7 @@ lockstepLaunch(const std::vector<LockstepRank> &ranks,
                 }
             }
             for (std::size_t r = 0; r < ranks.size(); ++r) {
-                const RawParams &params =
+                const ParamView params =
                     ranks[r].exec->paramsAtStep(step);
                 KernelArgs args(params, kinds);
                 MEDUSA_RETURN_IF_ERROR(

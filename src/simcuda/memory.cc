@@ -97,7 +97,12 @@ DeviceMemoryManager::read(DeviceAddr addr, void *dst, u64 n) const
 {
     auto *self = const_cast<DeviceMemoryManager *>(this);
     MEDUSA_ASSIGN_OR_RETURN(auto loc, self->resolve(addr, n));
-    std::memcpy(dst, loc.first->backing.data() + loc.second, n);
+    if (!loc.first->backing.materialized()) {
+        // Untouched backing reads as zeros without materializing.
+        std::memset(dst, 0, n);
+        return Status::ok();
+    }
+    std::memcpy(dst, loc.first->backing.rawData() + loc.second, n);
     return Status::ok();
 }
 
@@ -105,6 +110,9 @@ Status
 DeviceMemoryManager::memset(DeviceAddr addr, u8 value, u64 n)
 {
     MEDUSA_ASSIGN_OR_RETURN(auto loc, resolve(addr, n));
+    if (value == 0 && !loc.first->backing.materialized()) {
+        return Status::ok(); // already all-zero
+    }
     std::memset(loc.first->backing.data() + loc.second, value, n);
     return Status::ok();
 }
@@ -154,8 +162,17 @@ DeviceMemoryManager::stateFingerprint() const
         h = mix(h, base);
         h = mix(h, rec.logical_size);
         h = mix(h, rec.backing.size());
-        for (u8 byte : rec.backing) {
-            h = mix(h, byte);
+        // An unmaterialized store is all zeros by construction; hash the
+        // implicit zeros so the digest is independent of laziness.
+        if (rec.backing.materialized()) {
+            const u8 *bytes = rec.backing.rawData();
+            for (u64 i = 0; i < rec.backing.size(); ++i) {
+                h = mix(h, bytes[i]);
+            }
+        } else {
+            for (u64 i = 0; i < rec.backing.size(); ++i) {
+                h = mix(h, 0);
+            }
         }
     }
     return h;

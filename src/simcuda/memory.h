@@ -21,7 +21,10 @@
 #ifndef MEDUSA_SIMCUDA_MEMORY_H
 #define MEDUSA_SIMCUDA_MEMORY_H
 
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -30,13 +33,102 @@
 
 namespace medusa::simcuda {
 
+/**
+ * Backing byte store for one allocation. Semantically a zero-initialized
+ * u8 array, but the host buffer is only materialized on first access:
+ * a restore replays hundreds of MB of backing that kernels mostly never
+ * touch, and eagerly allocating + clearing it (865 buffers per attempt)
+ * dominated cold-start wall time — mostly as mmap/munmap system time.
+ * Untouched stores report their size and hash as all-zero without ever
+ * allocating.
+ */
+class ZeroBytes
+{
+  public:
+    ZeroBytes() = default;
+    ~ZeroBytes() { std::free(data_); }
+
+    ZeroBytes(const ZeroBytes &other) { copyFrom(other); }
+
+    ZeroBytes &
+    operator=(const ZeroBytes &other)
+    {
+        if (this != &other) {
+            std::free(data_);
+            data_ = nullptr;
+            size_ = 0;
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    ZeroBytes(ZeroBytes &&other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0))
+    {
+    }
+
+    ZeroBytes &
+    operator=(ZeroBytes &&other) noexcept
+    {
+        std::swap(data_, other.data_);
+        std::swap(size_, other.size_);
+        return *this;
+    }
+
+    /** Discard any contents and become @p n zero bytes (lazily). */
+    void
+    assign(u64 n, u8 value)
+    {
+        MEDUSA_CHECK(value == 0, "ZeroBytes only supports zero fill");
+        std::free(data_);
+        data_ = nullptr;
+        size_ = n;
+    }
+
+    /** Materializes the buffer on first call. */
+    u8 *
+    data()
+    {
+        if (data_ == nullptr && size_ > 0) {
+            data_ = static_cast<u8 *>(std::calloc(size_, 1));
+            MEDUSA_CHECK(data_ != nullptr, "host OOM in ZeroBytes");
+        }
+        return data_;
+    }
+
+    u64 size() const { return size_; }
+
+    /** True once a caller has obtained a writable pointer. */
+    bool materialized() const { return data_ != nullptr; }
+
+    /** Read-only view; null for an untouched (all-zero) store. */
+    const u8 *rawData() const { return data_; }
+
+  private:
+    void
+    copyFrom(const ZeroBytes &other)
+    {
+        size_ = other.size_;
+        if (other.data_ == nullptr || other.size_ == 0) {
+            return;
+        }
+        data_ = static_cast<u8 *>(std::malloc(other.size_));
+        MEDUSA_CHECK(data_ != nullptr, "host OOM in ZeroBytes");
+        std::memcpy(data_, other.data_, other.size_);
+    }
+
+    u8 *data_ = nullptr;
+    u64 size_ = 0;
+};
+
 /** One live device allocation. */
 struct AllocationRecord
 {
     DeviceAddr base = 0;
     u64 logical_size = 0;
     /** Functional backing bytes; indexed by (addr - base). */
-    std::vector<u8> backing;
+    ZeroBytes backing;
 };
 
 /**

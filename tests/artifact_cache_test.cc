@@ -8,9 +8,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <span>
 #include <thread>
 
+#include "llm/model_config.h"
 #include "medusa/artifact_cache.h"
+#include "medusa/offline.h"
 
 namespace medusa {
 namespace {
@@ -143,6 +146,64 @@ TEST(ArtifactCache, FailedLoadPropagatesAndRetries)
     ASSERT_TRUE(second.isOk());
     EXPECT_EQ((*second)->model_name, "m");
     EXPECT_EQ(attempts, 2);
+}
+
+TEST(ArtifactCache, NegativeEntryExpiresAfterBackoff)
+{
+    // A failure record is a negative cache entry with TTL = its
+    // backoff deadline. Inside the backoff keyFailure reports the
+    // recorded Status; once the deadline passes it must report ok()
+    // again — serving the stale Status to later single-flight waiters
+    // would claim a failure state that no longer gates anything.
+    ArtifactCache cache(/*capacity=*/8, /*initial_backoff_ms=*/20.0,
+                        /*max_backoff_ms=*/20.0);
+    auto failing = []() -> StatusOr<Artifact> {
+        return internalError("persistent artifact read failure");
+    };
+    ASSERT_FALSE(cache.getOrLoad("k", failing).isOk());
+
+    const Status during = cache.keyFailure("k");
+    ASSERT_FALSE(during.isOk());
+    EXPECT_NE(during.message().find("persistent"), std::string::npos);
+    EXPECT_TRUE(cache.keyFailure("other").isOk());
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(cache.keyFailure("k").isOk())
+        << "negative entry served after its backoff expired";
+}
+
+TEST(ArtifactCache, ImageCacheSharesTheTemplate)
+{
+    // The generalized MaterializationCache must serve v6 images with
+    // the same single-flight / stats behavior (and the same
+    // artifact_cache.* metric names, asserted via stats()).
+    core::ImageCache cache;
+    core::OfflineOptions opts;
+    opts.model = llm::findModel("Qwen1.5-0.5B").value();
+    opts.model.num_layers = 2;
+    opts.pipeline.validate = false;
+    const auto offline = core::materialize(opts);
+    ASSERT_TRUE(offline.isOk()) << offline.status().toString();
+    const std::vector<u8> &bytes = offline->image_bytes;
+
+    int loads = 0;
+    auto loader = [&]() {
+        ++loads;
+        return core::MaterializedImage::openView(
+            std::span<const u8>(bytes));
+    };
+    bool hit = true;
+    auto first = cache.getOrLoad("img", loader, &hit);
+    ASSERT_TRUE(first.isOk()) << first.status().toString();
+    EXPECT_FALSE(hit);
+    auto second = cache.getOrLoad("img", loader, &hit);
+    ASSERT_TRUE(second.isOk());
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(loads, 1);
+    EXPECT_EQ(first->get(), second->get());
+    EXPECT_EQ((*first)->model_name, opts.model.name);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
 }
 
 TEST(ArtifactCache, FailedLoadUnblocksWaitersWhoRetry)

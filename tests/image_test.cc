@@ -1,0 +1,298 @@
+/**
+ * @file
+ * The v6 materialized image (DESIGN.md §13): round-trip from an
+ * artifact, zero-copy open, relocation-patch restore determinism and
+ * fidelity against the v5 graph-rebuild path, v5→v6 migration
+ * byte-identity, and rejection of truncated, bit-flipped and
+ * misaligned buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "common/fault.h"
+#include "llm/engine.h"
+#include "medusa/image.h"
+#include "medusa/offline.h"
+#include "medusa/restore.h"
+
+namespace medusa {
+namespace {
+
+using core::Artifact;
+using core::ImageReadOptions;
+using core::MaterializedImage;
+using core::MedusaEngine;
+using core::OfflineOptions;
+using core::materialize;
+using llm::findModel;
+using llm::ModelConfig;
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m = findModel("Qwen1.5-0.5B").value();
+    m.num_layers = 4;
+    return m;
+}
+
+struct Fixture
+{
+    Artifact artifact;
+    std::vector<u8> image_bytes;
+};
+
+/** One shared offline run for the whole suite. */
+const Fixture &
+shared()
+{
+    static const Fixture f = []() {
+        OfflineOptions opts;
+        opts.model = tinyModel();
+        opts.pipeline.validate = false;
+        auto result = materialize(opts).value();
+        return Fixture{std::move(result.artifact),
+                       std::move(result.image_bytes)};
+    }();
+    return f;
+}
+
+StatusOr<std::unique_ptr<MedusaEngine>>
+patchColdStart(const MaterializedImage &image, u64 aslr_seed = 2)
+{
+    MedusaEngine::Options opts;
+    opts.model = tinyModel();
+    opts.aslr_seed = aslr_seed;
+    return MedusaEngine::coldStartFromImage(opts, image);
+}
+
+// ---- round trip ---------------------------------------------------------
+
+TEST(ImageTest, RoundTripMatchesArtifact)
+{
+    const Fixture &f = shared();
+    auto image =
+        MaterializedImage::openView(std::span<const u8>(f.image_bytes));
+    ASSERT_TRUE(image.isOk()) << image.status().toString();
+
+    EXPECT_EQ(image->model_name, f.artifact.model_name);
+    EXPECT_EQ(image->model_seed, f.artifact.model_seed);
+    EXPECT_EQ(image->free_gpu_memory, f.artifact.free_gpu_memory);
+    EXPECT_EQ(image->ops.size(), f.artifact.ops.size());
+    EXPECT_EQ(image->graphs.size(), f.artifact.graphs.size());
+    EXPECT_EQ(image->total_nodes, f.artifact.totalNodes());
+    EXPECT_EQ(image->permanent.size(), f.artifact.permanent.size());
+    EXPECT_EQ(image->serialized_size, f.image_bytes.size());
+    EXPECT_FALSE(image->kernel_table.empty());
+    EXPECT_FALSE(image->tokenizer_merges.empty());
+    // A real model has pointer params in every graph: the relocation
+    // table cannot be empty, and the slot template must cover every
+    // node's function slot plus every param slot.
+    EXPECT_GT(image->data_relocs.size(), 0u);
+    EXPECT_GT(image->kernel_relocs.size(), 0u);
+    u64 slots = 0;
+    for (const auto &g : image->graphs) {
+        slots += static_cast<u64>(g.node_count) + g.param_len.size();
+        EXPECT_EQ(g.order.size(), g.node_count);
+        EXPECT_EQ(g.param_begin.size(), g.node_count + 1u);
+    }
+    EXPECT_EQ(image->patch_template.size(), slots);
+}
+
+TEST(ImageTest, OwningOpenEqualsView)
+{
+    const Fixture &f = shared();
+    std::vector<u8> copy = f.image_bytes;
+    auto owned = MaterializedImage::open(std::move(copy));
+    ASSERT_TRUE(owned.isOk()) << owned.status().toString();
+    EXPECT_EQ(owned->model_name, f.artifact.model_name);
+    EXPECT_EQ(owned->total_nodes, f.artifact.totalNodes());
+
+    // Moving the image must keep its spans valid (they point into the
+    // adopted buffer, whose heap allocation is move-stable).
+    MaterializedImage moved = std::move(*owned);
+    EXPECT_EQ(moved.total_nodes, f.artifact.totalNodes());
+    EXPECT_FALSE(moved.patch_template.empty());
+}
+
+// ---- relocation-patch restore: determinism + fidelity -------------------
+
+TEST(ImageTest, PatchRestoreIsDeterministic)
+{
+    const Fixture &f = shared();
+    auto image =
+        MaterializedImage::openView(std::span<const u8>(f.image_bytes));
+    ASSERT_TRUE(image.isOk());
+
+    auto first = patchColdStart(*image, 77);
+    auto second = patchColdStart(*image, 77);
+    ASSERT_TRUE(first.isOk()) << first.status().toString();
+    ASSERT_TRUE(second.isOk()) << second.status().toString();
+
+    EXPECT_EQ((*first)->runtime().process().stateFingerprint(),
+              (*second)->runtime().process().stateFingerprint());
+    EXPECT_EQ((*first)->runtime().allocator().stateFingerprint(),
+              (*second)->runtime().allocator().stateFingerprint());
+    EXPECT_EQ((*first)->report().relocations_applied,
+              (*second)->report().relocations_applied);
+    EXPECT_EQ((*first)->report().graphs_patched,
+              (*second)->report().graphs_patched);
+}
+
+TEST(ImageTest, PatchRestoreFingerprintAndLogitsMatchRebuildPath)
+{
+    const Fixture &f = shared();
+    auto image =
+        MaterializedImage::openView(std::span<const u8>(f.image_bytes));
+    ASSERT_TRUE(image.isOk());
+
+    constexpr u64 kSeed = 99;
+    MedusaEngine::Options opts;
+    opts.model = tinyModel();
+    opts.aslr_seed = kSeed;
+    auto rebuild = MedusaEngine::coldStart(opts, f.artifact);
+    auto patch = patchColdStart(*image, kSeed);
+    ASSERT_TRUE(rebuild.isOk()) << rebuild.status().toString();
+    ASSERT_TRUE(patch.isOk()) << patch.status().toString();
+
+    llm::ModelRuntime &a = (*rebuild)->runtime();
+    llm::ModelRuntime &b = (*patch)->runtime();
+    // Identical logical state: memory, modules, allocator and launch
+    // counters. The full fingerprint is excluded on purpose — it hashes
+    // stream completion times, and the patch path legitimately lands at
+    // an earlier simulated clock (that is the whole point).
+    EXPECT_EQ(a.process().logicalStateFingerprint(),
+              b.process().logicalStateFingerprint());
+    EXPECT_EQ(a.process().memory().stateFingerprint(),
+              b.process().memory().stateFingerprint());
+    EXPECT_EQ(a.process().modules().stateFingerprint(),
+              b.process().modules().stateFingerprint());
+    EXPECT_EQ(a.allocator().stateFingerprint(),
+              b.allocator().stateFingerprint());
+    EXPECT_LT(b.clock().nowSec(), a.clock().nowSec());
+
+    // The patch report counts per-unique-kernel resolution and
+    // relocations instead of per-node rebuild work.
+    const core::RestoreReport &pr = (*patch)->report();
+    EXPECT_EQ(pr.graphs_patched, f.artifact.graphs.size());
+    EXPECT_EQ(pr.nodes_restored, f.artifact.totalNodes());
+    EXPECT_GT(pr.relocations_applied, 0u);
+    EXPECT_GT(pr.kernels_resolved, 0u);
+
+    for (u32 bs : {1u, 4u}) {
+        ASSERT_TRUE(a.stageValidationState(bs).isOk());
+        ASSERT_TRUE(b.stageValidationState(bs).isOk());
+        auto la = a.graphDecodeLogits(bs);
+        auto lb = b.graphDecodeLogits(bs);
+        ASSERT_TRUE(la.isOk());
+        ASSERT_TRUE(lb.isOk());
+        EXPECT_EQ(*la, *lb) << "bs=" << bs; // bit-identical
+    }
+}
+
+// ---- v5 -> v6 migration -------------------------------------------------
+
+TEST(ImageTest, MigrationFromSerializedV5IsByteIdentical)
+{
+    const Fixture &f = shared();
+    auto image =
+        MaterializedImage::openView(std::span<const u8>(f.image_bytes));
+    ASSERT_TRUE(image.isOk());
+
+    // v5 round trip, then flatten the deserialized artifact: the image
+    // must come out byte-identical to the one the offline phase
+    // emitted from the in-memory artifact.
+    const std::vector<u8> v5 = f.artifact.serialize();
+    auto artifact = Artifact::deserialize(v5);
+    ASSERT_TRUE(artifact.isOk()) << artifact.status().toString();
+    auto migrated =
+        core::buildImageBytes(*artifact, image->tokenizer_merges);
+    ASSERT_TRUE(migrated.isOk()) << migrated.status().toString();
+    EXPECT_EQ(*migrated, f.image_bytes);
+}
+
+// ---- corruption rejection -----------------------------------------------
+
+TEST(ImageTest, TruncationAnywhereFails)
+{
+    const Fixture &f = shared();
+    for (std::size_t keep :
+         {std::size_t{0}, std::size_t{8}, std::size_t{23},
+          std::size_t{200}, f.image_bytes.size() / 2,
+          f.image_bytes.size() - 1}) {
+        std::vector<u8> cut(f.image_bytes.begin(),
+                            f.image_bytes.begin() +
+                                static_cast<std::ptrdiff_t>(keep));
+        auto image =
+            MaterializedImage::openView(std::span<const u8>(cut));
+        EXPECT_FALSE(image.isOk()) << "kept " << keep << " bytes";
+    }
+}
+
+TEST(ImageTest, BitFlipAnywhereFailsCrc)
+{
+    const Fixture &f = shared();
+    const std::size_t header = 24;
+    for (std::size_t pos :
+         {header, header + 1000, f.image_bytes.size() / 2,
+          f.image_bytes.size() - 1}) {
+        std::vector<u8> corrupt = f.image_bytes;
+        corrupt[pos] ^= 0x40;
+        auto image =
+            MaterializedImage::openView(std::span<const u8>(corrupt));
+        ASSERT_FALSE(image.isOk()) << "flipped byte " << pos;
+        EXPECT_EQ(image.status().code(), StatusCode::kInternal)
+            << image.status().toString();
+        EXPECT_NE(image.status().message().find("CRC32"),
+                  std::string::npos);
+    }
+}
+
+TEST(ImageTest, MagicAndVersionMismatchRejected)
+{
+    const Fixture &f = shared();
+    std::vector<u8> wrong_magic = f.image_bytes;
+    wrong_magic[0] ^= 0xff;
+    auto a =
+        MaterializedImage::openView(std::span<const u8>(wrong_magic));
+    ASSERT_FALSE(a.isOk());
+    EXPECT_NE(a.status().message().find("magic"), std::string::npos);
+
+    std::vector<u8> wrong_version = f.image_bytes;
+    wrong_version[4] ^= 0x01;
+    auto b =
+        MaterializedImage::openView(std::span<const u8>(wrong_version));
+    ASSERT_FALSE(b.isOk());
+    EXPECT_NE(b.status().message().find("version"), std::string::npos);
+}
+
+TEST(ImageTest, MisalignedBufferRejected)
+{
+    const Fixture &f = shared();
+    std::vector<u8> shifted(f.image_bytes.size() + 1);
+    std::copy(f.image_bytes.begin(), f.image_bytes.end(),
+              shifted.begin() + 1);
+    auto image = MaterializedImage::openView(
+        std::span<const u8>(shifted.data() + 1, f.image_bytes.size()));
+    ASSERT_FALSE(image.isOk());
+    EXPECT_EQ(image.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ImageTest, OpenFaultInjectable)
+{
+    const Fixture &f = shared();
+    auto plan = FaultPlan::fromSpec("image_open");
+    ASSERT_TRUE(plan.isOk());
+    FaultInjector injector(*plan);
+    ImageReadOptions opts;
+    opts.fault = &injector;
+    auto image = MaterializedImage::openView(
+        std::span<const u8>(f.image_bytes), opts);
+    ASSERT_FALSE(image.isOk());
+    EXPECT_EQ(image.status().code(), StatusCode::kFaultInjected);
+}
+
+} // namespace
+} // namespace medusa

@@ -15,6 +15,7 @@
 #include <span>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "llm/engine.h"
 #include "medusa/offline.h"
@@ -271,6 +272,61 @@ TEST(RestoreParallel, ConcurrentColdStartsShareOneArtifact)
         expectSameReport((*results[0])->report(),
                          (*results[i])->report());
     }
+}
+
+// ---- phase-2 failure propagation (the cancellation contract) ------------
+
+TEST(RestoreParallel, GraphBuildFaultPropagatesUnderParallelPool)
+{
+    // A graph build failing mid-phase-2 must cancel the outstanding
+    // pool tasks (they no-op after the cancel flag flips), join the
+    // pool, and surface the injected error — not deadlock, not crash,
+    // not report partial success. Run under MEDUSA_TSAN to check the
+    // cancel flag's acquire/release pairing.
+    auto plan = FaultPlan::fromSpec("graph_build@3");
+    ASSERT_TRUE(plan.isOk());
+    FaultInjector injector(*plan);
+
+    MedusaEngine::Options opts;
+    opts.model = tinyModel();
+    opts.restore.restore_threads = 4;
+    opts.restore.pipeline.fault = &injector;
+    opts.restore.fallback.mode = core::FallbackMode::kFail;
+    auto engine = MedusaEngine::coldStart(opts, sharedArtifact());
+    ASSERT_FALSE(engine.isOk());
+    EXPECT_EQ(engine.status().code(), StatusCode::kFaultInjected);
+}
+
+TEST(RestoreParallel, GraphBuildFaultRetrySucceedsDeterministically)
+{
+    // The fault fires exactly once (hit 3); the retry's rebuild runs
+    // clean on the rolled-back process and must land bit-identical to
+    // an engine that never saw the fault.
+    auto plan = FaultPlan::fromSpec("graph_build@3x1");
+    ASSERT_TRUE(plan.isOk());
+    FaultInjector injector(*plan);
+
+    MedusaEngine::Options opts;
+    opts.model = tinyModel();
+    opts.restore.restore_threads = 4;
+    opts.restore.pipeline.fault = &injector;
+    opts.restore.fallback.mode = core::FallbackMode::kRetryThenVanilla;
+    auto retried = MedusaEngine::coldStart(opts, sharedArtifact());
+    ASSERT_TRUE(retried.isOk()) << retried.status().toString();
+    EXPECT_FALSE((*retried)->report().fallback_vanilla);
+    EXPECT_EQ((*retried)->report().restore_failures, 1u);
+
+    auto clean = coldStartWithThreads(4);
+    ASSERT_TRUE(clean.isOk());
+    // Logical fingerprint: the retried engine's clock is legitimately
+    // ahead by the wasted attempt and the backoff pause.
+    EXPECT_EQ(
+        (*retried)->runtime().process().logicalStateFingerprint(),
+        (*clean)->runtime().process().logicalStateFingerprint());
+    EXPECT_EQ((*retried)->report().graphs_restored,
+              (*clean)->report().graphs_restored);
+    EXPECT_EQ((*retried)->report().nodes_restored,
+              (*clean)->report().nodes_restored);
 }
 
 } // namespace

@@ -195,6 +195,117 @@ TEST(RollbackTest, FallbackLogitsIdenticalToNeverRestoredEngine)
     }
 }
 
+// ---- torn-patch rollback (v6 relocation path) ---------------------------
+
+/** The tiny model's serialized v6 image (one shared offline run). */
+const std::vector<u8> &
+tinyImageBytes()
+{
+    static const std::vector<u8> bytes = []() {
+        OfflineOptions opts;
+        opts.model = tinyModel();
+        opts.pipeline.validate = false;
+        return std::move(materialize(opts).value().image_bytes);
+    }();
+    return bytes;
+}
+
+TEST(RollbackTest, TornPatchRollsBackAndFallsBackVanilla)
+{
+    // Every patch pass tears mid-relocation-batch; the transactional
+    // loop must roll the process back and degrade to the vanilla cold
+    // start, landing bit-identical to a never-restored engine.
+    auto plan = FaultPlan::fromSpec("image_patch");
+    ASSERT_TRUE(plan.isOk());
+    FaultInjector injector(*plan);
+    auto image = core::MaterializedImage::openView(
+        std::span<const u8>(tinyImageBytes()));
+    ASSERT_TRUE(image.isOk()) << image.status().toString();
+
+    constexpr u64 kSeed = 6161;
+    MedusaEngine::Options eopts;
+    eopts.model = tinyModel();
+    eopts.aslr_seed = kSeed;
+    eopts.restore.pipeline.fault = &injector;
+    eopts.restore.fallback.mode = FallbackMode::kVanillaColdStart;
+    auto degraded = MedusaEngine::coldStartFromImage(eopts, *image);
+    ASSERT_TRUE(degraded.isOk()) << degraded.status().toString();
+    ASSERT_TRUE((*degraded)->report().fallback_vanilla);
+    const ColdStartReport &cs = (*degraded)->coldStartReport();
+    EXPECT_EQ(cs.outcome, ColdStartOutcome::kFellBack);
+    EXPECT_TRUE(cs.hasSpan("restore.rollback"));
+    EXPECT_TRUE(cs.hasSpan("fallback.vanilla_cold_start"));
+
+    llm::BaselineEngine::Options bopts;
+    bopts.model = eopts.model;
+    bopts.strategy = llm::Strategy::kVllm;
+    bopts.aslr_seed = kSeed;
+    auto baseline = llm::BaselineEngine::coldStart(bopts);
+    ASSERT_TRUE(baseline.isOk()) << baseline.status().toString();
+    EXPECT_EQ(
+        (*degraded)->runtime().process().memory().stateFingerprint(),
+        (*baseline)->runtime().process().memory().stateFingerprint());
+    EXPECT_EQ(
+        (*degraded)->runtime().process().modules().stateFingerprint(),
+        (*baseline)->runtime().process().modules().stateFingerprint());
+    for (u32 bs : {1u, 4u}) {
+        ASSERT_TRUE(
+            (*degraded)->runtime().stageValidationState(bs).isOk());
+        ASSERT_TRUE(
+            (*baseline)->runtime().stageValidationState(bs).isOk());
+        auto a = (*degraded)->runtime().eagerDecodeLogits(bs);
+        auto b = (*baseline)->runtime().eagerDecodeLogits(bs);
+        ASSERT_TRUE(a.isOk());
+        ASSERT_TRUE(b.isOk());
+        EXPECT_EQ(*a, *b) << "bs=" << bs; // bit-identical
+    }
+}
+
+TEST(RollbackTest, TornPatchRetryRestoresWithFullFidelity)
+{
+    // The patch tears once, the attempt rolls back, and the retry's
+    // clean patch pass must land on exactly the state a never-faulted
+    // patch restore produces — fingerprints and decoded logits.
+    auto plan = FaultPlan::fromSpec("image_patch@1x1");
+    ASSERT_TRUE(plan.isOk());
+    FaultInjector injector(*plan);
+    auto image = core::MaterializedImage::openView(
+        std::span<const u8>(tinyImageBytes()));
+    ASSERT_TRUE(image.isOk());
+
+    constexpr u64 kSeed = 6262;
+    MedusaEngine::Options eopts;
+    eopts.model = tinyModel();
+    eopts.aslr_seed = kSeed;
+    eopts.restore.pipeline.fault = &injector;
+    eopts.restore.fallback.mode = FallbackMode::kRetryThenVanilla;
+    auto retried = MedusaEngine::coldStartFromImage(eopts, *image);
+    ASSERT_TRUE(retried.isOk()) << retried.status().toString();
+    EXPECT_FALSE((*retried)->report().fallback_vanilla);
+    EXPECT_EQ((*retried)->report().restore_failures, 1u);
+    EXPECT_GT((*retried)->report().relocations_applied, 0u);
+
+    MedusaEngine::Options clean_opts;
+    clean_opts.model = tinyModel();
+    clean_opts.aslr_seed = kSeed;
+    auto clean = MedusaEngine::coldStartFromImage(clean_opts, *image);
+    ASSERT_TRUE(clean.isOk());
+    // Logical fingerprint: the retried clock is ahead by the wasted
+    // attempt and backoff, which is not a fidelity difference.
+    EXPECT_EQ(
+        (*retried)->runtime().process().logicalStateFingerprint(),
+        (*clean)->runtime().process().logicalStateFingerprint());
+    EXPECT_EQ((*retried)->runtime().allocator().stateFingerprint(),
+              (*clean)->runtime().allocator().stateFingerprint());
+    ASSERT_TRUE((*retried)->runtime().stageValidationState(1).isOk());
+    ASSERT_TRUE((*clean)->runtime().stageValidationState(1).isOk());
+    auto a = (*retried)->runtime().graphDecodeLogits(1);
+    auto b = (*clean)->runtime().graphDecodeLogits(1);
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(*a, *b);
+}
+
 // ---- leaked-graph regression (failed instantiation batches) -------------
 
 TEST(RollbackTest, FailedInstantiationBatchLeaksNoSlots)

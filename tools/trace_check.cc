@@ -4,7 +4,9 @@
  * can gate on them (scripts/check.sh's trace smoke step).
  *
  * Modes:
- *   trace_check --chrome FILE    Chrome trace_event export
+ *   trace_check --chrome FILE [--expect SPAN]...
+ *                                Chrome trace_event export; each
+ *                                --expect names a span that must appear
  *   trace_check --metrics FILE   flat metrics export
  *   trace_check --lint FILE      medusa_lint --json report
  *
@@ -319,7 +321,8 @@ schemaVersionIs(const JsonValue &obj, double expected)
 }
 
 int
-checkChrome(const JsonValue &root)
+checkChrome(const JsonValue &root,
+            const std::vector<std::string> &expected_spans)
 {
     if (root.kind != JsonValue::Kind::kObject) {
         return violation("chrome trace: top level must be an object");
@@ -364,6 +367,27 @@ checkChrome(const JsonValue &root)
                 return violation(
                     "chrome trace: complete event needs dur >= 0");
             }
+        }
+    }
+    // --expect NAME: the named span must appear at least once. CI uses
+    // this to pin the restore taxonomy (e.g. the v6 patch-pass spans) —
+    // a renamed or dropped span fails the gate instead of silently
+    // vanishing from dashboards.
+    for (const std::string &want : expected_spans) {
+        bool found = false;
+        for (const JsonValue &ev : events->array) {
+            const JsonValue *name = ev.find("name");
+            if (name != nullptr && name->string == want) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "trace_check: expected span \"%s\" absent "
+                         "from trace\n",
+                         want.c_str());
+            return 1;
         }
     }
     std::printf("trace_check: chrome trace OK (%zu events)\n",
@@ -435,7 +459,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: trace_check --chrome|--metrics|--lint FILE\n");
+                 "usage: trace_check --chrome|--metrics|--lint FILE "
+                 "[--expect SPAN]...\n");
     return 2;
 }
 
@@ -444,13 +469,27 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc != 3) {
+    if (argc < 3) {
         return usage();
     }
     const std::string mode = argv[1];
-    std::ifstream in(argv[2], std::ios::binary);
+    const char *path = argv[2];
+    std::vector<std::string> expected_spans;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
+            expected_spans.emplace_back(argv[++i]);
+            continue;
+        }
+        return usage();
+    }
+    if (!expected_spans.empty() && mode != "--chrome") {
+        std::fprintf(stderr,
+                     "trace_check: --expect only applies to --chrome\n");
+        return 2;
+    }
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
-        std::fprintf(stderr, "trace_check: cannot open %s\n", argv[2]);
+        std::fprintf(stderr, "trace_check: cannot open %s\n", path);
         return 2;
     }
     std::ostringstream buf;
@@ -461,11 +500,11 @@ main(int argc, char **argv)
     JsonParser parser(text);
     if (!parser.parse(root)) {
         std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n",
-                     argv[2], parser.error().c_str());
+                     path, parser.error().c_str());
         return 1;
     }
     if (mode == "--chrome") {
-        return checkChrome(root);
+        return checkChrome(root, expected_spans);
     }
     if (mode == "--metrics") {
         return checkMetrics(root);
