@@ -54,8 +54,21 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // The v6 relocation image rides along: it is what the online patch
+    // path opens (and what `medusa_lint --image` verifies).
+    const std::string image_path = path + ".mdsi";
+    if (Status st = writeFile(image_path, result->image_bytes);
+        !st.isOk()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", image_path.c_str(),
+                     st.toString().c_str());
+        return 1;
+    }
+
     std::printf("\nwrote %s (%.2f MiB)\n", path.c_str(),
                 static_cast<f64>(bytes.size()) /
+                    static_cast<f64>(units::MiB));
+    std::printf("wrote %s (%.2f MiB v6 image)\n", image_path.c_str(),
+                static_cast<f64>(result->image_bytes.size()) /
                     static_cast<f64>(units::MiB));
     std::printf("offline phase:    %.1f virtual s (capturing %.1f, "
                 "analysis %.1f)\n",

@@ -125,6 +125,34 @@ else
     fail "bench_restore_parallel / trace_check binaries missing"
 fi
 
+note "lint-images: verify every materialized v6 image in the build tree"
+if [ -x "$BUILD/tools/medusa_lint" ] && [ -x "$BUILD/tools/trace_check" ]
+then
+    IMAGES=$(find "$BUILD" -name '*.mdsi' 2>/dev/null)
+    if [ -z "$IMAGES" ]; then
+        fail "smoke runs produced no .mdsi image to verify"
+    else
+        for IMG in $IMAGES; do
+            # --max-severity info: a shipped image must be clean even of
+            # warnings, with every MDL8xx determinism rule silent.
+            if ! "$BUILD/tools/medusa_lint" --image --max-severity info \
+                    "$IMG" >/dev/null; then
+                fail "medusa_lint --image rejected $IMG"
+                "$BUILD/tools/medusa_lint" --image "$IMG" || true
+            fi
+        done
+        FIRST=$(printf '%s\n' "$IMAGES" | head -n 1)
+        if ! "$BUILD/tools/medusa_lint" --image --sarif "$FIRST" \
+                > "$BUILD/check-lint.sarif" ||
+           ! "$BUILD/tools/trace_check" --sarif "$BUILD/check-lint.sarif"
+        then
+            fail "medusa_lint --sarif failed schema validation"
+        fi
+    fi
+else
+    fail "medusa_lint / trace_check binaries missing"
+fi
+
 note "fault-injected tier-1 suite under ASan (fixed fault seed)"
 # An enabled-but-never-firing env plan keeps every MEDUSA_FAULT_POINT
 # hook live through the whole suite: the sanitized tier-1 run must

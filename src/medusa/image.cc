@@ -1,9 +1,15 @@
 #include "medusa/image.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 
 #include "common/crc32.h"
+#include "medusa/lint/lint.h"
 
 namespace medusa::core {
 
@@ -103,7 +109,8 @@ struct GraphMeta
 
 StatusOr<std::vector<u8>>
 buildImageBytes(const Artifact &artifact,
-                const std::vector<std::pair<i32, i32>> &tokenizer_merges)
+                const std::vector<std::pair<i32, i32>> &tokenizer_merges,
+                const ImageBuildOptions &options)
 {
     // ---- flatten the blueprints into SoA columns + patch template ----
     std::vector<MaterializedImage::KernelEntry> kernel_table;
@@ -279,6 +286,19 @@ buildImageBytes(const Artifact &artifact,
     out.reserve(MaterializedImage::kHeaderBytes + payload.size());
     out.insert(out.end(), header.bytes().begin(), header.bytes().end());
     out.insert(out.end(), payload.begin(), payload.end());
+
+    // Post-emission gate: prove the bytes we are about to ship verify
+    // clean before anyone can cache or restore them.
+    if (options.lint) {
+        lint::LintOptions lopts;
+        lopts.trace = options.trace;
+        const lint::LintReport report =
+            lint::lintImageBytes(std::span<const u8>(out), lopts);
+        if (!report.replaySafe()) {
+            return validationFailure("emitted image failed lint: " +
+                                     report.firstError());
+        }
+    }
     return out;
 }
 
@@ -486,24 +506,29 @@ MaterializedImage::openView(std::span<const u8> bytes,
     if (slot_cursor != slot_count) {
         return internalError("image slot layout is inconsistent");
     }
+    img.payload_decoded_bytes = r.position();
 
     // Relocations are applied with unchecked indexing on the hot path;
-    // reject out-of-bounds records once, here.
-    u64 alloc_count = 0;
-    for (const AllocOp &op : img.ops) {
-        if (op.kind == AllocOp::kAlloc) {
-            ++alloc_count;
+    // reject out-of-bounds records once, here. medusa-lint disables
+    // this to diagnose a corrupt table record-by-record instead.
+    if (options.validate_relocations) {
+        u64 alloc_count = 0;
+        for (const AllocOp &op : img.ops) {
+            if (op.kind == AllocOp::kAlloc) {
+                ++alloc_count;
+            }
         }
-    }
-    for (const DataReloc &rel : img.data_relocs) {
-        if (rel.slot >= slot_count || rel.alloc_index >= alloc_count) {
-            return internalError("image data relocation out of bounds");
+        for (const DataReloc &rel : img.data_relocs) {
+            if (rel.slot >= slot_count || rel.alloc_index >= alloc_count) {
+                return internalError("image data relocation out of bounds");
+            }
         }
-    }
-    for (const KernelReloc &rel : img.kernel_relocs) {
-        if (rel.slot >= slot_count ||
-            rel.kernel_index >= img.kernel_table.size()) {
-            return internalError("image kernel relocation out of bounds");
+        for (const KernelReloc &rel : img.kernel_relocs) {
+            if (rel.slot >= slot_count ||
+                rel.kernel_index >= img.kernel_table.size()) {
+                return internalError(
+                    "image kernel relocation out of bounds");
+            }
         }
     }
     return img;
@@ -523,6 +548,49 @@ MaterializedImage::open(std::vector<u8> bytes,
     MaterializedImage out = std::move(img).value();
     out.owned_ = std::move(adopted);
     return out;
+}
+
+StatusOr<MaterializedImage>
+MaterializedImage::openFile(const std::string &path,
+                            const ImageReadOptions &options)
+{
+    if (options.use_mmap) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            struct stat st = {};
+            if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+                const auto size = static_cast<std::size_t>(st.st_size);
+                void *map =
+                    ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+                // The descriptor is not needed once mapped (POSIX keeps
+                // the mapping alive independently).
+                ::close(fd);
+                if (map != MAP_FAILED) {
+                    std::shared_ptr<const void> holder(
+                        map, [size](const void *p) {
+                            ::munmap(const_cast<void *>(p), size);
+                        });
+                    auto img = openView(
+                        std::span<const u8>(
+                            static_cast<const u8 *>(map), size),
+                        options);
+                    if (!img.isOk()) {
+                        return img.status();
+                    }
+                    MaterializedImage out = std::move(img).value();
+                    out.mapping_ = std::move(holder);
+                    return out;
+                }
+            } else {
+                ::close(fd);
+            }
+        }
+        // Fall through to the read-based path: a filesystem without
+        // mmap support (or an unreadable stat) should not change the
+        // caller-visible contract, only the backing.
+    }
+    MEDUSA_ASSIGN_OR_RETURN(std::vector<u8> bytes, readFile(path));
+    return open(std::move(bytes), options);
 }
 
 } // namespace medusa::core

@@ -38,6 +38,7 @@
 #define MEDUSA_MEDUSA_IMAGE_H
 
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -53,11 +54,25 @@
 
 namespace medusa::core {
 
+class Recorder; // record.h; only needed by the emission lint gate
+
 /** Options for opening a serialized image. */
 struct ImageReadOptions
 {
     /** Verify the whole-image CRC32 (covers everything after header). */
     bool verify_crc = true;
+    /**
+     * Reject out-of-bounds relocation records at open time (the patch
+     * pass indexes them unchecked). medusa-lint opens with this off so
+     * a corrupt relocation table decodes far enough to be diagnosed
+     * precisely (MDL701/MDL703) instead of as a generic open failure.
+     */
+    bool validate_relocations = true;
+    /**
+     * openFile(): map the file read-only instead of reading it into
+     * memory. Falls back to the read path when mapping fails.
+     */
+    bool use_mmap = true;
     /** Inject FaultPoint::kImageOpen before decoding, when set. */
     FaultInjector *fault = nullptr;
     TraceRecorder *trace = nullptr;
@@ -159,6 +174,12 @@ class MaterializedImage
 
     /** Size of the serialized image (for read-bandwidth charging). */
     u64 serialized_size = 0;
+    /**
+     * Bytes of the payload the decoder actually consumed. Trailing
+     * payload bytes beyond this are CRC-covered but semantically dead —
+     * medusa-lint flags the gap (MDL708).
+     */
+    u64 payload_decoded_bytes = 0;
 
     /**
      * Open an image over caller-owned bytes (zero-copy; the caller
@@ -173,6 +194,19 @@ class MaterializedImage
     static StatusOr<MaterializedImage>
     open(std::vector<u8> bytes, const ImageReadOptions &options = {});
 
+    /**
+     * Open an image file. With options.use_mmap (the default) the file
+     * is mapped read-only and the image views the mapping in place — the
+     * kernel pages graph columns in on first touch, which is what makes
+     * a multi-model image cache cheap to hold open. Falls back to the
+     * read-based path (open) when mapping is unavailable.
+     */
+    static StatusOr<MaterializedImage>
+    openFile(const std::string &path, const ImageReadOptions &options = {});
+
+    /** True when the backing bytes are a live file mapping. */
+    bool isMapped() const { return mapping_ != nullptr; }
+
     // Spans point into owned_; copying would leave them dangling, and
     // moving a vector keeps its heap buffer stable, so moves are safe.
     MaterializedImage() = default;
@@ -184,6 +218,23 @@ class MaterializedImage
   private:
     /** Backing bytes when opened via open(); empty for openView(). */
     std::vector<u8> owned_;
+    /** Backing mapping when opened via openFile() with mmap. */
+    std::shared_ptr<const void> mapping_;
+};
+
+/** Options for the offline image emission. */
+struct ImageBuildOptions
+{
+    /**
+     * Post-emission verification gate: decode the freshly emitted bytes
+     * and run the MDL7xx/MDL8xx image rules over them; emission fails
+     * on any error-severity finding. This is the producer-side twin of
+     * the pre-restore gate — a defect is cheapest to reject before the
+     * image is ever shipped.
+     */
+    bool lint = false;
+    /** Raw offline trace, forwarded to the lint gate when set. */
+    const Recorder *trace = nullptr;
 };
 
 /**
@@ -196,7 +247,8 @@ class MaterializedImage
  */
 StatusOr<std::vector<u8>>
 buildImageBytes(const Artifact &artifact,
-                const std::vector<std::pair<i32, i32>> &tokenizer_merges);
+                const std::vector<std::pair<i32, i32>> &tokenizer_merges,
+                const ImageBuildOptions &options = {});
 
 } // namespace medusa::core
 

@@ -27,7 +27,23 @@
  *            figure must be reproducible from the allocation sequence
  *            within the device memory model,
  *  - MDL6xx  cross-rank tensor-parallel consistency (topology, batch
- *            sets, collective-kernel ordering).
+ *            sets, collective-kernel ordering),
+ *  - MDL7xx  v6 relocation-image verification (DESIGN.md §14):
+ *            relocation bounds/liveness against the replayed allocation
+ *            table and kernel name table, duplicate patch targets,
+ *            first-occurrence kernel-table ordering, and the coverage
+ *            proof — every run-specific address slot of the patch
+ *            template must be covered by exactly one relocation
+ *            (Figure 6's failure mode at the image layer: an uncovered
+ *            slot replays a capture-time address verbatim),
+ *  - MDL8xx  determinism / race analysis over captured graphs: the
+ *            capture's stream/event edges form the happens-before
+ *            relation; unordered node pairs touching one buffer with a
+ *            write are capture-order-dependent (write-write MDL801,
+ *            read-write MDL802), and alloc/free ops interleaving a
+ *            capture window make the replayed allocation order
+ *            data-dependent (MDL803, the MoE conditional-kernel
+ *            hazard).
  *
  * Severity: kError rules make instantiation unsafe (replay would fault
  * or corrupt); kWarning rules flag suspicious-but-possibly-benign
@@ -38,6 +54,7 @@
 #ifndef MEDUSA_MEDUSA_LINT_LINT_H
 #define MEDUSA_MEDUSA_LINT_LINT_H
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,7 +64,8 @@
 
 namespace medusa::core {
 
-class Recorder; // record.h; only needed for trace-exact liveness
+class Recorder;          // record.h; only needed for trace-exact liveness
+class MaterializedImage; // image.h; subject of the MDL7xx rules
 
 namespace lint {
 
@@ -101,6 +119,14 @@ struct LintOptions
     /** Module whose kernels are collectives (MDL604 ordering). */
     std::string collective_module = "libsimnccl.so";
     /**
+     * Device the image was captured on. The MDL705 coverage heuristic
+     * classifies an 8-byte prefilled constant as a leaked capture-time
+     * pointer only when its value falls inside THIS device's VA window
+     * — tagged constants that merely look pointer-shaped (e.g. stream
+     * tags in another window) stay silent.
+     */
+    u32 device_index = 0;
+    /**
      * Optional raw offline recorder trace. When present, MDL202 uses
      * each captured launch's exact trace position instead of the
      * per-graph inferred lower bound, and MDL4xx can verify pointer
@@ -125,6 +151,12 @@ struct LintReport
     std::string toText() const;
     /** Render as a JSON object for tooling. */
     std::string toJson() const;
+    /**
+     * Render as a SARIF 2.1.0 log (one run, driver "medusa-lint") for
+     * code-scanning ingestion. Diagnostic locations map to SARIF
+     * logical locations; rule metadata comes from the rule catalog.
+     */
+    std::string toSarif() const;
     /** The first error's "rule location: message", or "". */
     std::string firstError() const;
 
@@ -142,6 +174,27 @@ LintReport lintArtifact(const Artifact &artifact,
  */
 LintReport lintTpArtifacts(const std::vector<Artifact> &rank_artifacts,
                            const LintOptions &options = {});
+
+/**
+ * Run the image rule families (MDL7xx structural + coverage proof,
+ * MDL8xx determinism) over a decoded v6 image. When options.trace is
+ * set, MDL803 additionally checks the raw capture trace for
+ * allocation-order nondeterminism.
+ */
+LintReport lintImage(const MaterializedImage &image,
+                     const LintOptions &options = {});
+
+/**
+ * Decode serialized v6 image bytes (CRC-checked, relocation bounds
+ * checks deferred to the rules so corruption is diagnosed precisely)
+ * and run lintImage. A failure to decode at all is itself reported as
+ * rule MDL700.
+ */
+LintReport lintImageBytes(std::span<const u8> bytes,
+                          const LintOptions &options = {});
+
+/** One-line summary of a rule tag for report metadata ("" if unknown). */
+const char *ruleSummary(const std::string &rule);
 
 } // namespace lint
 } // namespace medusa::core

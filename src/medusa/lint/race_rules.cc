@@ -1,0 +1,198 @@
+/**
+ * @file
+ * MDL8xx: determinism / race analysis of captured graphs (lint.h
+ * family overview; DESIGN.md §14).
+ *
+ * A captured graph's dependency edges ARE the happens-before relation
+ * of the capture (every stream/event ordering is materialized as an
+ * edge), so two nodes with no path between them genuinely ran
+ * unordered. If such a pair touches the same buffer and at least one
+ * writes, the captured bytes — and therefore the materialized
+ * permanent contents and every replay — depend on scheduler luck at
+ * capture time. Single-stream captures are total orders and trivially
+ * race-free; these rules only speak up on multi-stream captures.
+ */
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "medusa/lint/analysis.h"
+#include "medusa/lint/lint.h"
+#include "medusa/record.h"
+
+namespace medusa::core::lint::detail {
+
+namespace {
+
+void
+emit(LintReport &report, const char *rule, Severity severity,
+     std::string location, std::string message, std::string fix_hint)
+{
+    report.diagnostics.push_back({rule, severity, std::move(location),
+                                  std::move(message),
+                                  std::move(fix_hint)});
+}
+
+std::string
+pairLoc(const std::string &prefix, u32 a, u32 b)
+{
+    return prefix + ".node[" + std::to_string(a) + "]/node[" +
+           std::to_string(b) + "]";
+}
+
+} // namespace
+
+void
+checkGraphRaces(const RaceGraph &graph, const std::string &location_prefix,
+                LintReport &report)
+{
+    const std::size_t n = graph.node_count;
+    if (n < 2) {
+        return;
+    }
+    const HappensBefore hb(n, std::span<const simcuda::GraphEdge>(
+                                  graph.edges.data(), graph.edges.size()));
+    if (hb.totalOrder()) {
+        return; // single-stream capture chain: every pair is ordered
+    }
+
+    // Group accesses by buffer so conflict checks only visit pairs that
+    // actually share an allocation.
+    struct Access
+    {
+        u32 node = 0;
+        u64 param = 0;
+        simcuda::ParamAccess access = simcuda::ParamAccess::kNone;
+    };
+    std::map<u64, std::vector<Access>> by_alloc;
+    for (u32 ni = 0; ni < graph.nodes.size() && ni < n; ++ni) {
+        for (const BufferAccess &b : graph.nodes[ni].buffers) {
+            by_alloc[b.alloc_index].push_back({ni, b.param, b.access});
+        }
+    }
+
+    for (const auto &[alloc_index, accesses] : by_alloc) {
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+                const Access &x = accesses[i];
+                const Access &y = accesses[j];
+                if (x.node == y.node || hb.ordered(x.node, y.node)) {
+                    continue;
+                }
+                const bool xw = simcuda::accessWrites(x.access);
+                const bool yw = simcuda::accessWrites(y.access);
+                if (!xw && !yw) {
+                    continue; // read-read: order-independent
+                }
+                const u32 a = std::min(x.node, y.node);
+                const u32 b = std::max(x.node, y.node);
+                const std::string who =
+                    graph.nodes[a].kernel_name + " and " +
+                    graph.nodes[b].kernel_name;
+                if (xw && yw) {
+                    emit(report, "MDL801", Severity::kError,
+                         pairLoc(location_prefix, a, b),
+                         "write-write race on allocation " +
+                             std::to_string(alloc_index) + ": " + who +
+                             " both write it with no happens-before "
+                             "edge between them; the captured bytes "
+                             "depend on capture-time scheduling",
+                         "order the streams with a recorded event, or "
+                         "give each branch its own buffer");
+                } else {
+                    emit(report, "MDL802", Severity::kError,
+                         pairLoc(location_prefix, a, b),
+                         "read-write race on allocation " +
+                             std::to_string(alloc_index) + ": " + who +
+                             " access it unordered and one writes; "
+                             "the reader may see either version "
+                             "depending on capture-time scheduling",
+                         "join the writer's stream into the reader's "
+                         "with an event before the read");
+                }
+            }
+        }
+    }
+
+    // Nodes whose effects are unknown (foreign kernel, no access
+    // metadata, or indirect pointer-chasing) cannot be proven race-free
+    // against anything unordered with them. One advisory per node.
+    for (u32 ni = 0; ni < graph.nodes.size() && ni < n; ++ni) {
+        const NodeAccess &node = graph.nodes[ni];
+        if (node.known && !node.indirect) {
+            continue;
+        }
+        for (u32 other = 0; other < n; ++other) {
+            if (other == ni || hb.ordered(ni, other)) {
+                continue;
+            }
+            emit(report, "MDL804", Severity::kWarning,
+                 location_prefix + ".node[" + std::to_string(ni) + "]",
+                 "kernel " + node.kernel_name +
+                     (node.indirect
+                          ? " dereferences pointers stored inside its "
+                            "operand buffers"
+                          : " has no registered access metadata") +
+                     " and runs unordered with node " +
+                     std::to_string(other) +
+                     "; its effects cannot be proven race-free",
+                 "register a parameter access set for the kernel, or "
+                 "serialize the capture streams");
+            break; // one advisory per unknown node is enough
+        }
+    }
+}
+
+void
+checkCaptureWindowAllocs(const Recorder &trace, LintReport &report)
+{
+    for (const auto &[bs, launches] : trace.graphLaunches()) {
+        if (launches.size() < 2) {
+            continue;
+        }
+        // launches are recorded in capture order, so the window is
+        // [first.op_pos, last.op_pos): an allocator op at position p
+        // happened between two captured launches iff some launch
+        // precedes it (op_pos <= p) and some follows it (op_pos > p).
+        const u64 window_begin = launches.front().op_pos;
+        const u64 window_end = launches.back().op_pos;
+        if (window_begin >= window_end) {
+            continue; // no allocator activity spans the capture
+        }
+        for (const AllocRecord &rec : trace.allocs()) {
+            const bool alloc_inside = rec.op_pos_alloc >= window_begin &&
+                                      rec.op_pos_alloc < window_end;
+            const bool free_inside =
+                rec.op_pos_free >= 0 &&
+                static_cast<u64>(rec.op_pos_free) >= window_begin &&
+                static_cast<u64>(rec.op_pos_free) < window_end;
+            if (!alloc_inside && !free_inside) {
+                continue;
+            }
+            emit(report, "MDL803", Severity::kError,
+                 "trace.graph[bs=" + std::to_string(bs) + "].ops[" +
+                     std::to_string(alloc_inside
+                                        ? rec.op_pos_alloc
+                                        : static_cast<u64>(
+                                              rec.op_pos_free)) +
+                     "]",
+                 std::string(alloc_inside ? "allocation" : "free") +
+                     " of index " + std::to_string(rec.alloc_index) +
+                     " interleaves the capture window [" +
+                     std::to_string(window_begin) + ", " +
+                     std::to_string(window_end) +
+                     ") of this graph: the recorded op order depends "
+                     "on runtime control flow (a conditionally-run "
+                     "kernel allocating mid-capture), so a replay on "
+                     "different inputs diverges from the captured "
+                     "sequence",
+                 "hoist data-dependent allocations out of the capture "
+                 "or pre-allocate the worst-case buffer before "
+                 "capturing");
+        }
+    }
+}
+
+} // namespace medusa::core::lint::detail

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "medusa/analyze.h"
+#include "medusa/lint/analysis.h"
 #include "medusa/record.h"
 #include "simcuda/kernel.h"
 
@@ -21,16 +22,7 @@ namespace medusa::core::lint {
 
 namespace {
 
-/** One allocation's reconstructed lifetime in op positions. */
-struct AllocLife
-{
-    u64 logical = 0;
-    u64 backing = 0;
-    /** Position of the kAlloc op in the sequence. */
-    u64 op_alloc = 0;
-    /** Position of the (first) kFree op, or -1 if never freed. */
-    i64 op_free = -1;
-};
+using detail::AllocLife;
 
 std::string
 opLoc(u64 pos)
@@ -63,12 +55,14 @@ class ArtifactLinter
     LintReport
     run()
     {
-        reconstructLifetimes();
+        lives_ = detail::reconstructLifetimes(
+            std::span<const AllocOp>(a_.ops.data(), a_.ops.size()));
         checkAllocSequence();
         checkIndirectCoverage();
         checkGraphTables();
         checkPermanentContents();
         checkFreeMemory();
+        checkRaces();
         return std::move(report_);
     }
 
@@ -80,31 +74,6 @@ class ArtifactLinter
         report_.diagnostics.push_back(
             {rule, severity, std::move(location), std::move(message),
              std::move(fix_hint)});
-    }
-
-    /**
-     * Rebuild every allocation's [alloc, free) lifetime from the op
-     * sequence. Tolerant of malformed sequences (the well-formedness
-     * rule reports those); the first free wins, unknown indexes are
-     * ignored here.
-     */
-    void
-    reconstructLifetimes()
-    {
-        for (u64 pos = 0; pos < a_.ops.size(); ++pos) {
-            const AllocOp &op = a_.ops[pos];
-            if (op.kind == AllocOp::kAlloc) {
-                AllocLife life;
-                life.logical = op.logical_size;
-                life.backing = op.backing_size;
-                life.op_alloc = pos;
-                lives_.push_back(life);
-            } else if (op.freed_alloc_index < lives_.size() &&
-                       lives_[op.freed_alloc_index].op_free < 0) {
-                lives_[op.freed_alloc_index].op_free =
-                    static_cast<i64>(pos);
-            }
-        }
     }
 
     // ---- MDL1xx: allocation-sequence well-formedness -----------------
@@ -579,6 +548,57 @@ class ArtifactLinter
                  "the figure was patched or recorded against a "
                  "different sequence; re-profile (§6) and "
                  "re-materialize");
+        }
+    }
+
+    // ---- MDL8xx: determinism / race analysis --------------------------
+
+    void
+    checkRaces()
+    {
+        const simcuda::KernelRegistry &registry =
+            simcuda::KernelRegistry::instance();
+        for (const GraphBlueprint &g : a_.graphs) {
+            detail::RaceGraph rg;
+            rg.batch_size = g.batch_size;
+            rg.node_count = g.nodes.size();
+            for (const auto &e : g.edges) {
+                rg.edges.push_back({e.first, e.second});
+            }
+            rg.nodes.resize(g.nodes.size());
+            for (u64 ni = 0; ni < g.nodes.size(); ++ni) {
+                const NodeBlueprint &n = g.nodes[ni];
+                detail::NodeAccess &node = rg.nodes[ni];
+                node.kernel_name = n.kernel_name;
+                if (!opt_.check_kernel_registry) {
+                    continue; // unknown effects -> MDL804 territory
+                }
+                const simcuda::KernelId id =
+                    registry.findByName(n.kernel_name);
+                if (id == simcuda::kInvalidKernel) {
+                    continue; // MDL301 already reported the name
+                }
+                const simcuda::KernelDef &def = registry.def(id);
+                if (def.params.size() != n.params.size()) {
+                    continue;
+                }
+                node.known = !def.access.empty();
+                node.indirect = def.indirect_access;
+                for (u64 pi = 0; pi < n.params.size(); ++pi) {
+                    const ParamSpec &p = n.params[pi];
+                    if (p.kind == ParamSpec::kIndirect &&
+                        pi < def.access.size() &&
+                        def.access[pi] != simcuda::ParamAccess::kNone) {
+                        node.buffers.push_back(
+                            {p.alloc_index, def.access[pi], pi});
+                    }
+                }
+            }
+            detail::checkGraphRaces(rg, graphLoc(g.batch_size),
+                                    report_);
+        }
+        if (opt_.trace != nullptr) {
+            detail::checkCaptureWindowAllocs(*opt_.trace, report_);
         }
     }
 

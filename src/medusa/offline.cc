@@ -182,9 +182,17 @@ materialize(const OfflineOptions &opts)
     // tokenizer from them instead of re-training.
     {
         Span s(&rec, "offline.emit_image", "offline");
+        // With pipeline.lint on, emission re-verifies its own output:
+        // the freshly emitted bytes are decoded and run through the
+        // MDL7xx/MDL8xx image rules (with the raw trace for MDL803)
+        // before the image can be cached or shipped.
+        ImageBuildOptions image_options;
+        image_options.lint = opts.pipeline.lint;
+        image_options.trace = &recorder;
         MEDUSA_ASSIGN_OR_RETURN(
             result.image_bytes,
-            buildImageBytes(result.artifact, rt.tokenizer().merges()));
+            buildImageBytes(result.artifact, rt.tokenizer().merges(),
+                            image_options));
         s.arg("bytes", std::to_string(result.image_bytes.size()));
     }
 

@@ -405,9 +405,22 @@ MedusaEngine::coldStartFromImage(const Options &caller_opts,
         return validationFailure("image was materialized for model " +
                                  image.model_name);
     }
-    // No pre-restore lint here: structural invariants (CRC, relocation
-    // bounds, slot layout) were already enforced when the image was
-    // opened.
+    // Static pre-restore gate: run the MDL7xx/MDL8xx image rules before
+    // any journaled attempt starts, so a defective image is rejected
+    // with the journal untouched and zero patches applied. Open-time
+    // checks (CRC, relocation bounds, slot layout) prove the bytes
+    // decode; the rules prove the decoded image replays safely — the
+    // coverage proof in particular catches an unpatched address slot
+    // that would replay a capture-time pointer verbatim.
+    if (opts.restore.pipeline.lint) {
+        // The engine always drives device 0, which is also the lint
+        // default for the MDL705 pointer-window heuristic.
+        const lint::LintReport lint_report = lint::lintImage(image);
+        if (!lint_report.replaySafe()) {
+            return validationFailure("image failed pre-restore lint: " +
+                                     lint_report.firstError());
+        }
+    }
 
     return runTransactional(
         std::move(opts), user_trace,

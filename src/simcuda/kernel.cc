@@ -8,6 +8,18 @@ namespace medusa::simcuda {
 // mutable registry exactly once.
 void registerBuiltinKernels(KernelRegistry &registry);
 
+const char *
+accessName(ParamAccess a)
+{
+    switch (a) {
+      case ParamAccess::kNone: return "none";
+      case ParamAccess::kRead: return "read";
+      case ParamAccess::kWrite: return "write";
+      case ParamAccess::kReadWrite: return "read-write";
+    }
+    return "unknown";
+}
+
 KernelRegistry &
 mutableRegistry()
 {
@@ -31,6 +43,16 @@ KernelRegistry::registerKernel(KernelDef def)
 {
     MEDUSA_CHECK(findByName(def.mangled_name) == kInvalidKernel,
                  "duplicate kernel name " << def.mangled_name);
+    MEDUSA_CHECK(def.access.empty() ||
+                     def.access.size() == def.params.size(),
+                 "kernel " << def.mangled_name
+                           << " access set does not match its params");
+    for (std::size_t i = 0; i < def.access.size(); ++i) {
+        const bool is_ptr = def.params[i] == ParamKind::kPointer;
+        MEDUSA_CHECK(is_ptr == (def.access[i] != ParamAccess::kNone),
+                     "kernel " << def.mangled_name << " param " << i
+                               << " access/kind mismatch");
+    }
     defs_.push_back(std::move(def));
     return static_cast<KernelId>(defs_.size() - 1);
 }

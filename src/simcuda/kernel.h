@@ -53,6 +53,35 @@ paramKindSize(ParamKind kind)
 }
 
 /**
+ * How a kernel's functional body touches the buffer behind one pointer
+ * parameter. Non-pointer parameters are kNone. The sets are declared by
+ * the kernel author (builtin.cc) as ground truth for static analysis:
+ * medusa-lint's happens-before race rules (MDL8xx) compare the access
+ * sets of concurrently-capturable nodes, the way real kernels declare
+ * const-ness through their signatures (PKf vs Pf).
+ */
+enum class ParamAccess : u8 {
+    kNone = 0,      ///< not a memory access (scalar constant)
+    kRead = 1,      ///< the buffer is only read
+    kWrite = 2,     ///< the buffer is only written
+    kReadWrite = 3, ///< read-modify-write (accumulators, semaphores)
+};
+
+const char *accessName(ParamAccess a);
+
+constexpr bool
+accessReads(ParamAccess a)
+{
+    return a == ParamAccess::kRead || a == ParamAccess::kReadWrite;
+}
+
+constexpr bool
+accessWrites(ParamAccess a)
+{
+    return a == ParamAccess::kWrite || a == ParamAccess::kReadWrite;
+}
+
+/**
  * Raw launch parameters: one byte blob per argument, mirroring the
  * void** kernelParams array of CUDA.
  */
@@ -250,6 +279,18 @@ struct KernelDef
      */
     bool in_symbol_table = true;
     std::vector<ParamKind> params;
+    /**
+     * Per-parameter buffer access sets, parallel to @c params (kNone
+     * for non-pointer parameters). Empty means unknown — a foreign
+     * kernel the race analyzer must treat conservatively.
+     */
+    std::vector<ParamAccess> access;
+    /**
+     * True when the kernel dereferences pointer words stored INSIDE a
+     * buffer (cublasGemmBatchedEx-style operand arrays): its effective
+     * access set is not derivable from the parameters alone.
+     */
+    bool indirect_access = false;
     KernelFn fn;
 };
 

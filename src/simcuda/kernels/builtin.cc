@@ -582,13 +582,23 @@ gemmBatched(DeviceMemoryManager &mem, const KernelArgs &args)
 void
 registerBuiltinKernels(KernelRegistry &reg)
 {
+    // PA entries mirror the mangled signature's const-ness: PKf -> kRead,
+    // Pf -> kWrite or kReadWrite (in-place ops), scalar -> kNone.
+    using PA = ParamAccess;
+    constexpr PA kNA = PA::kNone;
+    constexpr PA kR = PA::kRead;
+    constexpr PA kW = PA::kWrite;
+    constexpr PA kRW = PA::kReadWrite;
     auto add = [&reg](const char *name, const char *module, bool visible,
-                      std::vector<PK> params, KernelFn fn) {
+                      std::vector<PK> params, std::vector<PA> access,
+                      KernelFn fn, bool indirect = false) {
         KernelDef def;
         def.mangled_name = name;
         def.module_name = module;
         def.in_symbol_table = visible;
         def.params = std::move(params);
+        def.access = std::move(access);
+        def.indirect_access = indirect;
         def.fn = std::move(fn);
         reg.registerKernel(std::move(def));
     };
@@ -597,77 +607,86 @@ registerBuiltinKernels(KernelRegistry &reg)
     add("_ZN8simtorch16embedding_lookupEPKfPKiPfiii", kTorchModule, true,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
          PK::kI32},
-        embeddingLookup);
+        {kR, kR, kW, kNA, kNA, kNA}, embeddingLookup);
     add("_ZN8simtorch7rmsnormEPKfS1_Pfiif", kTorchModule, true,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
          PK::kF32},
-        rmsNorm);
+        {kR, kR, kW, kNA, kNA, kNA}, rmsNorm);
     add("_ZN8simtorch9layernormEPKfS1_S1_Pfiif", kTorchModule, true,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32,
          PK::kI32, PK::kF32},
-        layerNorm);
+        {kR, kR, kR, kW, kNA, kNA, kNA}, layerNorm);
     add("_ZN8simtorch8bias_addEPfPKfii", kTorchModule, true,
-        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32}, biasAdd);
+        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32},
+        {kRW, kR, kNA, kNA}, biasAdd);
     add("_ZN8simtorch8silu_mulEPKfPfii", kTorchModule, true,
-        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32}, siluMul);
+        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32},
+        {kR, kW, kNA, kNA}, siluMul);
     add("_ZN8simtorch4geluEPKfPfi", kTorchModule, true,
-        {PK::kPointer, PK::kPointer, PK::kI32}, gelu);
+        {PK::kPointer, PK::kPointer, PK::kI32}, {kR, kW, kNA}, gelu);
     add("_ZN8simtorch12residual_addEPfPKfi", kTorchModule, true,
-        {PK::kPointer, PK::kPointer, PK::kI32}, residualAdd);
+        {PK::kPointer, PK::kPointer, PK::kI32}, {kRW, kR, kNA},
+        residualAdd);
     add("_ZN8simtorch13sample_argmaxEPKfPiii", kTorchModule, true,
-        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32}, sampleArgmax);
+        {PK::kPointer, PK::kPointer, PK::kI32, PK::kI32},
+        {kR, kW, kNA, kNA}, sampleArgmax);
     add("_ZN8simtorch8copy_f32EPKfPfi", kTorchModule, true,
-        {PK::kPointer, PK::kPointer, PK::kI32}, copyF32);
+        {PK::kPointer, PK::kPointer, PK::kI32}, {kR, kW, kNA}, copyF32);
 
     // libsimattn.so — visible custom attention ops.
     add("_ZN7simattn4ropeEPfS0_PKiiiiiiif", kAttnModule, true,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
          PK::kI32, PK::kI32, PK::kI32, PK::kI32, PK::kF32},
-        rope);
+        {kRW, kRW, kR, kNA, kNA, kNA, kNA, kNA, kNA, kNA}, rope);
     add("_ZN7simattn8kv_writeEPKfS1_PfS2_PKiiiii", kAttnModule, true,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer,
          PK::kPointer, PK::kI32, PK::kI32, PK::kI32, PK::kI32},
-        kvWrite);
+        {kR, kR, kW, kW, kR, kNA, kNA, kNA, kNA}, kvWrite);
     add("_ZN7simattn16attention_prefilEPKfS1_S1_PKiPfiiiiif", kAttnModule,
         true,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer,
          PK::kPointer, PK::kI32, PK::kI32, PK::kI32, PK::kI32, PK::kI32,
          PK::kF32},
+        {kR, kR, kR, kR, kW, kNA, kNA, kNA, kNA, kNA, kNA},
         attentionPrefill);
     add("_ZN7simattn21paged_attention_v1_decEPKfS1_S1_PKiS3_Pfiiiiiiilf",
         kAttnModule, true,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer,
          PK::kPointer, PK::kPointer, PK::kI32, PK::kI32, PK::kI32,
          PK::kI32, PK::kI32, PK::kI32, PK::kI32, PK::kI64, PK::kF32},
+        {kR, kR, kR, kR, kR, kW, kNA, kNA, kNA, kNA, kNA, kNA, kNA, kNA,
+         kNA},
         pagedAttentionDecode);
     add("_ZN7simattn22paged_attention_reduceEPKfPfi", kAttnModule, true,
-        {PK::kPointer, PK::kPointer, PK::kI32}, pagedAttentionReduce);
+        {PK::kPointer, PK::kPointer, PK::kI32}, {kR, kW, kNA},
+        pagedAttentionReduce);
 
     // libsimcublas.so — HIDDEN GEMM kernels (cuBLAS-style names).
     add("ampere_fp16_s16816gemm_fp16_128x128_ldg8_f2f_stages_64x3_tn",
         kCublasModule, false,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
          PK::kI32},
-        gemmPlain);
+        {kR, kR, kW, kNA, kNA, kNA}, gemmPlain);
     add("ampere_fp16_s16816gemm_fp16_64x64_ldg8_f2f_stages_64x5_tn",
         kCublasModule, false,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
          PK::kI32},
-        gemmPlain);
+        {kR, kR, kW, kNA, kNA, kNA}, gemmPlain);
     add("ampere_fp16_s16816gemm_fp16_64x64_sliced1x2_ldg8_f2f_stages_"
         "64x5_splitk_tn",
         kCublasModule, false,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kPointer,
          PK::kPointer, PK::kI32, PK::kI32, PK::kI32},
-        gemmSplitK);
+        {kRW, kRW, kR, kR, kW, kNA, kNA, kNA}, gemmSplitK);
     add("ampere_fp16_s16816gemm_fp16_256x64_ldg8_f2f_stages_64x1_nn",
         kCublasModule, false,
         {PK::kPointer, PK::kPointer, PK::kPointer, PK::kI32, PK::kI32,
          PK::kI32},
-        gemmPlain);
+        {kR, kR, kW, kNA, kNA, kNA}, gemmPlain);
     add("ampere_fp16_s16816gemm_fp16_batched_64x64_ldg8_f2f_nn",
         kCublasModule, false,
-        {PK::kPointer, PK::kI32, PK::kI32, PK::kI32}, gemmBatched);
+        {PK::kPointer, PK::kI32, PK::kI32, PK::kI32},
+        {kR, kNA, kNA, kNA}, gemmBatched, /*indirect=*/true);
 
     // libsimnccl.so — the collective used by tensor parallelism.
     // params: inout*, count, rank, world. Rank-local execution only
@@ -675,6 +694,7 @@ registerBuiltinKernels(KernelRegistry &reg)
     // cross-rank semantics.
     add("_ZN7simnccl14all_reduce_sumEPfiii", kNcclModule, true,
         {PK::kPointer, PK::kI32, PK::kI32, PK::kI32},
+        {kRW, kNA, kNA, kNA},
         [](DeviceMemoryManager &mem, const KernelArgs &args) -> Status {
             const i32 count = args.i32At(1);
             const i32 rank = args.i32At(2);

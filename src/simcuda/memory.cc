@@ -11,11 +11,9 @@ DeviceMemoryManager::DeviceMemoryManager(u64 total_logical_bytes,
     MEDUSA_CHECK(device_index < 4, "device index out of range");
     // Randomize the mapping base within a 128 GiB window, 2 MiB
     // aligned — a fresh process launch never sees the same addresses.
-    // Each device slot is 224 GiB wide so up to four devices fit below
-    // the 0x8000'00000000 pointer-heuristic bound with headroom.
     const u64 slide = (rng_.nextU64() % (128 * units::GiB)) &
                       ~(2 * units::MiB - 1);
-    next_addr_ = kAddrBase + device_index * (224 * units::GiB) + slide;
+    next_addr_ = kAddrBase + device_index * kDeviceSlotBytes + slide;
 }
 
 StatusOr<DeviceAddr>

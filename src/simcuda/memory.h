@@ -147,6 +147,17 @@ class DeviceMemoryManager
     static constexpr DeviceAddr kAddrBase = 0x7f2000000000ull;
 
     /**
+     * Width of one device's VA window. Device i hands out addresses in
+     * [kAddrBase + i*kDeviceSlotBytes, kAddrBase + (i+1)*kDeviceSlotBytes):
+     * 224 GiB fits the 128 GiB ASLR slide plus a 40 GiB device with
+     * headroom, and four slots stay below the 0x8000'00000000
+     * pointer-heuristic bound. Exposed so offline tooling (medusa-lint's
+     * MDL705 coverage heuristic) can classify pointer-shaped values
+     * per device without a process.
+     */
+    static constexpr u64 kDeviceSlotBytes = 224ull * units::GiB;
+
+    /**
      * Default device capacity (the simulated A100-40GB). Exposed as a
      * memory-model query so offline tooling (medusa-lint's MDL5xx
      * free-memory rule) can reason about capacity without a process.

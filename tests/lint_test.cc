@@ -11,10 +11,17 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
+#include <span>
 
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "common/serialize.h"
 #include "medusa/analyze.h"
+#include "medusa/image.h"
 #include "medusa/lint/lint.h"
 #include "medusa/offline.h"
+#include "medusa/record.h"
 #include "medusa/restore.h"
 #include "medusa/tp.h"
 #include "simcuda/caching_allocator.h"
@@ -430,6 +437,10 @@ tpArtifacts()
     gather.params = {indirect(2), constant32(4)};
     rank.graphs[0].nodes.push_back(reduce);
     rank.graphs[0].nodes.push_back(gather);
+    // A capture on one stream serializes compute before the
+    // collectives; the chain also keeps MDL8xx (which cannot classify
+    // the out-of-registry nccl kernels) out of the MDL6xx tests.
+    rank.graphs[0].edges = {{0, 1}, {1, 2}};
     return {rank, rank};
 }
 
@@ -604,6 +615,258 @@ TEST(LintTest, NaiveMatchingArtifactIsFlaggedAsStale)
     EXPECT_TRUE(ok.replaySafe()) << ok.toText();
 }
 
+// ---- MDL8xx: determinism / race analysis -------------------------------
+
+TEST(LintTest, RacedTwoStreamCaptureFiresMdl801)
+{
+    // Fork stream b off the capture BEFORE stream a's launch: the two
+    // copy nodes share no happens-before edge yet both write dst.
+    Offline off;
+    auto src = off.alloc.allocate(2048, 64);
+    auto dst = off.alloc.allocate(2048, 64);
+    const auto &k = BuiltinKernels::get();
+    ParamsBuilder warm;
+    warm.ptr(*src).ptr(*dst).i32(0);
+    ASSERT_TRUE(off.process.defaultStream()
+                    .launch(k.copy_f32, warm.take(), {})
+                    .isOk());
+
+    simcuda::Stream &a = off.process.defaultStream();
+    simcuda::Stream &b = off.process.createStream();
+    off.recorder.beginGraph(1);
+    ASSERT_TRUE(off.process.beginCapture(a).isOk());
+    simcuda::Event fork;
+    ASSERT_TRUE(a.recordEvent(fork).isOk());
+    ASSERT_TRUE(b.waitEvent(fork).isOk());
+    ParamsBuilder pa;
+    pa.ptr(*src).ptr(*dst).i32(4);
+    ASSERT_TRUE(a.launch(k.copy_f32, pa.take(), {}).isOk());
+    ParamsBuilder pb;
+    pb.ptr(*src).ptr(*dst).i32(4);
+    ASSERT_TRUE(b.launch(k.copy_f32, pb.take(), {}).isOk());
+    auto graph = off.process.endCapture(a);
+    off.recorder.endGraph();
+    ASSERT_TRUE(graph.isOk());
+
+    auto analysis = off.analyzeGraph(*graph, true);
+    ASSERT_TRUE(analysis.isOk()) << analysis.status().toString();
+    LintOptions opts;
+    opts.device_memory_bytes = units::GiB;
+    const LintReport r = lint::lintArtifact(analysis->artifact, opts);
+    EXPECT_TRUE(hasRule(r, "MDL801")) << r.toText();
+    EXPECT_FALSE(r.replaySafe());
+}
+
+TEST(LintTest, ForkJoinOrderedCaptureLintsClean)
+{
+    // Same two-stream shape, but b waits on an event recorded AFTER
+    // a's launch: the edge orders the writes and MDL8xx stays silent.
+    Offline off;
+    auto src = off.alloc.allocate(2048, 64);
+    auto dst = off.alloc.allocate(2048, 64);
+    const auto &k = BuiltinKernels::get();
+    ParamsBuilder warm;
+    warm.ptr(*src).ptr(*dst).i32(0);
+    ASSERT_TRUE(off.process.defaultStream()
+                    .launch(k.copy_f32, warm.take(), {})
+                    .isOk());
+
+    simcuda::Stream &a = off.process.defaultStream();
+    simcuda::Stream &b = off.process.createStream();
+    off.recorder.beginGraph(1);
+    ASSERT_TRUE(off.process.beginCapture(a).isOk());
+    ParamsBuilder pa;
+    pa.ptr(*src).ptr(*dst).i32(4);
+    ASSERT_TRUE(a.launch(k.copy_f32, pa.take(), {}).isOk());
+    simcuda::Event join;
+    ASSERT_TRUE(a.recordEvent(join).isOk());
+    ASSERT_TRUE(b.waitEvent(join).isOk());
+    ParamsBuilder pb;
+    pb.ptr(*src).ptr(*dst).i32(4);
+    ASSERT_TRUE(b.launch(k.copy_f32, pb.take(), {}).isOk());
+    auto graph = off.process.endCapture(a);
+    off.recorder.endGraph();
+    ASSERT_TRUE(graph.isOk());
+
+    auto analysis = off.analyzeGraph(*graph, true);
+    ASSERT_TRUE(analysis.isOk()) << analysis.status().toString();
+    LintOptions opts;
+    opts.device_memory_bytes = units::GiB;
+    const LintReport r = lint::lintArtifact(analysis->artifact, opts);
+    EXPECT_FALSE(hasRule(r, "MDL801")) << r.toText();
+    EXPECT_FALSE(hasRule(r, "MDL802"));
+    EXPECT_FALSE(hasRule(r, "MDL804"));
+}
+
+TEST(LintTest, UnorderedReadWriteFiresMdl802)
+{
+    // Node 0 copies alloc 0 -> alloc 2; the added node copies alloc 2
+    // -> alloc 0 with no edge between them: both directions are
+    // read-write conflicts, neither is write-write.
+    const KernelRegistry &reg = KernelRegistry::instance();
+    const auto &def = reg.def(BuiltinKernels::get().copy_f32);
+    NodeBlueprint back;
+    back.kernel_name = def.mangled_name;
+    back.module_name = def.module_name;
+    back.params = {indirect(2), indirect(0), constant32(4)};
+
+    Artifact racy = cleanArtifact();
+    racy.graphs[0].nodes.push_back(back);
+    const LintReport r = lint::lintArtifact(racy, corpusOptions());
+    EXPECT_TRUE(hasRule(r, "MDL802")) << r.toText();
+    EXPECT_FALSE(hasRule(r, "MDL801"));
+    EXPECT_FALSE(r.replaySafe());
+
+    Artifact ordered = cleanArtifact();
+    ordered.graphs[0].nodes.push_back(back);
+    ordered.graphs[0].edges = {{0, 1}};
+    const LintReport ok = lint::lintArtifact(ordered, corpusOptions());
+    EXPECT_FALSE(hasRule(ok, "MDL802")) << ok.toText();
+}
+
+TEST(LintTest, UnorderedOpaqueKernelFiresMdl804)
+{
+    // A kernel the registry has never heard of, unordered against the
+    // copy node: the analyzer cannot prove non-interference and says so
+    // once (advisory, not an error).
+    Artifact a = cleanArtifact();
+    NodeBlueprint mystery;
+    mystery.kernel_name = "moe_dispatch_topk";
+    mystery.module_name = "libsimmoe.so";
+    mystery.params = {indirect(2)};
+    a.graphs[0].nodes.push_back(mystery);
+    const LintReport r = lint::lintArtifact(a, corpusOptions());
+    EXPECT_TRUE(hasRule(r, "MDL804")) << r.toText();
+
+    // An ordering edge silences the advisory even though the kernel
+    // stays opaque.
+    Artifact ordered = a;
+    ordered.graphs[0].edges = {{0, 1}};
+    EXPECT_FALSE(hasRule(lint::lintArtifact(ordered, corpusOptions()),
+                         "MDL804"));
+}
+
+TEST(LintTest, UnorderedIndirectAccessKernelFiresMdl804)
+{
+    // gemm_batched is registered but dereferences pointers stored
+    // inside its operand buffer — its true footprint is invisible to
+    // the analyzer, so an unordered peer earns the advisory.
+    const KernelRegistry &reg = KernelRegistry::instance();
+    const auto &def = reg.def(BuiltinKernels::get().gemm_batched);
+    NodeBlueprint batched;
+    batched.kernel_name = def.mangled_name;
+    batched.module_name = def.module_name;
+    for (const simcuda::ParamKind kind : def.params) {
+        if (kind == simcuda::ParamKind::kPointer) {
+            batched.params.push_back(indirect(2));
+        } else {
+            ParamSpec p;
+            p.kind = ParamSpec::kConstant;
+            p.constant_bytes.resize(simcuda::paramKindSize(kind));
+            batched.params.push_back(p);
+        }
+    }
+    Artifact a = cleanArtifact();
+    a.graphs[0].nodes.push_back(std::move(batched));
+    const LintReport r = lint::lintArtifact(a, corpusOptions());
+    EXPECT_TRUE(hasRule(r, "MDL804")) << r.toText();
+}
+
+TEST(LintTest, CaptureWindowAllocationFiresMdl803)
+{
+    // Drive the recorder by hand: an allocation lands between two
+    // launches of the same captured graph — conditional allocation
+    // behavior that replays nondeterministically.
+    Recorder trace;
+    trace.beginGraph(1);
+    trace.onKernelLaunch(0x1000, {}, true);
+    trace.onAlloc(0, 0x7f2000000000ull, 64, 64);
+    trace.onKernelLaunch(0x1000, {}, true);
+    trace.endGraph();
+
+    LintOptions opts = corpusOptions();
+    opts.trace = &trace;
+    const LintReport r = lint::lintArtifact(cleanArtifact(), opts);
+    EXPECT_TRUE(hasRule(r, "MDL803")) << r.toText();
+
+    // The same allocation before the capture window is fine.
+    Recorder quiet;
+    quiet.onAlloc(0, 0x7f2000000000ull, 64, 64);
+    quiet.beginGraph(1);
+    quiet.onKernelLaunch(0x1000, {}, true);
+    quiet.onKernelLaunch(0x1000, {}, true);
+    quiet.endGraph();
+    LintOptions qopts = corpusOptions();
+    qopts.trace = &quiet;
+    EXPECT_FALSE(hasRule(lint::lintArtifact(cleanArtifact(), qopts),
+                         "MDL803"));
+}
+
+// ---- MDL7xx image rules: the golden corrupt corpus ---------------------
+
+std::set<std::string>
+errorRules(const LintReport &r)
+{
+    std::set<std::string> rules;
+    for (const lint::Diagnostic &d : r.diagnostics) {
+        if (d.severity == Severity::kError) {
+            rules.insert(d.rule);
+        }
+    }
+    return rules;
+}
+
+TEST(LintTest, CorruptImageCorpusFiresExactRules)
+{
+    // Each committed fixture (tools/make_lint_fixtures) is defective in
+    // exactly one way; the linter must fire exactly that rule at error
+    // severity — no cascade, no miss.
+    const struct
+    {
+        const char *file;
+        const char *rule; // nullptr: must be error-free
+    } kCases[] = {
+        {"clean.mdsi", nullptr},
+        {"truncated_relocs.mdsi", "MDL700"},
+        {"oob_reloc.mdsi", "MDL701"},
+        {"freed_target.mdsi", "MDL702"},
+        {"overlapping_relocs.mdsi", "MDL704"},
+        {"uncovered_slot.mdsi", "MDL705"},
+        {"shuffled_kernel_table.mdsi", "MDL706"},
+    };
+    for (const auto &c : kCases) {
+        const std::string path =
+            std::string(MEDUSA_TEST_DATA_DIR) + "/" + c.file;
+        auto bytes = readFile(path);
+        ASSERT_TRUE(bytes.isOk()) << path;
+        const LintReport r =
+            lint::lintImageBytes(std::span<const u8>(*bytes));
+        if (c.rule == nullptr) {
+            EXPECT_TRUE(r.clean()) << c.file << "\n" << r.toText();
+        } else {
+            EXPECT_EQ(errorRules(r), std::set<std::string>{c.rule})
+                << c.file << "\n"
+                << r.toText();
+        }
+    }
+}
+
+TEST(LintTest, SarifReportValidatesAgainstCatalog)
+{
+    const std::string path =
+        std::string(MEDUSA_TEST_DATA_DIR) + "/oob_reloc.mdsi";
+    auto bytes = readFile(path);
+    ASSERT_TRUE(bytes.isOk());
+    const LintReport r =
+        lint::lintImageBytes(std::span<const u8>(*bytes));
+    const std::string sarif = r.toSarif();
+    EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+    EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\":\"medusa-lint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\":\"MDL701\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+}
+
 // ---- pipeline gates ----------------------------------------------------
 
 llm::ModelConfig
@@ -653,6 +916,98 @@ TEST(LintTest, PreRestoreLintGateRejectsCorruptArtifact)
     EXPECT_NE(rejected.status().message().find("MDL102"),
               std::string::npos)
         << rejected.status().message();
+}
+
+TEST(LintTest, ImageEmissionGateRejectsStalePointer)
+{
+    // Free the copy node's input before a later birth the graph also
+    // references: the relocation provably resolves recycled memory.
+    Artifact a = cleanArtifact();
+    a.ops.push_back(freeOp(0));
+    a.ops.push_back(allocOp(512, 512)); // index 3, born after the free
+    a.graphs[0].nodes[0].params[1] = indirect(3);
+
+    ImageBuildOptions bopts;
+    bopts.lint = true;
+    auto rejected = buildImageBytes(a, {}, bopts);
+    ASSERT_FALSE(rejected.isOk());
+    EXPECT_NE(rejected.status().message().find("MDL702"),
+              std::string::npos)
+        << rejected.status().toString();
+
+    // Without the gate the bytes emit; the standalone image linter
+    // reaches the same verdict on them.
+    auto bytes = buildImageBytes(a, {});
+    ASSERT_TRUE(bytes.isOk()) << bytes.status().toString();
+    EXPECT_TRUE(hasRule(lint::lintImageBytes(std::span<const u8>(*bytes)),
+                        "MDL702"));
+}
+
+TEST(LintTest, PreRestoreImageGateRejectsBeforeFirstPatch)
+{
+    OfflineOptions opts;
+    opts.model = tinyModel();
+    opts.pipeline.validate = false;
+    auto result = materialize(opts);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+
+    // Retarget the first data relocation far past the replay table and
+    // reseal the payload CRC, so only the lint gate can object.
+    std::vector<u8> bytes = result->image_bytes;
+    {
+        auto view =
+            MaterializedImage::openView(std::span<const u8>(bytes));
+        ASSERT_TRUE(view.isOk());
+        ASSERT_FALSE(view->data_relocs.empty());
+        const std::size_t off = static_cast<std::size_t>(
+            reinterpret_cast<const u8 *>(view->data_relocs.data()) -
+            bytes.data());
+        MaterializedImage::DataReloc r0;
+        std::memcpy(&r0, bytes.data() + off, sizeof(r0));
+        r0.alloc_index = 1u << 20;
+        std::memcpy(bytes.data() + off, &r0, sizeof(r0));
+        const u64 payload =
+            bytes.size() - MaterializedImage::kHeaderBytes;
+        const u32 crc = crc32(
+            bytes.data() + MaterializedImage::kHeaderBytes, payload);
+        std::memcpy(bytes.data() + 16, &crc, sizeof(crc));
+    }
+    ImageReadOptions ropts;
+    ropts.validate_relocations = false; // let the gate do the judging
+    auto image =
+        MaterializedImage::openView(std::span<const u8>(bytes), ropts);
+    ASSERT_TRUE(image.isOk()) << image.status().toString();
+
+    // Arm a fault on the first patch application: if the gate ran
+    // after any patch work, the fault would surface instead of the
+    // lint verdict — and its hit counter proves zero patches started.
+    auto plan = FaultPlan::fromSpec("image_patch");
+    ASSERT_TRUE(plan.isOk());
+    FaultInjector injector(*plan);
+
+    MedusaEngine::Options eopts;
+    eopts.model = opts.model;
+    eopts.restore.pipeline.lint = true;
+    eopts.restore.pipeline.fault = &injector;
+    auto rejected = MedusaEngine::coldStartFromImage(eopts, *image);
+    ASSERT_FALSE(rejected.isOk());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kValidationFailure);
+    EXPECT_NE(rejected.status().message().find("MDL701"),
+              std::string::npos)
+        << rejected.status().message();
+    EXPECT_EQ(injector.hits(FaultPoint::kImagePatch), 0u);
+
+    // The clean image sails through the gate and reaches the armed
+    // patch fault: patching starts only after the verdict.
+    auto clean = MaterializedImage::openView(
+        std::span<const u8>(result->image_bytes));
+    ASSERT_TRUE(clean.isOk());
+    injector.reset();
+    auto faulted = MedusaEngine::coldStartFromImage(eopts, *clean);
+    ASSERT_FALSE(faulted.isOk());
+    EXPECT_EQ(faulted.status().code(), StatusCode::kFaultInjected)
+        << faulted.status().toString();
+    EXPECT_GT(injector.hits(FaultPoint::kImagePatch), 0u);
 }
 
 TEST(LintTest, TpPreRestoreLintGateRejectsDivergentRank)

@@ -9,11 +9,17 @@
  *
  * Usage:
  *   medusa_lint [options] <artifact.medusa> [rank1.medusa ...]
+ *   medusa_lint --image [options] <image.mdsi> [more.mdsi ...]
  *
  * Options:
+ *   --image                inputs are v6 relocation images; run the
+ *                          MDL7xx/MDL8xx image rules on each
  *   --json                 emit a JSON report instead of text
+ *   --sarif                emit a SARIF 2.1.0 report instead of text
  *   --no-registry          skip kernel-registry rules (MDL301/302)
  *   --device-bytes <n>     device capacity for MDL5xx (default 40 GiB)
+ *   --device-index <i>     capture device for the MDL705 pointer-window
+ *                          heuristic (default 0)
  *   --collective <module>  collective module for MDL604
  *                          (default libsimnccl.so)
  *   --max-severity <s>     highest severity that still exits 0:
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "common/serialize.h"
+#include "medusa/image.h"
 #include "medusa/lint/lint.h"
 
 using namespace medusa;
@@ -45,7 +52,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--json] [--no-registry] [--device-bytes N]\n"
+        "usage: %s [--image] [--json|--sarif] [--no-registry]\n"
+        "       [--device-bytes N] [--device-index I]\n"
         "       [--collective MODULE] [--max-severity info|warning|error]\n"
         "       <artifact.medusa> [rank1 ...]\n",
         argv0);
@@ -59,6 +67,8 @@ main(int argc, char **argv)
 {
     LintOptions options;
     bool json = false;
+    bool sarif = false;
+    bool image_mode = false;
     // Highest severity still acceptable for exit 0. The default keeps
     // the historical behavior: warnings pass, errors fail.
     core::lint::Severity max_severity = core::lint::Severity::kWarning;
@@ -67,6 +77,10 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--sarif") {
+            sarif = true;
+        } else if (arg == "--image") {
+            image_mode = true;
         } else if (arg == "--no-registry") {
             options.check_kernel_registry = false;
         } else if (arg == "--device-bytes") {
@@ -75,6 +89,12 @@ main(int argc, char **argv)
             }
             options.device_memory_bytes =
                 std::strtoull(argv[i], nullptr, 0);
+        } else if (arg == "--device-index") {
+            if (++i >= argc) {
+                return usage(argv[0]);
+            }
+            options.device_index = static_cast<u32>(
+                std::strtoul(argv[i], nullptr, 0));
         } else if (arg == "--collective") {
             if (++i >= argc) {
                 return usage(argv[0]);
@@ -103,8 +123,41 @@ main(int argc, char **argv)
             paths.push_back(arg);
         }
     }
-    if (paths.empty()) {
+    if (paths.empty() || (json && sarif)) {
         return usage(argv[0]);
+    }
+
+    if (image_mode) {
+        LintReport report;
+        for (const std::string &path : paths) {
+            auto bytes = readFile(path);
+            if (!bytes.isOk()) {
+                std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                             bytes.status().toString().c_str());
+                return 2;
+            }
+            LintReport one = core::lint::lintImageBytes(
+                std::span<const u8>(*bytes), options);
+            if (paths.size() > 1) {
+                for (auto &diag : one.diagnostics) {
+                    diag.location = path + ": " + diag.location;
+                }
+            }
+            report.merge(std::move(one));
+        }
+        if (json) {
+            std::printf("%s\n", report.toJson().c_str());
+        } else if (sarif) {
+            std::printf("%s\n", report.toSarif().c_str());
+        } else {
+            std::printf("%s", report.toText().c_str());
+        }
+        for (const auto &diag : report.diagnostics) {
+            if (diag.severity > max_severity) {
+                return 1;
+            }
+        }
+        return 0;
     }
 
     std::vector<core::Artifact> artifacts;
@@ -134,6 +187,8 @@ main(int argc, char **argv)
             : core::lint::lintTpArtifacts(artifacts, options);
     if (json) {
         std::printf("%s\n", report.toJson().c_str());
+    } else if (sarif) {
+        std::printf("%s\n", report.toSarif().c_str());
     } else {
         if (artifacts.size() == 1) {
             std::printf("%s: model %s, %zu graphs, %zu ops\n",

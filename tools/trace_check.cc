@@ -9,6 +9,10 @@
  *                                --expect names a span that must appear
  *   trace_check --metrics FILE   flat metrics export
  *   trace_check --lint FILE      medusa_lint --json report
+ *   trace_check --sarif FILE     medusa_lint --sarif report
+ *                                (SARIF 2.1.0 structure: version, one
+ *                                run with a named driver, every result
+ *                                referencing a declared rule)
  *
  * Each mode parses the file with a minimal self-contained JSON parser
  * (no dependencies) and checks the schema_version plus the structural
@@ -456,11 +460,101 @@ checkLint(const JsonValue &root)
 }
 
 int
+checkSarif(const JsonValue &root)
+{
+    if (root.kind != JsonValue::Kind::kObject) {
+        return violation("sarif: root must be an object");
+    }
+    const JsonValue *version = root.find("version");
+    if (version == nullptr ||
+        version->kind != JsonValue::Kind::kString ||
+        version->string != "2.1.0") {
+        return violation("sarif: missing version=\"2.1.0\"");
+    }
+    const JsonValue *runs = root.find("runs");
+    if (runs == nullptr || runs->kind != JsonValue::Kind::kArray ||
+        runs->array.size() != 1) {
+        return violation("sarif: 'runs' must be a one-element array");
+    }
+    const JsonValue &run = runs->array[0];
+    const JsonValue *tool =
+        run.kind == JsonValue::Kind::kObject ? run.find("tool") : nullptr;
+    const JsonValue *driver =
+        tool != nullptr && tool->kind == JsonValue::Kind::kObject
+            ? tool->find("driver")
+            : nullptr;
+    if (driver == nullptr || driver->kind != JsonValue::Kind::kObject) {
+        return violation("sarif: missing tool.driver");
+    }
+    const JsonValue *name = driver->find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        name->string != "medusa-lint") {
+        return violation("sarif: driver name must be \"medusa-lint\"");
+    }
+    // Collect the declared rule ids; every result must reference one.
+    std::vector<std::string> rule_ids;
+    const JsonValue *rules = driver->find("rules");
+    if (rules == nullptr || rules->kind != JsonValue::Kind::kArray) {
+        return violation("sarif: driver.rules must be an array");
+    }
+    for (const JsonValue &rule : rules->array) {
+        const JsonValue *id = rule.kind == JsonValue::Kind::kObject
+                                  ? rule.find("id")
+                                  : nullptr;
+        if (id == nullptr || id->kind != JsonValue::Kind::kString) {
+            return violation("sarif: rule without a string id");
+        }
+        rule_ids.push_back(id->string);
+    }
+    const JsonValue *results = run.find("results");
+    if (results == nullptr ||
+        results->kind != JsonValue::Kind::kArray) {
+        return violation("sarif: 'results' must be an array");
+    }
+    for (const JsonValue &result : results->array) {
+        if (result.kind != JsonValue::Kind::kObject) {
+            return violation("sarif: result must be an object");
+        }
+        const JsonValue *rule_id = result.find("ruleId");
+        if (rule_id == nullptr ||
+            rule_id->kind != JsonValue::Kind::kString) {
+            return violation("sarif: result without ruleId");
+        }
+        bool declared = false;
+        for (const std::string &id : rule_ids) {
+            declared = declared || id == rule_id->string;
+        }
+        if (!declared) {
+            const std::string what =
+                "sarif: result references undeclared rule " +
+                rule_id->string;
+            return violation(what.c_str());
+        }
+        const JsonValue *level = result.find("level");
+        if (level == nullptr ||
+            level->kind != JsonValue::Kind::kString ||
+            (level->string != "error" && level->string != "warning" &&
+             level->string != "note" && level->string != "none")) {
+            return violation("sarif: result with invalid level");
+        }
+        const JsonValue *message = result.find("message");
+        if (message == nullptr ||
+            message->kind != JsonValue::Kind::kObject ||
+            message->find("text") == nullptr) {
+            return violation("sarif: result without message.text");
+        }
+    }
+    std::printf("trace_check: sarif OK (%zu rules, %zu results)\n",
+                rule_ids.size(), results->array.size());
+    return 0;
+}
+
+int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: trace_check --chrome|--metrics|--lint FILE "
-                 "[--expect SPAN]...\n");
+                 "usage: trace_check --chrome|--metrics|--lint|--sarif "
+                 "FILE [--expect SPAN]...\n");
     return 2;
 }
 
@@ -511,6 +605,9 @@ main(int argc, char **argv)
     }
     if (mode == "--lint") {
         return checkLint(root);
+    }
+    if (mode == "--sarif") {
+        return checkSarif(root);
     }
     return usage();
 }
