@@ -12,6 +12,12 @@
 #                         policies, and §7.5-trace p50/p99 TTFT under
 #                         0/1/5% artifact corruption; exits non-zero if
 #                         any trace request fails to complete.
+#   BENCH_sim.json      — cluster-scale study: fast vs legacy event
+#                         engine throughput on the same trace prefix,
+#                         and the scheduler-policy sweep (baseline /
+#                         keep-alive / artifact-affinity) over a
+#                         million-request synthetic trace; exits
+#                         non-zero if the engines disagree.
 #
 # Usage: scripts/bench.sh [build-dir] [threads]
 #   build-dir defaults to ./build, threads to the hardware concurrency.
@@ -24,6 +30,7 @@ THREADS="${2:-0}"
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" \
     --target bench_restore_parallel bench_micro bench_fault_matrix \
+    bench_cluster_scale \
     >/dev/null
 
 cd "$ROOT" # bench binaries cache artifacts under ./artifacts
@@ -41,3 +48,7 @@ echo "wrote $ROOT/BENCH_micro.json"
 echo "== bench_fault_matrix"
 "$BUILD/bench/bench_fault_matrix" --json > "$ROOT/BENCH_fault.json"
 cat "$ROOT/BENCH_fault.json"
+
+echo "== bench_cluster_scale"
+"$BUILD/bench/bench_cluster_scale" --json > "$ROOT/BENCH_sim.json"
+cat "$ROOT/BENCH_sim.json"

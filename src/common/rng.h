@@ -167,6 +167,112 @@ class Rng
     u64 state_[4];
 };
 
+/**
+ * Block-buffered Rng: refills a fixed block of raw 64-bit draws at a
+ * time so the xoshiro state updates run back-to-back (the compiler
+ * keeps the four state words in registers across the whole refill
+ * loop), then serves draws from the buffer. Bulk consumers — the
+ * synthetic workload generator feeding the 10^7-event cluster runs —
+ * draw millions of values; batching roughly halves the per-draw cost.
+ *
+ * Determinism contract: a BatchRng(seed) produces *exactly* the u64
+ * stream of Rng(seed), draw for draw, whatever mix of distribution
+ * helpers is used (common_test pins this), so swapping one for the
+ * other never changes a seeded workload.
+ */
+class BatchRng
+{
+  public:
+    explicit BatchRng(u64 seed) : rng_(seed) { refill(); }
+
+    u64
+    nextU64()
+    {
+        if (pos_ == kBlock) {
+            refill();
+        }
+        return block_[pos_++];
+    }
+
+    /** Uniform in [0, bound); bound must be nonzero. */
+    u64
+    nextBounded(u64 bound)
+    {
+        const u64 threshold = (0 - bound) % bound;
+        for (;;) {
+            u64 r = nextU64();
+            if (r >= threshold) {
+                return r % bound;
+            }
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    f64
+    nextDouble()
+    {
+        return static_cast<f64>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Exponentially distributed value with the given rate (1/mean). */
+    f64
+    nextExponential(f64 rate)
+    {
+        f64 u = nextDouble();
+        if (u <= 0.0) {
+            u = 0x1.0p-53;
+        }
+        return -std::log(u) / rate;
+    }
+
+    /** Standard normal via Box-Muller. */
+    f64
+    nextGaussian()
+    {
+        f64 u1 = nextDouble();
+        f64 u2 = nextDouble();
+        if (u1 <= 0.0) {
+            u1 = 0x1.0p-53;
+        }
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    }
+
+    /** Log-normal with the given underlying mu/sigma. */
+    f64
+    nextLogNormal(f64 mu, f64 sigma)
+    {
+        return std::exp(mu + sigma * nextGaussian());
+    }
+
+    /** Pareto with scale @p xm and shape @p alpha (heavy tails). */
+    f64
+    nextPareto(f64 xm, f64 alpha)
+    {
+        f64 u = nextDouble();
+        if (u <= 0.0) {
+            u = 0x1.0p-53;
+        }
+        return xm * std::pow(u, -1.0 / alpha);
+    }
+
+  private:
+    static constexpr std::size_t kBlock = 1024;
+
+    void
+    refill()
+    {
+        for (auto &v : block_) {
+            v = rng_.nextU64();
+        }
+        pos_ = 0;
+    }
+
+    Rng rng_;
+    u64 block_[kBlock];
+    std::size_t pos_ = 0;
+};
+
 } // namespace medusa
 
 #endif // MEDUSA_COMMON_RNG_H

@@ -86,6 +86,8 @@ class ClusterSim
             inst->hot_spare = true;
             inst->launched_at = 0;
             instances_.push_back(std::move(inst));
+            ++live_count_;
+            peak_live_ = std::max(peak_live_, live_count_);
         }
         requests_.reserve(trace.size());
         for (const workload::Request &r : trace) {
@@ -136,6 +138,10 @@ class ClusterSim
             const f64 death = inst->died_at >= 0 ? inst->died_at : end;
             m.gpu_seconds += std::max(0.0, death - inst->launched_at);
         }
+        m.launch_sec = std::move(launch_sec_);
+        m.instances_launched = instances_.size();
+        m.peak_live_instances = peak_live_;
+        m.sim_events = loop_.dispatched();
         metrics_.counter("cluster.completed").add(m.completed);
         metrics_.gauge("cluster.makespan_sec").set(m.makespan_sec);
         metrics_.gauge("cluster.achieved_qps").set(m.achieved_qps);
@@ -326,6 +332,7 @@ class ClusterSim
                 launch_delay += vanilla;
             }
         }
+        launch_sec_.add(launch_delay);
         traceLaunchSpan("instance.launch", "cluster", t0, launch_delay);
         if (!comes_alive) {
             // kFail: the instance dies after the wasted restore time;
@@ -340,6 +347,8 @@ class ClusterSim
         }
         loop_.scheduleAfter(launch_delay, [this, ptr]() {
             ptr->state = Instance::State::kLive;
+            ++live_count_;
+            peak_live_ = std::max(peak_live_, live_count_);
             dispatch();
             if (ptr->load() == 0) {
                 armIdleTimeout(ptr);
@@ -451,6 +460,7 @@ class ClusterSim
                                     !inst->stepping) {
                                     inst->state = Instance::State::kDead;
                                     inst->died_at = loop_.now();
+                                    --live_count_;
                                 }
                             });
     }
@@ -467,17 +477,39 @@ class ClusterSim
     std::vector<std::unique_ptr<SimRequest>> requests_;
     std::vector<std::unique_ptr<Instance>> instances_;
     std::deque<SimRequest *> waiting_;
+    PercentileTracker launch_sec_;
+    u64 live_count_ = 0;
+    u64 peak_live_ = 0;
 };
 
 } // namespace
+
+namespace detail {
+
+TraceMetrics
+simulateClusterLegacy(const ClusterOptions &options,
+                      const ServingProfile &profile,
+                      const std::vector<workload::Request> &trace)
+{
+    ClusterSim sim(options, profile);
+    return sim.run(trace);
+}
+
+} // namespace detail
 
 TraceMetrics
 simulateCluster(const ClusterOptions &options,
                 const ServingProfile &profile,
                 const std::vector<workload::Request> &trace)
 {
-    ClusterSim sim(options, profile);
-    return sim.run(trace);
+    if (options.engine == SimEngine::kLegacy) {
+        MEDUSA_CHECK(options.policy == SchedulerPolicy::kBaseline &&
+                         options.num_models <= 1,
+                     "the legacy event loop supports neither scheduler "
+                     "policies nor multi-model traces");
+        return detail::simulateClusterLegacy(options, profile, trace);
+    }
+    return detail::simulateClusterFast(options, profile, trace);
 }
 
 } // namespace medusa::serverless

@@ -28,6 +28,39 @@
 
 namespace medusa::serverless {
 
+/**
+ * Which discrete-event core runs the simulation (DESIGN.md §15).
+ * kFast is the zero-allocation EventEngine with struct-of-arrays
+ * instance state — bit-identical results, orders of magnitude faster.
+ * kLegacy is the original std::function EventLoop, kept for one
+ * release as the equivalence oracle (cluster_equiv_test); it does not
+ * support scheduler policies or multi-model traces.
+ */
+enum class SimEngine : u8
+{
+    kFast = 0,
+    kLegacy,
+};
+
+/**
+ * Scheduler policy for the cluster-scale placement study (fast engine
+ * only). kBaseline is the paper's §7.5 autoscaler: scale up on demand,
+ * reclaim after idle_timeout_sec. kKeepAlive adds a warm pool: a floor
+ * of live instances is never reclaimed and idle instances linger
+ * longer, trading GPU-seconds for fewer cold starts (the §2.4
+ * trade-off, now measurable per policy). kAffinity routes instance
+ * launches to nodes whose artifact store already holds the model —
+ * ServerlessLLM-style startup-time-optimized placement / Tangram-style
+ * memory-reuse affinity (PAPERS.md) — so a launch pays the artifact
+ * fetch only on a true node miss.
+ */
+enum class SchedulerPolicy : u8
+{
+    kBaseline = 0,
+    kKeepAlive,
+    kAffinity,
+};
+
 /** Cluster and autoscaler configuration. */
 struct ClusterOptions
 {
@@ -84,6 +117,40 @@ struct ClusterOptions
      * the profiled cold start" (the fallback buys no speedup).
      */
     f64 vanilla_cold_start_sec = 0.0;
+
+    // ---- cluster-scale scheduling study (DESIGN.md §15) ----
+
+    /** Event core; see SimEngine. */
+    SimEngine engine = SimEngine::kFast;
+    /** Placement / keep-alive policy; see SchedulerPolicy. */
+    SchedulerPolicy policy = SchedulerPolicy::kBaseline;
+    /**
+     * kKeepAlive: never reclaim below this many live instances (the
+     * warm pool floor), and use keep_alive_idle_sec (when >= 0) as the
+     * idle timeout instead of idle_timeout_sec.
+     */
+    u32 keep_alive_instances = 0;
+    f64 keep_alive_idle_sec = -1.0;
+    /**
+     * Distinct models served by the cluster (requests carry
+     * workload::Request::model_id < num_models). An instance serves
+     * exactly one model. num_models > 1 (or policy == kAffinity)
+     * activates node-level artifact residency modeling below.
+     */
+    u32 num_models = 1;
+    /** GPUs per node; nodes share an artifact store. */
+    u32 gpus_per_node = 1;
+    /**
+     * Model artifacts resident per node before LRU eviction
+     * (cluster.affinity_evictions counts evictions).
+     */
+    u32 node_artifact_slots = 1;
+    /**
+     * Extra launch latency when the node must fetch the model's
+     * artifact (not resident). Warm-node launches skip it — the
+     * latency gap the affinity policy exists to exploit.
+     */
+    f64 node_artifact_miss_sec = 0.0;
 };
 
 /**
@@ -118,6 +185,37 @@ struct TraceMetrics
     u64 retries = 0;
     /** Latency burned in failed restore attempts (pre-rollback). */
     f64 wasted_restore_sec = 0;
+
+    /**
+     * Per-launch cold-start latency (fetch + restore + fallback) —
+     * the distribution the scheduling study reports P50/P99 of.
+     */
+    PercentileTracker launch_sec;
+    /** Instances ever created (autoscaled launches + hot spares). */
+    u64 instances_launched = 0;
+    /** High-water mark of concurrently live instances. */
+    u64 peak_live_instances = 0;
+    /**
+     * Events the engine dispatched (arrivals included). NOT mirrored
+     * into the metrics registry: the legacy loop fires stale idle
+     * timers that the fast engine cancels outright, so the counts
+     * legitimately differ between engines while every other output is
+     * bit-identical. Benches divide by wall time for events/sec.
+     */
+    u64 sim_events = 0;
+
+    // Policy counters (0 under kBaseline / the legacy engine):
+    /** Assignments absorbed by instances a baseline would have killed. */
+    u64 cold_pool_hits = 0;
+    /** Instance-seconds spent idle beyond the baseline timeout. */
+    f64 keep_alive_gpu_seconds = 0;
+    /** Node artifact-store LRU evictions (affinity pressure). */
+    u64 affinity_evictions = 0;
+    /** Launches on a node with the model's artifact already resident. */
+    u64 node_warm_launches = 0;
+    /** Launches that had to fetch the artifact onto the node. */
+    u64 node_artifact_fetches = 0;
+
     /** The run's counters under their canonical `cluster.*` names. */
     MetricsSnapshot metrics;
 };
@@ -126,6 +224,22 @@ struct TraceMetrics
 TraceMetrics simulateCluster(const ClusterOptions &options,
                              const ServingProfile &profile,
                              const std::vector<workload::Request> &trace);
+
+namespace detail {
+
+/** The std::function EventLoop implementation (cluster.cc). */
+TraceMetrics
+simulateClusterLegacy(const ClusterOptions &options,
+                      const ServingProfile &profile,
+                      const std::vector<workload::Request> &trace);
+
+/** The zero-allocation EventEngine implementation (cluster_fast.cc). */
+TraceMetrics
+simulateClusterFast(const ClusterOptions &options,
+                    const ServingProfile &profile,
+                    const std::vector<workload::Request> &trace);
+
+} // namespace detail
 
 } // namespace medusa::serverless
 

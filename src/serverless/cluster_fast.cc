@@ -1,0 +1,1098 @@
+/**
+ * @file
+ * The scaled cluster simulator (DESIGN.md §15): the same §7.5
+ * semantics as cluster.cc's legacy loop — same autoscaler, same
+ * continuous-batching step model, same fault/fallback handling, same
+ * spans and metrics, bit-identical TraceMetrics (cluster_equiv_test)
+ * — rebuilt for 10^7-event runs:
+ *
+ *  - events go through the zero-allocation EventEngine
+ *    (event_engine.h): a 4-byte-tagged POD payload dispatched by
+ *    switch, slab storage, indexed 4-ary heap, O(log n) idle-timer
+ *    cancellation instead of epoch-guarded tombstones;
+ *  - arrivals are not pre-scheduled as 10^6 closures: the sorted trace
+ *    is merged into the loop as an external cursor (arrivals carry
+ *    lower seqs than any dynamic event, so ties resolve exactly as in
+ *    the legacy loop, which schedules them all first);
+ *  - requests and instances live in struct-of-arrays vectors; queues
+ *    (waiting, per-instance prefill, in-flight batch, running) are
+ *    intrusive index lists over the request table — the steady state
+ *    allocates nothing;
+ *  - the autoscaler's "most-loaded live instance with spare capacity"
+ *    scan is a per-(model, load) bitset index: O(1) membership
+ *    updates, lowest-set-bit lookups that reproduce the legacy
+ *    tie-break (lowest instance id) exactly.
+ *
+ * On top of the speed, the scheduler-policy hooks of the scale study
+ * (SchedulerPolicy in cluster.h): keep-alive warm pools and
+ * artifact-affinity node routing over a multi-model request mix.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <string_view>
+
+#include "serverless/cluster.h"
+#include "serverless/event_engine.h"
+
+namespace medusa::serverless {
+
+namespace {
+
+constexpr u32 kNil = 0xffffffffu;
+constexpr u16 kNoModel = 0xffffu;
+
+/** The typed event payload; see file comment. 8 bytes. */
+struct Ev
+{
+    enum class Kind : u8
+    {
+        kArrival = 0,
+        kStepDone,
+        kLaunchDone,
+        kIdleReclaim,
+    };
+
+    Kind kind = Kind::kArrival;
+    /** kLaunchDone: 1 = instance comes alive, 0 = it dies (kFail). */
+    u8 flag = 0;
+    u32 inst = 0;
+};
+
+/**
+ * Per-model dispatch index: for each load value, a bitset of the live
+ * instance ids currently at that load. bestBelow(cap) reproduces the
+ * legacy scan "max load among live instances with load < cap, ties to
+ * the lowest id" in O(cap + instances/64) instead of O(instances) —
+ * and typically far less, since it starts at the highest occupied
+ * load.
+ */
+class LoadIndex
+{
+  public:
+    void
+    init(u32 num_loads)
+    {
+        counts_.assign(num_loads, 0);
+        words_.assign(static_cast<std::size_t>(num_loads) * stride_, 0);
+    }
+
+    void
+    add(u32 load, u32 inst)
+    {
+        while (inst >= stride_ * 64) {
+            grow();
+        }
+        if (load >= counts_.size()) {
+            // Loads can exceed max_seqs_per_instance transiently: an
+            // in-flight prefill batch leaves the load count, the
+            // dispatcher tops the instance back up, and the batch's
+            // survivors rejoin on completion.
+            counts_.resize(load + 1, 0);
+            words_.resize(static_cast<std::size_t>(load + 1) * stride_,
+                          0);
+        }
+        words_[static_cast<std::size_t>(load) * stride_ + inst / 64] |=
+            1ull << (inst % 64);
+        ++counts_[load];
+    }
+
+    void
+    remove(u32 load, u32 inst)
+    {
+        words_[static_cast<std::size_t>(load) * stride_ + inst / 64] &=
+            ~(1ull << (inst % 64));
+        --counts_[load];
+    }
+
+    void
+    move(u32 from, u32 to, u32 inst)
+    {
+        remove(from, inst);
+        add(to, inst);
+    }
+
+    /**
+     * The best assignment target: highest non-empty load < cap, lowest
+     * instance id within it. kNil when no candidate exists.
+     */
+    u32
+    bestBelow(u32 cap) const
+    {
+        const u32 limit = std::min<u32>(
+            cap, static_cast<u32>(counts_.size()));
+        for (u32 load = limit; load-- > 0;) {
+            if (counts_[load] == 0) {
+                continue;
+            }
+            const u64 *row =
+                words_.data() + static_cast<std::size_t>(load) * stride_;
+            for (u32 w = 0; w < stride_; ++w) {
+                if (row[w] != 0) {
+                    return w * 64 +
+                           static_cast<u32>(
+                               std::countr_zero(row[w]));
+                }
+            }
+        }
+        return kNil;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const u32 new_stride = stride_ * 2;
+        std::vector<u64> next(static_cast<std::size_t>(counts_.size()) *
+                                  new_stride,
+                              0);
+        for (std::size_t load = 0; load < counts_.size(); ++load) {
+            for (u32 w = 0; w < stride_; ++w) {
+                next[load * new_stride + w] =
+                    words_[load * stride_ + w];
+            }
+        }
+        words_ = std::move(next);
+        stride_ = new_stride;
+    }
+
+    u32 stride_ = 1;
+    std::vector<u32> counts_;
+    std::vector<u64> words_;
+};
+
+/** The whole simulation; mirrors cluster.cc's ClusterSim behavior. */
+class FastClusterSim
+{
+  public:
+    FastClusterSim(const ClusterOptions &options,
+                   const ServingProfile &profile)
+        : options_(options), profile_(profile),
+          rec_([this]() { return units::secToNs(engine_.now()); }),
+          trace_(options_.pipeline.trace != nullptr ? &rec_ : nullptr)
+    {
+        MEDUSA_CHECK(options_.num_models >= 1 &&
+                         options_.num_models <= kNoModel,
+                     "bad num_models");
+        MEDUSA_CHECK(options_.max_seqs_per_instance >= 1,
+                     "need max_seqs_per_instance >= 1");
+        nodes_on_ = options_.num_models > 1 ||
+                    options_.policy == SchedulerPolicy::kAffinity;
+    }
+
+    TraceMetrics
+    run(const std::vector<workload::Request> &trace)
+    {
+        const bool hooked_cache =
+            trace_ != nullptr && options_.artifact_cache != nullptr;
+        if (hooked_cache) {
+            options_.artifact_cache->setTraceRecorder(trace_);
+        }
+        if (trace_ != nullptr) {
+            rec_.setTrackName(0, "cluster");
+            rec_.setTrackName(1, "requests");
+        }
+        initState(trace);
+        const f64 end = runLoop();
+        if (hooked_cache) {
+            options_.artifact_cache->setTraceRecorder(nullptr);
+        }
+        return finish(trace, end);
+    }
+
+  private:
+    using Engine = EventEngine<Ev>;
+
+    // ---- setup ---------------------------------------------------------
+
+    void
+    initState(const std::vector<workload::Request> &trace)
+    {
+        const u32 cap = options_.max_seqs_per_instance;
+        by_load_.resize(options_.num_models);
+        for (auto &index : by_load_) {
+            index.init(cap + 1);
+        }
+        wait_head_.assign(options_.num_models, kNil);
+        wait_tail_.assign(options_.num_models, kNil);
+        wait_count_.assign(options_.num_models, 0);
+        pending_.assign(options_.num_models, 0);
+
+        if (nodes_on_) {
+            const u32 gpn = std::max<u32>(1, options_.gpus_per_node);
+            const u32 nodes = (options_.num_gpus + gpn - 1) / gpn;
+            node_free_.assign(nodes, gpn);
+            if (options_.num_gpus % gpn != 0) {
+                node_free_.back() = options_.num_gpus % gpn;
+            }
+            const u32 slots =
+                std::max<u32>(1, options_.node_artifact_slots);
+            node_models_.assign(
+                static_cast<std::size_t>(nodes) * slots, kNoModel);
+            node_stamp_.assign(node_models_.size(), 0);
+            // Eager-create the study's counters so every policy run
+            // exports the same metric name set (zeros included).
+            metrics_.counter("cluster.node_warm_launches");
+            metrics_.counter("cluster.node_artifact_fetches");
+            metrics_.counter("cluster.affinity_evictions");
+        }
+        if (options_.policy != SchedulerPolicy::kBaseline) {
+            metrics_.counter("cluster.cold_pool_hits");
+            metrics_.gauge("cluster.keep_alive_gpu_seconds");
+        }
+        if (profile_.deferred_capture) {
+            warmed_stride_ = (profile_.batch_sizes.size() + 63) / 64;
+        }
+
+        // §2.4 hot spares: live from t=0 on model 0, never reclaimed.
+        for (u32 i = 0;
+             i < std::min(options_.hot_spares, options_.num_gpus); ++i) {
+            const u32 inst = newInstance(/*model=*/0, chooseNode(0));
+            inst_state_[inst] = kLive;
+            inst_hot_spare_[inst] = 1;
+            --pending_[0];
+            ++live_count_;
+            peak_live_ = std::max(peak_live_, live_count_);
+            by_load_[0].add(0, inst);
+        }
+
+        const std::size_t n = trace.size();
+        req_arrival_.reserve(n);
+        req_prompt_.reserve(n);
+        req_output_.reserve(n);
+        req_model_.reserve(n);
+        for (const workload::Request &r : trace) {
+            MEDUSA_CHECK(r.model_id < options_.num_models,
+                         "request model_id out of range");
+            req_arrival_.push_back(r.arrival_sec);
+            req_prompt_.push_back(r.prompt_tokens);
+            req_output_.push_back(std::max<u32>(r.output_tokens, 1));
+            req_model_.push_back(r.model_id);
+        }
+        req_generated_.assign(n, 0);
+        req_first_token_.assign(n, -1.0);
+        req_finished_.assign(n, -1.0);
+        req_next_.assign(n, kNil);
+    }
+
+    // ---- the event loop ------------------------------------------------
+
+    f64
+    runLoop()
+    {
+        // Arrivals merge in as an external sorted cursor: they were
+        // (conceptually) scheduled before any dynamic event, so at
+        // equal times the arrival fires first — the exact (time, seq)
+        // order of the legacy loop, without a million heap entries.
+        std::size_t next_arrival = 0;
+        const std::size_t n = req_arrival_.size();
+        const auto handler = [this](const Ev &ev) { dispatchEvent(ev); };
+        for (;;) {
+            if (next_arrival < n &&
+                (engine_.empty() ||
+                 req_arrival_[next_arrival] <= engine_.peekTime())) {
+                const u32 req = static_cast<u32>(next_arrival++);
+                engine_.advanceTo(req_arrival_[req]);
+                ++arrival_events_;
+                onArrival(req);
+                continue;
+            }
+            if (engine_.empty()) {
+                break;
+            }
+            engine_.step(handler);
+        }
+        return engine_.now();
+    }
+
+    void
+    dispatchEvent(const Ev &ev)
+    {
+        switch (ev.kind) {
+        case Ev::Kind::kArrival:
+            onArrival(ev.inst);
+            break;
+        case Ev::Kind::kStepDone:
+            onStepDone(ev.inst);
+            break;
+        case Ev::Kind::kLaunchDone:
+            onLaunchDone(ev.inst, ev.flag != 0);
+            break;
+        case Ev::Kind::kIdleReclaim:
+            onIdleReclaim(ev.inst);
+            break;
+        }
+    }
+
+    // ---- request/instance bookkeeping ----------------------------------
+
+    u32
+    instLoad(u32 inst) const
+    {
+        return inst_prefill_count_[inst] + inst_running_count_[inst];
+    }
+
+    void
+    setLoad(u32 inst, u32 old_load, u32 new_load)
+    {
+        if (inst_state_[inst] == kLive && old_load != new_load) {
+            by_load_[inst_model_[inst]].move(old_load, new_load, inst);
+        }
+    }
+
+    u32
+    newInstance(u16 model, u32 node)
+    {
+        const u32 inst = static_cast<u32>(inst_state_.size());
+        inst_state_.push_back(kColdStarting);
+        inst_hot_spare_.push_back(0);
+        inst_stepping_.push_back(0);
+        inst_step_is_prefill_.push_back(0);
+        inst_model_.push_back(model);
+        inst_node_.push_back(node);
+        inst_prefill_head_.push_back(kNil);
+        inst_prefill_tail_.push_back(kNil);
+        inst_prefill_count_.push_back(0);
+        inst_batch_head_.push_back(kNil);
+        inst_running_head_.push_back(kNil);
+        inst_running_tail_.push_back(kNil);
+        inst_running_count_.push_back(0);
+        inst_launched_at_.push_back(engine_.now());
+        inst_died_at_.push_back(-1.0);
+        inst_idle_since_.push_back(engine_.now());
+        inst_idle_timer_.push_back(EventHandle{});
+        if (warmed_stride_ > 0) {
+            inst_warmed_.resize(inst_warmed_.size() + warmed_stride_, 0);
+        }
+        ++pending_[model];
+        ++busy_gpus_;
+        if (node != kNil) {
+            --node_free_[node];
+        }
+        return inst;
+    }
+
+    void
+    killInstance(u32 inst)
+    {
+        inst_state_[inst] = kDead;
+        inst_died_at_[inst] = engine_.now();
+        --busy_gpus_;
+        if (inst_node_[inst] != kNil) {
+            ++node_free_[inst_node_[inst]];
+        }
+    }
+
+    // ---- dispatch (assignment + autoscale) -----------------------------
+
+    /** Assign waiting requests; scale up if demand exceeds capacity. */
+    void
+    dispatch()
+    {
+        const u32 cap = options_.max_seqs_per_instance;
+        // Feed live instances, packing onto the most-loaded one that
+        // still has capacity (the legacy bin-packing rule, served by
+        // the load index).
+        for (u16 m = 0; m < options_.num_models; ++m) {
+            while (wait_count_[m] > 0) {
+                const u32 best = by_load_[m].bestBelow(cap);
+                if (best == kNil) {
+                    break;
+                }
+                const u32 req = popWaiting(m);
+                assignTo(best, req);
+            }
+        }
+        // Autoscale: cold-start new instances for unserved demand that
+        // pending cold starts will not absorb.
+        for (u16 m = 0; m < options_.num_models; ++m) {
+            while (wait_count_[m] >
+                       static_cast<u64>(pending_[m]) * cap &&
+                   busy_gpus_ < options_.num_gpus) {
+                launchInstance(m);
+            }
+        }
+    }
+
+    u32
+    popWaiting(u16 m)
+    {
+        const u32 req = wait_head_[m];
+        wait_head_[m] = req_next_[req];
+        if (wait_head_[m] == kNil) {
+            wait_tail_[m] = kNil;
+        }
+        req_next_[req] = kNil;
+        --wait_count_[m];
+        return req;
+    }
+
+    void
+    assignTo(u32 inst, u32 req)
+    {
+        const u32 load = instLoad(inst);
+        // Policy accounting first: an assignment to an instance that
+        // outlived the baseline idle timeout is a cold start the warm
+        // pool absorbed.
+        if (options_.policy != SchedulerPolicy::kBaseline &&
+            inst_hot_spare_[inst] == 0 && load == 0 &&
+            !inst_stepping_[inst]) {
+            const f64 idle = engine_.now() - inst_idle_since_[inst];
+            if (idle > options_.idle_timeout_sec) {
+                metrics_.counter("cluster.cold_pool_hits").add(1);
+                if (options_.policy == SchedulerPolicy::kKeepAlive) {
+                    metrics_.gauge("cluster.keep_alive_gpu_seconds")
+                        .add(idle - options_.idle_timeout_sec);
+                }
+            }
+        }
+        // Enqueue for prefill; cancel any pending idle reclaim (the
+        // legacy epoch bump, as a real O(log n) heap removal).
+        if (inst_prefill_tail_[inst] == kNil) {
+            inst_prefill_head_[inst] = req;
+        } else {
+            req_next_[inst_prefill_tail_[inst]] = req;
+        }
+        inst_prefill_tail_[inst] = req;
+        req_next_[req] = kNil;
+        ++inst_prefill_count_[inst];
+        setLoad(inst, load, load + 1);
+        engine_.cancel(inst_idle_timer_[inst]);
+        inst_idle_timer_[inst] = EventHandle{};
+        if (inst_stepping_[inst] == 0) {
+            startStep(inst);
+        }
+    }
+
+    // ---- instance launch (identical timing math to cluster.cc) ---------
+
+    /** Pre-timed complete span at @p start_sec on the cluster track. */
+    void
+    traceLaunchSpan(std::string_view name, std::string_view category,
+                    f64 start_sec, f64 dur_sec)
+    {
+        if (trace_ != nullptr) {
+            trace_->complete(name, category, 0,
+                             units::secToNs(start_sec),
+                             units::secToNs(dur_sec));
+        }
+    }
+
+    /** Node for a new instance of @p m; kNil without node modeling. */
+    u32
+    chooseNode(u16 m)
+    {
+        if (!nodes_on_) {
+            return kNil;
+        }
+        const u32 nodes = static_cast<u32>(node_free_.size());
+        const u32 slots =
+            static_cast<u32>(node_models_.size() / node_free_.size());
+        if (options_.policy == SchedulerPolicy::kAffinity) {
+            // Pass 1: a free GPU on a node where the artifact is
+            // already resident (the warm launch affinity exists for).
+            for (u32 n = 0; n < nodes; ++n) {
+                if (node_free_[n] == 0) {
+                    continue;
+                }
+                for (u32 s = 0; s < slots; ++s) {
+                    if (node_models_[n * slots + s] == m) {
+                        return n;
+                    }
+                }
+            }
+            // Pass 2: a node with a free artifact slot (fetch without
+            // evicting anyone).
+            for (u32 n = 0; n < nodes; ++n) {
+                if (node_free_[n] == 0) {
+                    continue;
+                }
+                for (u32 s = 0; s < slots; ++s) {
+                    if (node_models_[n * slots + s] == kNoModel) {
+                        return n;
+                    }
+                }
+            }
+            // Pass 3: evict the globally least-recently-used artifact
+            // among nodes that still have a free GPU.
+            u32 best = kNil;
+            u64 best_stamp = ~0ull;
+            for (u32 n = 0; n < nodes; ++n) {
+                if (node_free_[n] == 0) {
+                    continue;
+                }
+                for (u32 s = 0; s < slots; ++s) {
+                    if (node_stamp_[n * slots + s] < best_stamp) {
+                        best_stamp = node_stamp_[n * slots + s];
+                        best = n;
+                    }
+                }
+            }
+            return best;
+        }
+        // Baseline / keep-alive placement ignores artifact residency:
+        // the first node with a free GPU.
+        for (u32 n = 0; n < nodes; ++n) {
+            if (node_free_[n] > 0) {
+                return n;
+            }
+        }
+        return kNil;
+    }
+
+    /** Resolve node-level artifact residency; returns the fetch cost. */
+    f64
+    nodeFetch(u32 node, u16 m)
+    {
+        const u32 slots =
+            static_cast<u32>(node_models_.size() / node_free_.size());
+        const std::size_t base = static_cast<std::size_t>(node) * slots;
+        for (u32 s = 0; s < slots; ++s) {
+            if (node_models_[base + s] == m) {
+                node_stamp_[base + s] = ++lru_tick_;
+                metrics_.counter("cluster.node_warm_launches").add(1);
+                return 0.0;
+            }
+        }
+        metrics_.counter("cluster.node_artifact_fetches").add(1);
+        u32 victim = 0;
+        u64 victim_stamp = ~0ull;
+        bool free_slot = false;
+        for (u32 s = 0; s < slots; ++s) {
+            if (node_models_[base + s] == kNoModel) {
+                victim = s;
+                free_slot = true;
+                break;
+            }
+            if (node_stamp_[base + s] < victim_stamp) {
+                victim_stamp = node_stamp_[base + s];
+                victim = s;
+            }
+        }
+        if (!free_slot) {
+            metrics_.counter("cluster.affinity_evictions").add(1);
+        }
+        node_models_[base + victim] = m;
+        node_stamp_[base + victim] = ++lru_tick_;
+        return options_.node_artifact_miss_sec;
+    }
+
+    void
+    launchInstance(u16 m)
+    {
+        metrics_.counter("cluster.cold_starts").add(1);
+        const u32 node = chooseNode(m);
+        const u32 inst = newInstance(m, node);
+        const f64 t0 = engine_.now();
+        // Artifact fetch via the process-wide cache (legacy semantics:
+        // first cold start loads, later ones share for free).
+        f64 fetch_sec = 0;
+        if (options_.artifact_cache != nullptr &&
+            options_.artifact_loader) {
+            bool hit = false;
+            auto artifact = options_.artifact_cache->getOrLoad(
+                options_.artifact_key, options_.artifact_loader, &hit);
+            metrics_.counter("cluster.artifact_loads").add(1);
+            if (artifact.isOk() && hit) {
+                metrics_.counter("cluster.artifact_cache_hits").add(1);
+            } else {
+                fetch_sec = options_.artifact_miss_sec;
+            }
+        }
+        // Node-local residency (the affinity study's fetch model).
+        if (nodes_on_ && node != kNil) {
+            fetch_sec += nodeFetch(node, m);
+        }
+        // Restore / fault / fallback timing — the arithmetic below is
+        // kept expression-for-expression identical to cluster.cc so
+        // the two engines produce bit-equal launch latencies.
+        f64 launch_delay = fetch_sec;
+        bool comes_alive = true;
+        FaultInjector *fault = options_.pipeline.fault;
+        if (fault == nullptr) {
+            traceLaunchSpan("restore.attempt", "restore",
+                            t0 + launch_delay, profile_.cold_start_sec);
+            launch_delay += profile_.cold_start_sec;
+        } else {
+            const core::FallbackPolicy &fb = options_.fallback;
+            const u32 max_attempts =
+                fb.mode == core::FallbackMode::kRetryThenVanilla
+                    ? std::max<u32>(1, fb.max_attempts)
+                    : 1;
+            f64 backoff = fb.backoff_sec;
+            bool restored = false;
+            for (u32 attempt = 1; attempt <= max_attempts; ++attempt) {
+                if (fault
+                        ->check(FaultPoint::kClusterRestore,
+                                "instance launch")
+                        .isOk()) {
+                    traceLaunchSpan("restore.attempt", "restore",
+                                    t0 + launch_delay,
+                                    profile_.cold_start_sec);
+                    launch_delay += profile_.cold_start_sec;
+                    restored = true;
+                    break;
+                }
+                const f64 wasted =
+                    fault->drawFraction(FaultPoint::kClusterRestore) *
+                    profile_.cold_start_sec;
+                traceLaunchSpan("restore.attempt", "restore",
+                                t0 + launch_delay, wasted);
+                if (trace_ != nullptr) {
+                    TraceEvent ev;
+                    ev.name = "restore.attempt_failed";
+                    ev.category = "restore";
+                    ev.phase = TraceEvent::Phase::kInstant;
+                    ev.start_ns =
+                        units::secToNs(t0 + launch_delay + wasted);
+                    trace_->append(std::move(ev));
+                }
+                launch_delay += wasted;
+                metrics_.gauge("cluster.wasted_restore_sec").add(wasted);
+                metrics_.counter("cluster.restore_failures").add(1);
+                if (fb.mode == core::FallbackMode::kFail) {
+                    comes_alive = false;
+                    break;
+                }
+                if (attempt < max_attempts) {
+                    metrics_.counter("cluster.retries").add(1);
+                    launch_delay += backoff;
+                    backoff *= fb.backoff_multiplier;
+                }
+            }
+            if (!restored && comes_alive) {
+                metrics_.counter("cluster.fallback_cold_starts").add(1);
+                const f64 vanilla =
+                    options_.vanilla_cold_start_sec > 0
+                        ? options_.vanilla_cold_start_sec
+                        : profile_.cold_start_sec;
+                traceLaunchSpan("fallback.vanilla_cold_start",
+                                "fallback", t0 + launch_delay, vanilla);
+                launch_delay += vanilla;
+            }
+        }
+        launch_sec_.add(launch_delay);
+        traceLaunchSpan("instance.launch", "cluster", t0, launch_delay);
+        engine_.scheduleAfter(
+            launch_delay,
+            Ev{Ev::Kind::kLaunchDone,
+               static_cast<u8>(comes_alive ? 1 : 0), inst});
+    }
+
+    // ---- event handlers ------------------------------------------------
+
+    void
+    onArrival(u32 req)
+    {
+        const u16 m = req_model_[req];
+        if (wait_tail_[m] == kNil) {
+            wait_head_[m] = req;
+        } else {
+            req_next_[wait_tail_[m]] = req;
+        }
+        wait_tail_[m] = req;
+        req_next_[req] = kNil;
+        ++wait_count_[m];
+        dispatch();
+    }
+
+    void
+    onLaunchDone(u32 inst, bool alive)
+    {
+        const u16 m = inst_model_[inst];
+        --pending_[m];
+        if (!alive) {
+            // kFail: the instance dies after the wasted restore time;
+            // dispatch() sees the freed GPU and relaunches for any
+            // still-unserved demand.
+            killInstance(inst);
+            dispatch();
+            return;
+        }
+        inst_state_[inst] = kLive;
+        ++live_count_;
+        peak_live_ = std::max(peak_live_, live_count_);
+        inst_idle_since_[inst] = engine_.now();
+        by_load_[m].add(instLoad(inst), inst);
+        dispatch();
+        if (instLoad(inst) == 0) {
+            armIdleTimeout(inst);
+        }
+    }
+
+    void
+    onStepDone(u32 inst)
+    {
+        const f64 now = engine_.now();
+        const u32 load_before = instLoad(inst);
+        u32 load = load_before;
+        if (inst_step_is_prefill_[inst] != 0) {
+            // Prefill completion: the batch emits its first tokens;
+            // survivors join the decode set (in batch order, as the
+            // legacy push_back did).
+            u32 req = inst_batch_head_[inst];
+            inst_batch_head_[inst] = kNil;
+            while (req != kNil) {
+                const u32 next = req_next_[req];
+                req_first_token_[req] = now;
+                req_generated_[req] = 1;
+                if (req_generated_[req] >= req_output_[req]) {
+                    req_finished_[req] = now;
+                    req_next_[req] = kNil;
+                } else {
+                    if (inst_running_tail_[inst] == kNil) {
+                        inst_running_head_[inst] = req;
+                    } else {
+                        req_next_[inst_running_tail_[inst]] = req;
+                    }
+                    inst_running_tail_[inst] = req;
+                    req_next_[req] = kNil;
+                    ++inst_running_count_[inst];
+                    ++load;
+                }
+                req = next;
+            }
+        } else {
+            // Decode completion over all running sequences.
+            u32 prev = kNil;
+            u32 req = inst_running_head_[inst];
+            while (req != kNil) {
+                const u32 next = req_next_[req];
+                ++req_generated_[req];
+                if (req_generated_[req] >= req_output_[req]) {
+                    req_finished_[req] = now;
+                    if (prev == kNil) {
+                        inst_running_head_[inst] = next;
+                    } else {
+                        req_next_[prev] = next;
+                    }
+                    if (next == kNil) {
+                        inst_running_tail_[inst] = prev;
+                    }
+                    req_next_[req] = kNil;
+                    --inst_running_count_[inst];
+                    --load;
+                } else {
+                    prev = req;
+                }
+                req = next;
+            }
+        }
+        setLoad(inst, load_before, load);
+        finishStep(inst);
+    }
+
+    void
+    onIdleReclaim(u32 inst)
+    {
+        inst_idle_timer_[inst] = EventHandle{};
+        if (inst_state_[inst] != kLive || instLoad(inst) != 0 ||
+            inst_stepping_[inst] != 0) {
+            return; // defensive; cancellation makes this unreachable
+        }
+        if (options_.policy == SchedulerPolicy::kKeepAlive &&
+            live_count_ <= options_.keep_alive_instances) {
+            // Warm-pool floor: stay alive, unarmed — the next
+            // assignment (a cold_pool_hit) or the end of the run bills
+            // the idle GPU-seconds.
+            return;
+        }
+        if (options_.policy == SchedulerPolicy::kKeepAlive) {
+            const f64 idle = engine_.now() - inst_idle_since_[inst];
+            if (idle > options_.idle_timeout_sec) {
+                metrics_.gauge("cluster.keep_alive_gpu_seconds")
+                    .add(idle - options_.idle_timeout_sec);
+            }
+        }
+        by_load_[inst_model_[inst]].remove(0, inst);
+        --live_count_;
+        killInstance(inst);
+    }
+
+    // ---- the step loop (identical timing math to cluster.cc) -----------
+
+    void
+    startStep(u32 inst)
+    {
+        MEDUSA_CHECK(inst_stepping_[inst] == 0,
+                     "instance already stepping");
+        if (inst_prefill_count_[inst] > 0) {
+            // Prefill step: batch admitted prompts up to the token
+            // budget (they leave the load count while in flight, as
+            // the legacy local batch vector did).
+            const u32 load_before = instLoad(inst);
+            u32 tokens = 0;
+            u32 batched = 0;
+            u32 tail = kNil;
+            while (inst_prefill_count_[inst] > 0) {
+                const u32 req = inst_prefill_head_[inst];
+                if (batched > 0 &&
+                    tokens + req_prompt_[req] >
+                        options_.max_batched_tokens) {
+                    break;
+                }
+                tokens += req_prompt_[req];
+                inst_prefill_head_[inst] = req_next_[req];
+                if (inst_prefill_head_[inst] == kNil) {
+                    inst_prefill_tail_[inst] = kNil;
+                }
+                --inst_prefill_count_[inst];
+                if (tail == kNil) {
+                    inst_batch_head_[inst] = req;
+                } else {
+                    req_next_[tail] = req;
+                }
+                req_next_[req] = kNil;
+                tail = req;
+                ++batched;
+            }
+            inst_stepping_[inst] = 1;
+            inst_step_is_prefill_[inst] = 1;
+            setLoad(inst, load_before, load_before - batched);
+            const f64 step = profile_.prefill(tokens);
+            engine_.scheduleAfter(step,
+                                  Ev{Ev::Kind::kStepDone, 0, inst});
+            return;
+        }
+        if (inst_running_count_[inst] > 0) {
+            // Decode step over all running sequences.
+            inst_stepping_[inst] = 1;
+            inst_step_is_prefill_[inst] = 0;
+            const u32 bs = inst_running_count_[inst];
+            f64 step = profile_.decodeStep(bs);
+            if (profile_.deferred_capture) {
+                // §2.4: the first step at a new batch-size bucket pays
+                // the lazy warm-up + capture.
+                const std::size_t bucket = profile_.bucketIndex(bs);
+                u64 &word =
+                    inst_warmed_[static_cast<std::size_t>(inst) *
+                                     warmed_stride_ +
+                                 bucket / 64];
+                const u64 bit = 1ull << (bucket % 64);
+                if ((word & bit) == 0) {
+                    word |= bit;
+                    step += profile_.capturePenalty(bs);
+                }
+            }
+            engine_.scheduleAfter(step,
+                                  Ev{Ev::Kind::kStepDone, 0, inst});
+            return;
+        }
+        armIdleTimeout(inst);
+    }
+
+    void
+    finishStep(u32 inst)
+    {
+        inst_stepping_[inst] = 0;
+        // Pull any globally waiting work before the next step; the
+        // dispatch may itself restart this instance's step loop.
+        dispatch();
+        if (inst_state_[inst] != kLive || inst_stepping_[inst] != 0) {
+            return;
+        }
+        if (instLoad(inst) > 0) {
+            startStep(inst);
+        } else {
+            armIdleTimeout(inst);
+        }
+    }
+
+    void
+    armIdleTimeout(u32 inst)
+    {
+        if (inst_hot_spare_[inst] != 0) {
+            return; // spares are provisioned for the whole run
+        }
+        engine_.cancel(inst_idle_timer_[inst]);
+        inst_idle_since_[inst] = engine_.now();
+        const f64 timeout =
+            options_.policy == SchedulerPolicy::kKeepAlive &&
+                    options_.keep_alive_idle_sec >= 0
+                ? options_.keep_alive_idle_sec
+                : options_.idle_timeout_sec;
+        inst_idle_timer_[inst] = engine_.scheduleAfter(
+            timeout, Ev{Ev::Kind::kIdleReclaim, 0, inst});
+    }
+
+    // ---- epilogue (mirrors cluster.cc's run() tail) --------------------
+
+    TraceMetrics
+    finish(const std::vector<workload::Request> &trace, f64 end)
+    {
+        TraceMetrics m;
+        f64 first_arrival = trace.empty() ? 0 : trace.front().arrival_sec;
+        f64 last_finish = first_arrival;
+        for (std::size_t i = 0; i < req_arrival_.size(); ++i) {
+            if (req_finished_[i] < 0) {
+                continue; // should not happen; guards divide-by-zero
+            }
+            ++m.completed;
+            m.ttft_sec.add(req_first_token_[i] - req_arrival_[i]);
+            m.e2e_sec.add(req_finished_[i] - req_arrival_[i]);
+            last_finish = std::max(last_finish, req_finished_[i]);
+            if (trace_ != nullptr) {
+                TraceEvent ev;
+                ev.name = "request";
+                ev.category = "request";
+                ev.track = 1;
+                ev.start_ns = units::secToNs(req_arrival_[i]);
+                ev.dur_ns =
+                    units::secToNs(req_finished_[i] - req_arrival_[i]);
+                ev.args.emplace_back(
+                    "ttft_sec",
+                    std::to_string(req_first_token_[i] -
+                                   req_arrival_[i]));
+                trace_->append(std::move(ev));
+            }
+        }
+        m.makespan_sec = std::max(last_finish - first_arrival, 1e-9);
+        m.achieved_qps = static_cast<f64>(m.completed) / m.makespan_sec;
+        for (std::size_t i = 0; i < inst_state_.size(); ++i) {
+            const f64 death =
+                inst_died_at_[i] >= 0 ? inst_died_at_[i] : end;
+            m.gpu_seconds += std::max(0.0, death - inst_launched_at_[i]);
+        }
+        // Bill idle time the keep-alive floor kept on the books.
+        if (options_.policy == SchedulerPolicy::kKeepAlive) {
+            for (std::size_t i = 0; i < inst_state_.size(); ++i) {
+                if (inst_state_[i] != kLive ||
+                    inst_hot_spare_[i] != 0 ||
+                    instLoad(static_cast<u32>(i)) != 0 ||
+                    inst_stepping_[i] != 0) {
+                    continue;
+                }
+                const f64 idle = end - inst_idle_since_[i];
+                if (idle > options_.idle_timeout_sec) {
+                    metrics_.gauge("cluster.keep_alive_gpu_seconds")
+                        .add(idle - options_.idle_timeout_sec);
+                }
+            }
+        }
+        m.launch_sec = std::move(launch_sec_);
+        m.instances_launched = inst_state_.size();
+        m.peak_live_instances = peak_live_;
+        m.sim_events = engine_.dispatched() + arrival_events_;
+        metrics_.counter("cluster.completed").add(m.completed);
+        metrics_.gauge("cluster.makespan_sec").set(m.makespan_sec);
+        metrics_.gauge("cluster.achieved_qps").set(m.achieved_qps);
+        metrics_.gauge("cluster.gpu_seconds").set(m.gpu_seconds);
+        m.metrics = metrics_.snapshot();
+        m.cold_starts = m.metrics.counterValue("cluster.cold_starts");
+        m.artifact_loads =
+            m.metrics.counterValue("cluster.artifact_loads");
+        m.artifact_cache_hits =
+            m.metrics.counterValue("cluster.artifact_cache_hits");
+        m.restore_failures =
+            m.metrics.counterValue("cluster.restore_failures");
+        m.fallback_cold_starts =
+            m.metrics.counterValue("cluster.fallback_cold_starts");
+        m.retries = m.metrics.counterValue("cluster.retries");
+        m.wasted_restore_sec =
+            m.metrics.gaugeValue("cluster.wasted_restore_sec");
+        m.cold_pool_hits =
+            m.metrics.counterValue("cluster.cold_pool_hits");
+        m.keep_alive_gpu_seconds =
+            m.metrics.gaugeValue("cluster.keep_alive_gpu_seconds");
+        m.affinity_evictions =
+            m.metrics.counterValue("cluster.affinity_evictions");
+        m.node_warm_launches =
+            m.metrics.counterValue("cluster.node_warm_launches");
+        m.node_artifact_fetches =
+            m.metrics.counterValue("cluster.node_artifact_fetches");
+        if (options_.pipeline.trace != nullptr) {
+            options_.pipeline.trace->appendAll(rec_.events());
+            options_.pipeline.trace->setTrackName(0, "cluster");
+            options_.pipeline.trace->setTrackName(1, "requests");
+        }
+        if (options_.pipeline.metrics != nullptr) {
+            options_.pipeline.metrics->mergeFrom(m.metrics);
+        }
+        return m;
+    }
+
+    enum : u8
+    {
+        kColdStarting = 0,
+        kLive = 1,
+        kDead = 2,
+    };
+
+    ClusterOptions options_;
+    const ServingProfile &profile_;
+    Engine engine_;
+    /** Run-local recorder on the engine clock (exported at end). */
+    TraceRecorder rec_;
+    /** &rec_ when the caller asked for tracing, else null (zero cost). */
+    TraceRecorder *trace_ = nullptr;
+    /** Canonical `cluster.*` counters; TraceMetrics is a view of it. */
+    MetricsRegistry metrics_;
+    bool nodes_on_ = false;
+
+    // Request table (struct-of-arrays, trace order).
+    std::vector<f64> req_arrival_;
+    std::vector<u32> req_prompt_;
+    std::vector<u32> req_output_;
+    std::vector<u32> req_generated_;
+    std::vector<f64> req_first_token_;
+    std::vector<f64> req_finished_;
+    std::vector<u32> req_next_;
+    std::vector<u16> req_model_;
+
+    // Instance table (struct-of-arrays, creation order).
+    std::vector<u8> inst_state_;
+    std::vector<u8> inst_hot_spare_;
+    std::vector<u8> inst_stepping_;
+    std::vector<u8> inst_step_is_prefill_;
+    std::vector<u16> inst_model_;
+    std::vector<u32> inst_node_;
+    std::vector<u32> inst_prefill_head_;
+    std::vector<u32> inst_prefill_tail_;
+    std::vector<u32> inst_prefill_count_;
+    std::vector<u32> inst_batch_head_;
+    std::vector<u32> inst_running_head_;
+    std::vector<u32> inst_running_tail_;
+    std::vector<u32> inst_running_count_;
+    std::vector<f64> inst_launched_at_;
+    std::vector<f64> inst_died_at_;
+    std::vector<f64> inst_idle_since_;
+    std::vector<EventHandle> inst_idle_timer_;
+    std::vector<u64> inst_warmed_;
+    std::size_t warmed_stride_ = 0;
+
+    // Waiting FIFOs and the dispatch index, per model.
+    std::vector<u32> wait_head_;
+    std::vector<u32> wait_tail_;
+    std::vector<u64> wait_count_;
+    std::vector<u32> pending_;
+    std::vector<LoadIndex> by_load_;
+
+    // Node-level artifact residency (affinity study).
+    std::vector<u32> node_free_;
+    std::vector<u16> node_models_;
+    std::vector<u64> node_stamp_;
+    u64 lru_tick_ = 0;
+
+    u32 busy_gpus_ = 0;
+    u64 live_count_ = 0;
+    u64 peak_live_ = 0;
+    u64 arrival_events_ = 0;
+    PercentileTracker launch_sec_;
+};
+
+} // namespace
+
+namespace detail {
+
+TraceMetrics
+simulateClusterFast(const ClusterOptions &options,
+                    const ServingProfile &profile,
+                    const std::vector<workload::Request> &trace)
+{
+    FastClusterSim sim(options, profile);
+    return sim.run(trace);
+}
+
+} // namespace detail
+
+} // namespace medusa::serverless

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -45,9 +46,14 @@ class EventLoop
     run()
     {
         while (!queue_.empty()) {
-            Event ev = queue_.top();
+            // Move the handler out of the queue: top() is const, but the
+            // element is about to be popped, so stealing its closure
+            // (instead of copying the std::function and its captures on
+            // every dispatch) is safe.
+            Event ev = std::move(const_cast<Event &>(queue_.top()));
             queue_.pop();
             now_ = ev.time;
+            ++dispatched_;
             ev.fn();
         }
         return now_;
@@ -55,6 +61,8 @@ class EventLoop
 
     f64 now() const { return now_; }
     bool empty() const { return queue_.empty(); }
+    /** Events dispatched so far (for events/sec accounting). */
+    u64 dispatched() const { return dispatched_; }
 
   private:
     struct Event
@@ -77,6 +85,7 @@ class EventLoop
         queue_;
     f64 now_ = 0;
     u64 next_seq_ = 0;
+    u64 dispatched_ = 0;
 };
 
 } // namespace medusa::serverless

@@ -1,0 +1,115 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace medusa::workload {
+
+namespace {
+
+constexpr f64 kTwoPi = 2.0 * 3.14159265358979323846;
+
+/** Draw one token length: log-normal body with a Pareto tail mix. */
+u32
+drawLength(BatchRng &rng, f64 mu, f64 sigma, f64 tail_prob,
+           f64 tail_alpha, f64 mean, u32 max_tokens)
+{
+    f64 v;
+    if (tail_prob > 0 && rng.nextDouble() < tail_prob) {
+        v = rng.nextPareto(mean, tail_alpha);
+    } else {
+        v = rng.nextLogNormal(mu, sigma);
+    }
+    return static_cast<u32>(
+        std::clamp(v, 1.0, static_cast<f64>(max_tokens)));
+}
+
+} // namespace
+
+std::vector<Request>
+generateSyntheticTrace(const SyntheticTraceOptions &options)
+{
+    MEDUSA_CHECK(options.diurnal_amplitude >= 0.0 &&
+                     options.diurnal_amplitude < 1.0,
+                 "diurnal_amplitude must be in [0, 1)");
+    MEDUSA_CHECK(options.num_models >= 1, "need at least one model");
+    BatchRng rng(options.seed);
+
+    // Log-normal parameterization: mean = exp(mu + sigma^2/2).
+    const f64 sigma = options.length_sigma;
+    const f64 prompt_mu =
+        std::log(options.mean_prompt_tokens) - sigma * sigma / 2.0;
+    const f64 output_mu =
+        std::log(options.mean_output_tokens) - sigma * sigma / 2.0;
+
+    // Zipf CDF over model ids (popularity ranks). Tiny table, computed
+    // once; draws binary-search it.
+    std::vector<f64> model_cdf;
+    if (options.num_models > 1) {
+        model_cdf.reserve(options.num_models);
+        f64 total = 0;
+        for (u32 m = 0; m < options.num_models; ++m) {
+            total += 1.0 / std::pow(static_cast<f64>(m + 1),
+                                    options.model_zipf_s);
+            model_cdf.push_back(total);
+        }
+        for (f64 &c : model_cdf) {
+            c /= total;
+        }
+    }
+
+    // Lewis-Shedler thinning: draw candidate arrivals from a
+    // homogeneous Poisson process at the peak rate, accept each with
+    // probability rate(t) / peak. Exactly reproduces the seeded draw
+    // sequence regardless of acceptance pattern.
+    const f64 peak_rate =
+        options.requests_per_sec * (1.0 + options.diurnal_amplitude);
+    MEDUSA_CHECK(peak_rate > 0, "requests_per_sec must be positive");
+
+    std::vector<Request> trace;
+    if (options.max_requests > 0) {
+        trace.reserve(options.max_requests);
+    }
+    f64 now = 0;
+    while (true) {
+        now += rng.nextExponential(peak_rate);
+        if (now >= options.duration_sec) {
+            break;
+        }
+        const f64 rate =
+            options.requests_per_sec *
+            (1.0 + options.diurnal_amplitude *
+                       std::sin(kTwoPi * now /
+                                options.diurnal_period_sec));
+        if (rng.nextDouble() * peak_rate >= rate) {
+            continue; // thinned out
+        }
+        Request r;
+        r.arrival_sec = now;
+        r.prompt_tokens = drawLength(
+            rng, prompt_mu, sigma, options.tail_prob, options.tail_alpha,
+            options.mean_prompt_tokens, options.max_prompt_tokens);
+        r.output_tokens = drawLength(
+            rng, output_mu, sigma, options.tail_prob, options.tail_alpha,
+            options.mean_output_tokens, options.max_output_tokens);
+        if (options.num_models > 1) {
+            const f64 u = rng.nextDouble();
+            const auto it = std::lower_bound(model_cdf.begin(),
+                                             model_cdf.end(), u);
+            r.model_id = static_cast<u16>(
+                std::min<std::size_t>(it - model_cdf.begin(),
+                                      options.num_models - 1));
+        }
+        trace.push_back(r);
+        if (options.max_requests > 0 &&
+            trace.size() >= options.max_requests) {
+            break;
+        }
+    }
+    return trace;
+}
+
+} // namespace medusa::workload

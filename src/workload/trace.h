@@ -29,6 +29,13 @@ struct Request
     u32 prompt_tokens = 0;
     /** Real output length in tokens. */
     u32 output_tokens = 0;
+    /**
+     * The model this request targets (an index into the cluster's model
+     * set). Single-model traces — everything the ShareGPT generator
+     * produces — leave it 0; the synthetic generator (synthetic.h) draws
+     * it from a Zipf mix for the multi-model scheduling studies.
+     */
+    u16 model_id = 0;
 };
 
 /** Generator configuration. */

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Engine-equivalence suite for the cluster simulator (DESIGN.md §15):
+ * the zero-allocation fast engine (cluster_fast.cc) must produce
+ * BIT-IDENTICAL TraceMetrics, metric snapshots and Chrome trace streams
+ * to the legacy std::function EventLoop (cluster.cc) on the paper's
+ * fig10/§7.5 traces and on every feature the legacy loop supports —
+ * hot spares, deferred capture, idle reclaim, fault injection with
+ * every fallback mode, and the artifact cache. Plus: the fast engine's
+ * own determinism at the million-request scale of the bench.
+ *
+ * sim_events is the one field deliberately excluded: the legacy loop
+ * dispatches stale idle-timer tombstones that the fast engine cancels
+ * outright (see TraceMetrics::sim_events).
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/fault.h"
+#include "medusa/artifact_cache.h"
+#include "serverless/cluster.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace medusa::serverless {
+namespace {
+
+/** The toy profile of serverless_test.cc (easy arithmetic). */
+ServingProfile
+toyProfile(f64 cold_start = 2.0)
+{
+    ServingProfile p;
+    p.model_name = "toy";
+    p.strategy = llm::Strategy::kVllm;
+    p.loading_sec = cold_start;
+    p.cold_start_sec = cold_start;
+    p.batch_sizes = {1, 10};
+    p.decode_step_sec = {0.01, 0.10};
+    p.prefill_tokens = {100, 1000};
+    p.prefill_sec = {0.1, 1.0};
+    return p;
+}
+
+/** One engine run with its own sinks and (optional) fault stream. */
+struct RunResult
+{
+    TraceMetrics metrics;
+    std::string chrome_json;
+    std::string metrics_json;
+};
+
+RunResult
+runEngine(ClusterOptions opts, const ServingProfile &profile,
+          const std::vector<workload::Request> &trace, SimEngine engine,
+          const FaultPlan *plan = nullptr,
+          core::ArtifactCache *cache = nullptr)
+{
+    TraceRecorder rec;
+    MetricsRegistry reg;
+    std::optional<FaultInjector> injector;
+    if (plan != nullptr) {
+        injector.emplace(*plan);
+        opts.pipeline.fault = &*injector;
+    }
+    opts.pipeline.trace = &rec;
+    opts.pipeline.metrics = &reg;
+    opts.artifact_cache = cache;
+    opts.engine = engine;
+    RunResult r;
+    r.metrics = simulateCluster(opts, profile, trace);
+    r.chrome_json = rec.toChromeJson();
+    r.metrics_json = reg.toJson();
+    return r;
+}
+
+/**
+ * Bit-identity between the engines: exact == on every float (no
+ * EXPECT_NEAR — the refactor preserves expression order, so results
+ * must match to the last ulp).
+ */
+void
+expectBitIdentical(const RunResult &legacy, const RunResult &fast)
+{
+    const TraceMetrics &a = legacy.metrics;
+    const TraceMetrics &b = fast.metrics;
+    EXPECT_EQ(a.ttft_sec.samples(), b.ttft_sec.samples());
+    EXPECT_EQ(a.e2e_sec.samples(), b.e2e_sec.samples());
+    EXPECT_EQ(a.launch_sec.samples(), b.launch_sec.samples());
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.cold_starts, b.cold_starts);
+    EXPECT_EQ(a.achieved_qps, b.achieved_qps);
+    EXPECT_EQ(a.makespan_sec, b.makespan_sec);
+    EXPECT_EQ(a.gpu_seconds, b.gpu_seconds);
+    EXPECT_EQ(a.artifact_loads, b.artifact_loads);
+    EXPECT_EQ(a.artifact_cache_hits, b.artifact_cache_hits);
+    EXPECT_EQ(a.restore_failures, b.restore_failures);
+    EXPECT_EQ(a.fallback_cold_starts, b.fallback_cold_starts);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.wasted_restore_sec, b.wasted_restore_sec);
+    EXPECT_EQ(a.instances_launched, b.instances_launched);
+    EXPECT_EQ(a.peak_live_instances, b.peak_live_instances);
+    EXPECT_EQ(legacy.metrics_json, fast.metrics_json);
+    EXPECT_EQ(legacy.chrome_json, fast.chrome_json);
+}
+
+void
+expectEnginesAgree(const ClusterOptions &opts,
+                   const ServingProfile &profile,
+                   const std::vector<workload::Request> &trace,
+                   const FaultPlan *plan = nullptr,
+                   bool with_cache = false)
+{
+    // Each run gets a fresh fault stream and artifact cache: both are
+    // stateful in hit order, and the engines must consume them
+    // identically.
+    std::optional<core::ArtifactCache> legacy_cache;
+    std::optional<core::ArtifactCache> fast_cache;
+    ClusterOptions copts = opts;
+    if (with_cache) {
+        legacy_cache.emplace();
+        fast_cache.emplace();
+        copts.artifact_key = "toy";
+        copts.artifact_loader = []() -> StatusOr<core::Artifact> {
+            return core::Artifact{};
+        };
+        copts.artifact_miss_sec = 0.7;
+    }
+    const RunResult legacy =
+        runEngine(copts, profile, trace, SimEngine::kLegacy, plan,
+                  with_cache ? &*legacy_cache : nullptr);
+    const RunResult fast =
+        runEngine(copts, profile, trace, SimEngine::kFast, plan,
+                  with_cache ? &*fast_cache : nullptr);
+    expectBitIdentical(legacy, fast);
+}
+
+/** The fig10 bench's trace family (§7.5 replay statistics). */
+std::vector<workload::Request>
+fig10Trace(f64 rps, u64 seed, f64 duration_sec = 120)
+{
+    workload::TraceOptions topts;
+    topts.requests_per_sec = rps;
+    topts.duration_sec = duration_sec;
+    topts.seed = seed;
+    return workload::generateShareGptTrace(topts);
+}
+
+TEST(ClusterEquivTest, Fig10TracesBitIdentical)
+{
+    const ServingProfile p = toyProfile(2.0);
+    for (const f64 rps : {2.0, 10.0}) {
+        for (const u64 seed : {20250330ull, 20250331ull}) {
+            ClusterOptions opts;
+            expectEnginesAgree(opts, p, fig10Trace(rps, seed));
+        }
+    }
+}
+
+TEST(ClusterEquivTest, TightIdleTimeoutBitIdentical)
+{
+    ClusterOptions opts;
+    opts.idle_timeout_sec = 0.5; // heavy reclaim/relaunch churn
+    opts.num_gpus = 2;
+    expectEnginesAgree(opts, toyProfile(1.0),
+                       fig10Trace(6.0, 20250401ull));
+}
+
+TEST(ClusterEquivTest, HotSparesBitIdentical)
+{
+    ClusterOptions opts;
+    opts.hot_spares = 2;
+    opts.idle_timeout_sec = 2.0;
+    expectEnginesAgree(opts, toyProfile(1.5),
+                       fig10Trace(4.0, 20250402ull));
+}
+
+TEST(ClusterEquivTest, DeferredCaptureBitIdentical)
+{
+    ServingProfile p = toyProfile(1.0);
+    p.deferred_capture = true;
+    p.capture_penalty_sec = {0.5, 0.5};
+    ClusterOptions opts;
+    opts.max_seqs_per_instance = 8; // varied decode batch sizes
+    expectEnginesAgree(opts, p, fig10Trace(8.0, 20250403ull));
+}
+
+TEST(ClusterEquivTest, SmallBatchBudgetBitIdentical)
+{
+    ClusterOptions opts;
+    opts.max_batched_tokens = 200; // force multi-step prefill queues
+    opts.max_seqs_per_instance = 4;
+    expectEnginesAgree(opts, toyProfile(1.0),
+                       fig10Trace(8.0, 20250404ull));
+}
+
+TEST(ClusterEquivTest, FaultRetryThenVanillaBitIdentical)
+{
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.rule(FaultPoint::kClusterRestore).probability = 0.4;
+    ClusterOptions opts;
+    opts.fallback.mode = core::FallbackMode::kRetryThenVanilla;
+    opts.fallback.max_attempts = 3;
+    opts.fallback.backoff_sec = 0.05;
+    opts.vanilla_cold_start_sec = 4.0;
+    opts.idle_timeout_sec = 1.0;
+    expectEnginesAgree(opts, toyProfile(2.0),
+                       fig10Trace(5.0, 20250405ull), &plan);
+}
+
+TEST(ClusterEquivTest, FaultFailModeBitIdentical)
+{
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.rule(FaultPoint::kClusterRestore).probability = 0.5;
+    ClusterOptions opts;
+    opts.fallback.mode = core::FallbackMode::kFail;
+    opts.num_gpus = 2;
+    expectEnginesAgree(opts, toyProfile(1.0),
+                       fig10Trace(4.0, 20250406ull), &plan);
+}
+
+TEST(ClusterEquivTest, ArtifactCacheBitIdentical)
+{
+    ClusterOptions opts;
+    opts.idle_timeout_sec = 0.5; // several cold starts share the cache
+    expectEnginesAgree(opts, toyProfile(1.0),
+                       fig10Trace(5.0, 20250407ull), nullptr,
+                       /*with_cache=*/true);
+}
+
+TEST(ClusterEquivTest, SyntheticTraceBitIdentical)
+{
+    workload::SyntheticTraceOptions sopts;
+    sopts.seed = 42;
+    sopts.duration_sec = 60;
+    sopts.requests_per_sec = 20;
+    const auto trace = workload::generateSyntheticTrace(sopts);
+    ASSERT_GT(trace.size(), 500u);
+    ClusterOptions opts;
+    opts.num_gpus = 8;
+    expectEnginesAgree(opts, toyProfile(1.5), trace);
+}
+
+/**
+ * The scale contract: the fast engine replays a million-request trace
+ * deterministically — two runs from the same seed produce byte-equal
+ * metric snapshots and identical latency sample streams.
+ */
+TEST(ClusterEquivTest, MillionRequestRunIsDeterministic)
+{
+    workload::SyntheticTraceOptions sopts;
+    sopts.seed = 20250808;
+    sopts.duration_sec = 400;
+    sopts.requests_per_sec = 3000;
+    sopts.max_requests = 1000000;
+    // Short outputs keep the event count (and test wall time) bounded
+    // while still exercising batching and reclaim.
+    sopts.mean_output_tokens = 8;
+    sopts.max_output_tokens = 64;
+    const auto trace = workload::generateSyntheticTrace(sopts);
+    ASSERT_EQ(trace.size(), 1000000u);
+
+    ClusterOptions opts;
+    opts.num_gpus = 2048;
+    opts.idle_timeout_sec = 2.0;
+    const ServingProfile p = toyProfile(1.0);
+
+    TraceMetrics a = detail::simulateClusterFast(opts, p, trace);
+    TraceMetrics b = detail::simulateClusterFast(opts, p, trace);
+    EXPECT_EQ(a.completed, 1000000u);
+    EXPECT_EQ(a.ttft_sec.samples(), b.ttft_sec.samples());
+    EXPECT_EQ(a.e2e_sec.samples(), b.e2e_sec.samples());
+    EXPECT_EQ(a.launch_sec.samples(), b.launch_sec.samples());
+    EXPECT_EQ(a.gpu_seconds, b.gpu_seconds);
+    EXPECT_EQ(a.sim_events, b.sim_events);
+    EXPECT_EQ(a.metrics.toJson(), b.metrics.toJson());
+    // A million requests on thousands of instances is well past any
+    // plausible closure-loop regime. (Events stay close to the request
+    // count because continuous batching amortizes step events across
+    // the whole batch.)
+    EXPECT_GT(a.sim_events, 1000000u);
+    EXPECT_GT(a.peak_live_instances, 100u);
+}
+
+/** Policy runs must not disturb baseline metric names or results. */
+TEST(ClusterEquivTest, BaselinePolicyMatchesLegacyMetricNames)
+{
+    ClusterOptions opts;
+    const RunResult legacy = runEngine(opts, toyProfile(1.0),
+                                       fig10Trace(3.0, 20250408ull),
+                                       SimEngine::kLegacy);
+    const RunResult fast = runEngine(opts, toyProfile(1.0),
+                                     fig10Trace(3.0, 20250408ull),
+                                     SimEngine::kFast);
+    // Identical metric NAME SETS too: the baseline fast engine must not
+    // leak policy counters into the snapshot.
+    EXPECT_EQ(legacy.metrics_json, fast.metrics_json);
+    EXPECT_EQ(fast.metrics.cold_pool_hits, 0u);
+    EXPECT_EQ(fast.metrics.affinity_evictions, 0u);
+}
+
+} // namespace
+} // namespace medusa::serverless

@@ -165,6 +165,47 @@ TEST(RngTest, ForkProducesIndependentStream)
     EXPECT_NE(a.nextU64(), b.nextU64());
 }
 
+TEST(BatchRngTest, ProducesExactlyTheRngStream)
+{
+    // The documented contract: BatchRng(seed) is a block-buffered view
+    // of Rng(seed)'s u64 stream, bit-for-bit — crossing block refills
+    // (kBlock = 1024) must not perturb it.
+    Rng plain(20250808);
+    BatchRng batched(20250808);
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_EQ(batched.nextU64(), plain.nextU64()) << "draw " << i;
+    }
+}
+
+TEST(BatchRngTest, DerivedDrawsMatchRng)
+{
+    Rng plain(42);
+    BatchRng batched(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(batched.nextDouble(), plain.nextDouble());
+    }
+    Rng plain2(43);
+    BatchRng batched2(43);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(batched2.nextExponential(2.0),
+                  plain2.nextExponential(2.0));
+        EXPECT_EQ(batched2.nextLogNormal(1.0, 0.5),
+                  plain2.nextLogNormal(1.0, 0.5));
+    }
+}
+
+TEST(BatchRngTest, ParetoIsHeavyTailedAndBounded)
+{
+    BatchRng rng(7);
+    f64 max_seen = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const f64 v = rng.nextPareto(100.0, 1.5);
+        EXPECT_GE(v, 100.0); // scale is the distribution's floor
+        max_seen = std::max(max_seen, v);
+    }
+    EXPECT_GT(max_seen, 2000.0); // the tail actually reaches far out
+}
+
 // ----------------------------------------------------------------- Clock
 
 TEST(ClockTest, StartsAtZeroAndAdvances)

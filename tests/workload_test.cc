@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+
+#include "workload/synthetic.h"
 #include "workload/trace.h"
 
 namespace medusa::workload {
@@ -131,6 +135,119 @@ TEST(WorkloadTest, EmptyWhenDurationZero)
     EXPECT_TRUE(generateShareGptTrace(o).empty());
     EXPECT_DOUBLE_EQ(meanPromptLength({}), 0.0);
     EXPECT_DOUBLE_EQ(meanOutputLength({}), 0.0);
+}
+
+// ---- synthetic generator (synthetic.h, DESIGN.md §15) -----------------
+
+TEST(SyntheticTest, DeterministicBySeed)
+{
+    SyntheticTraceOptions o;
+    o.seed = 7;
+    o.duration_sec = 120;
+    o.requests_per_sec = 50;
+    const auto a = generateSyntheticTrace(o);
+    const auto b = generateSyntheticTrace(o);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_sec, b[i].arrival_sec);
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+        EXPECT_EQ(a[i].model_id, b[i].model_id);
+    }
+    o.seed = 8;
+    const auto c = generateSyntheticTrace(o);
+    ASSERT_FALSE(c.empty());
+    EXPECT_NE(a.front().arrival_sec, c.front().arrival_sec);
+}
+
+TEST(SyntheticTest, ArrivalsSortedRateNearTarget)
+{
+    SyntheticTraceOptions o;
+    o.seed = 11;
+    o.duration_sec = 2000;
+    o.requests_per_sec = 20;
+    const auto trace = generateSyntheticTrace(o);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        EXPECT_LE(trace[i - 1].arrival_sec, trace[i].arrival_sec);
+    }
+    // Thinning preserves the long-run mean (the sinusoid averages out
+    // over whole periods).
+    const f64 rate =
+        static_cast<f64>(trace.size()) / o.duration_sec;
+    EXPECT_NEAR(rate, o.requests_per_sec, o.requests_per_sec * 0.1);
+}
+
+TEST(SyntheticTest, DiurnalModulationShowsInWindowRates)
+{
+    SyntheticTraceOptions o;
+    o.seed = 3;
+    o.duration_sec = 600; // one full period
+    o.requests_per_sec = 200;
+    o.diurnal_amplitude = 0.8;
+    const auto trace = generateSyntheticTrace(o);
+    // Quarter-period windows: the second quarter straddles the sine
+    // peak, the last one its trough.
+    std::array<u64, 4> counts{};
+    for (const Request &r : trace) {
+        counts[std::min<std::size_t>(
+            static_cast<std::size_t>(r.arrival_sec / 150.0), 3)]++;
+    }
+    EXPECT_GT(counts[1], counts[3] * 2);
+}
+
+TEST(SyntheticTest, HeavyTailProducesExtremeLengths)
+{
+    SyntheticTraceOptions o;
+    o.seed = 5;
+    o.duration_sec = 500;
+    o.requests_per_sec = 100;
+    o.tail_prob = 0.1;
+    const auto trace = generateSyntheticTrace(o);
+    u64 beyond = 0;
+    for (const Request &r : trace) {
+        EXPECT_GE(r.prompt_tokens, 1u);
+        EXPECT_LE(r.prompt_tokens, o.max_prompt_tokens);
+        EXPECT_GE(r.output_tokens, 1u);
+        EXPECT_LE(r.output_tokens, o.max_output_tokens);
+        if (r.prompt_tokens > 10 * o.mean_prompt_tokens) {
+            ++beyond;
+        }
+    }
+    // The Pareto tail must actually reach >10x the mean now and then.
+    EXPECT_GT(beyond, trace.size() / 1000);
+}
+
+TEST(SyntheticTest, MaxRequestsCapsExactly)
+{
+    SyntheticTraceOptions o;
+    o.seed = 9;
+    o.duration_sec = 1e9; // effectively unbounded
+    o.requests_per_sec = 100;
+    o.max_requests = 12345;
+    const auto trace = generateSyntheticTrace(o);
+    EXPECT_EQ(trace.size(), 12345u);
+}
+
+TEST(SyntheticTest, ZipfModelMixIsSkewedAndInRange)
+{
+    SyntheticTraceOptions o;
+    o.seed = 13;
+    o.duration_sec = 300;
+    o.requests_per_sec = 100;
+    o.num_models = 8;
+    o.model_zipf_s = 1.2;
+    const auto trace = generateSyntheticTrace(o);
+    std::vector<u64> per_model(o.num_models, 0);
+    for (const Request &r : trace) {
+        ASSERT_LT(r.model_id, o.num_models);
+        ++per_model[r.model_id];
+    }
+    // Zipf: rank 0 dominates, every model still appears.
+    EXPECT_GT(per_model[0], per_model[7] * 3);
+    for (const u64 count : per_model) {
+        EXPECT_GT(count, 0u);
+    }
 }
 
 } // namespace

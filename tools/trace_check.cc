@@ -13,6 +13,11 @@
  *                                (SARIF 2.1.0 structure: version, one
  *                                run with a named driver, every result
  *                                referencing a declared rule)
+ *   trace_check --sim FILE       bench_cluster_scale --json report
+ *                                (BENCH_sim.json: engine fast/legacy
+ *                                throughput with a positive speedup,
+ *                                >= 3 policies each with completed
+ *                                requests and cold-start percentiles)
  *
  * Each mode parses the file with a minimal self-contained JSON parser
  * (no dependencies) and checks the schema_version plus the structural
@@ -550,10 +555,90 @@ checkSarif(const JsonValue &root)
 }
 
 int
+checkSim(const JsonValue &root)
+{
+    if (root.kind != JsonValue::Kind::kObject ||
+        !schemaVersionIs(root, 1)) {
+        return violation("sim: missing schema_version=1");
+    }
+    const JsonValue *requests = root.find("requests");
+    if (requests == nullptr ||
+        requests->kind != JsonValue::Kind::kNumber ||
+        requests->number <= 0) {
+        return violation("sim: 'requests' must be a positive number");
+    }
+    const JsonValue *engine = root.find("engine");
+    if (engine == nullptr || engine->kind != JsonValue::Kind::kObject) {
+        return violation("sim: 'engine' must be an object");
+    }
+    for (const char *key : {"legacy", "fast"}) {
+        const JsonValue *side = engine->find(key);
+        if (side == nullptr || side->kind != JsonValue::Kind::kObject) {
+            return violation("sim: engine needs legacy and fast runs");
+        }
+        for (const char *field :
+             {"events", "wall_sec", "events_per_sec"}) {
+            const JsonValue *v = side->find(field);
+            if (v == nullptr || v->kind != JsonValue::Kind::kNumber ||
+                v->number <= 0) {
+                return violation(
+                    "sim: engine run needs positive events/wall_sec/"
+                    "events_per_sec");
+            }
+        }
+    }
+    const JsonValue *speedup = engine->find("events_per_sec_speedup");
+    if (speedup == nullptr ||
+        speedup->kind != JsonValue::Kind::kNumber ||
+        speedup->number <= 1.0) {
+        return violation(
+            "sim: events_per_sec_speedup must be a number > 1");
+    }
+    const JsonValue *policies = root.find("policies");
+    if (policies == nullptr ||
+        policies->kind != JsonValue::Kind::kArray ||
+        policies->array.size() < 3) {
+        return violation("sim: need >= 3 policy rows");
+    }
+    for (const JsonValue &row : policies->array) {
+        if (row.kind != JsonValue::Kind::kObject) {
+            return violation("sim: policy row must be an object");
+        }
+        const JsonValue *name = row.find("policy");
+        if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+            name->string.empty()) {
+            return violation("sim: policy row without a name");
+        }
+        const JsonValue *completed = row.find("completed");
+        if (completed == nullptr ||
+            completed->kind != JsonValue::Kind::kNumber ||
+            completed->number <= 0) {
+            return violation(
+                "sim: policy row needs completed requests > 0");
+        }
+        for (const char *field :
+             {"cold_start_p50_sec", "cold_start_p99_sec",
+              "gpu_seconds", "events_per_sec"}) {
+            const JsonValue *v = row.find(field);
+            if (v == nullptr || v->kind != JsonValue::Kind::kNumber ||
+                v->number < 0) {
+                return violation(
+                    "sim: policy row missing a numeric stat field");
+            }
+        }
+    }
+    std::printf("trace_check: sim report OK (%zu policies, "
+                "speedup %.1fx)\n",
+                policies->array.size(), speedup->number);
+    return 0;
+}
+
+int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: trace_check --chrome|--metrics|--lint|--sarif "
+                 "usage: trace_check "
+                 "--chrome|--metrics|--lint|--sarif|--sim "
                  "FILE [--expect SPAN]...\n");
     return 2;
 }
@@ -608,6 +693,9 @@ main(int argc, char **argv)
     }
     if (mode == "--sarif") {
         return checkSarif(root);
+    }
+    if (mode == "--sim") {
+        return checkSim(root);
     }
     return usage();
 }
