@@ -18,6 +18,12 @@
 #                         keep-alive / artifact-affinity) over a
 #                         million-request synthetic trace; exits
 #                         non-zero if the engines disagree.
+#   BENCH_chaos.json    — chaos / SLO study: scheduler policies ×
+#                         chaos intensities (node/instance crashes,
+#                         store outages, gray fetches) over a
+#                         10^5-request deadline-carrying trace; exits
+#                         non-zero if request conservation, rerun
+#                         determinism or empty-plan identity breaks.
 #
 # Usage: scripts/bench.sh [build-dir] [threads]
 #   build-dir defaults to ./build, threads to the hardware concurrency.
@@ -30,7 +36,7 @@ THREADS="${2:-0}"
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" \
     --target bench_restore_parallel bench_micro bench_fault_matrix \
-    bench_cluster_scale \
+    bench_cluster_scale bench_chaos \
     >/dev/null
 
 cd "$ROOT" # bench binaries cache artifacts under ./artifacts
@@ -52,3 +58,7 @@ cat "$ROOT/BENCH_fault.json"
 echo "== bench_cluster_scale"
 "$BUILD/bench/bench_cluster_scale" --json > "$ROOT/BENCH_sim.json"
 cat "$ROOT/BENCH_sim.json"
+
+echo "== bench_chaos"
+"$BUILD/bench/bench_chaos" --json > "$ROOT/BENCH_chaos.json"
+cat "$ROOT/BENCH_chaos.json"

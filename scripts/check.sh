@@ -143,6 +143,24 @@ else
     fail "bench_cluster_scale / trace_check binaries missing"
 fi
 
+note "chaos smoke: armed ChaosPlan matrix, conservation hard-checked"
+if [ -x "$BUILD/bench/bench_chaos" ] && [ -x "$BUILD/tools/trace_check" ]
+then
+    CHAOS_JSON="$BUILD/check-chaos.json"
+    # bench_chaos exits non-zero itself if any matrix cell violates
+    # request conservation, if the heaviest cell is not deterministic
+    # across reruns, or if a disabled plan perturbs the simulation —
+    # all three invariants run under ASan + UBSan here.
+    if ! timeout 300 "$BUILD/bench/bench_chaos" --json \
+            --requests=20000 > "$CHAOS_JSON"; then
+        fail "bench_chaos smoke failed (conservation/determinism)"
+    elif ! "$BUILD/tools/trace_check" --sim "$CHAOS_JSON"; then
+        fail "BENCH_chaos JSON failed schema validation"
+    fi
+else
+    fail "bench_chaos / trace_check binaries missing"
+fi
+
 note "lint-images: verify every materialized v6 image in the build tree"
 if [ -x "$BUILD/tools/medusa_lint" ] && [ -x "$BUILD/tools/trace_check" ]
 then
@@ -194,12 +212,15 @@ if ! cmake -B "$TSAN_BUILD" -S "$ROOT" -DMEDUSA_TSAN=ON >/dev/null; then
     fail "TSan cmake configure failed"
 elif ! cmake --build "$TSAN_BUILD" -j "$(nproc)" \
         --target restore_parallel_test artifact_cache_test \
-                 fault_test rollback_test \
+                 fault_test rollback_test chaos_test \
         >/dev/null; then
     fail "TSan build failed"
 elif ! MEDUSA_FAULT_PLAN='replay_prefix@1000000000;seed=20250805' \
         ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-        -j "$(nproc)" -R 'RestoreParallel|ArtifactCache|Fault|Rollback'; then
+        -j "$(nproc)" \
+        -R 'RestoreParallel|ArtifactCache|Fault|Rollback|Chaos'; then
+    # The Chaos suite's concurrent-runs test drives the crash-requeue
+    # path from two threads sharing a const plan/profile/trace.
     fail "TSan test run failed"
 fi
 

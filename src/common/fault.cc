@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/plan_spec.h"
+
 namespace medusa {
 
 namespace {
@@ -35,6 +37,20 @@ static_assert(sizeof(kPointNames) / sizeof(kPointNames[0]) ==
                   kFaultPointCount,
               "every FaultPoint needs a spec name");
 
+/** Comma-separated list of every registered point name (for errors). */
+std::string
+validPointNames()
+{
+    std::string out;
+    for (const PointName &pn : kPointNames) {
+        if (!out.empty()) {
+            out += ", ";
+        }
+        out += pn.name;
+    }
+    return out;
+}
+
 } // namespace
 
 const char *
@@ -56,7 +72,8 @@ faultPointFromName(const std::string &name)
             return pn.point;
         }
     }
-    return invalidArgument("unknown fault point \"" + name + "\"");
+    return invalidArgument("unknown fault point \"" + name +
+                           "\" (valid: " + validPointNames() + ")");
 }
 
 Status
@@ -82,28 +99,11 @@ StatusOr<FaultPlan>
 FaultPlan::fromSpec(const std::string &spec)
 {
     FaultPlan plan;
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-        std::size_t end = spec.find_first_of(";,", pos);
-        if (end == std::string::npos) {
-            end = spec.size();
-        }
-        std::string entry = spec.substr(pos, end - pos);
-        pos = end + 1;
-        // Trim surrounding whitespace.
-        while (!entry.empty() && std::isspace(
-                                     static_cast<unsigned char>(
-                                         entry.front())) != 0) {
-            entry.erase(entry.begin());
-        }
-        while (!entry.empty() &&
-               std::isspace(static_cast<unsigned char>(entry.back())) !=
-                   0) {
-            entry.pop_back();
-        }
-        if (entry.empty()) {
-            continue;
-        }
+    // A point may appear only once: a second rule would silently
+    // overwrite the first, which is how fault schedules go stale
+    // unnoticed in long env-var specs.
+    std::array<bool, kFaultPointCount> seen{};
+    for (const std::string &entry : splitSpecEntries(spec)) {
         // The point name is the longest registered name (or "seed")
         // prefixing the entry; modifiers follow. A plain scan for the
         // first modifier character would mis-split names that contain
@@ -135,6 +135,12 @@ FaultPlan::fromSpec(const std::string &spec)
         }
         MEDUSA_ASSIGN_OR_RETURN(FaultPoint point,
                                 faultPointFromName(name));
+        if (seen[static_cast<std::size_t>(point)]) {
+            return invalidArgument(
+                "fault spec: duplicate rule for point \"" +
+                std::string(faultPointName(point)) + "\"");
+        }
+        seen[static_cast<std::size_t>(point)] = true;
         FaultRule &rule = plan.rule(point);
         std::size_t i = mod;
         bool any = false;
@@ -210,88 +216,9 @@ FaultPlan::toSpec() const
 
 namespace {
 
-/**
- * A minimal JSON-subset scanner for the fault-plan shape: one object
- * with "seed" and a "rules" array of flat objects holding string and
- * number members. Not a general JSON parser.
- */
-class JsonScanner
-{
-  public:
-    explicit JsonScanner(const std::string &text) : text_(text) {}
-
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])) !=
-                   0) {
-            ++pos_;
-        }
-    }
-
-    bool
-    consume(char c)
-    {
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    char
-    peek()
-    {
-        skipSpace();
-        return pos_ < text_.size() ? text_[pos_] : '\0';
-    }
-
-    StatusOr<std::string>
-    string()
-    {
-        if (!consume('"')) {
-            return invalidArgument("fault json: expected string");
-        }
-        std::string out;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            if (text_[pos_] == '\\') {
-                ++pos_;
-                if (pos_ >= text_.size()) {
-                    break;
-                }
-            }
-            out += text_[pos_++];
-        }
-        if (pos_ >= text_.size()) {
-            return invalidArgument("fault json: unterminated string");
-        }
-        ++pos_; // closing quote
-        return out;
-    }
-
-    StatusOr<f64>
-    number()
-    {
-        skipSpace();
-        const char *begin = text_.c_str() + pos_;
-        char *after = nullptr;
-        const f64 v = std::strtod(begin, &after);
-        if (after == begin) {
-            return invalidArgument("fault json: expected number");
-        }
-        pos_ = static_cast<std::size_t>(after - text_.c_str());
-        return v;
-    }
-
-  private:
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
-
 Status
-parseRuleObject(JsonScanner &s, FaultPlan &plan)
+parseRuleObject(JsonScanner &s, FaultPlan &plan,
+                std::array<bool, kFaultPointCount> &seen)
 {
     if (!s.consume('{')) {
         return invalidArgument("fault json: expected rule object");
@@ -334,6 +261,12 @@ parseRuleObject(JsonScanner &s, FaultPlan &plan)
     if (!point.has_value()) {
         return invalidArgument("fault json: rule missing \"point\"");
     }
+    if (seen[static_cast<std::size_t>(*point)]) {
+        return invalidArgument(
+            "fault json: duplicate rule for point \"" +
+            std::string(faultPointName(*point)) + "\"");
+    }
+    seen[static_cast<std::size_t>(*point)] = true;
     plan.rule(*point) = rule;
     return Status::ok();
 }
@@ -344,6 +277,7 @@ StatusOr<FaultPlan>
 FaultPlan::fromJson(const std::string &json)
 {
     FaultPlan plan;
+    std::array<bool, kFaultPointCount> seen{};
     JsonScanner s(json);
     if (!s.consume('{')) {
         return invalidArgument("fault json: expected top-level object");
@@ -368,7 +302,8 @@ FaultPlan::fromJson(const std::string &json)
             }
             if (s.peek() != ']') {
                 do {
-                    MEDUSA_RETURN_IF_ERROR(parseRuleObject(s, plan));
+                    MEDUSA_RETURN_IF_ERROR(
+                        parseRuleObject(s, plan, seen));
                 } while (s.consume(','));
             }
             if (!s.consume(']')) {

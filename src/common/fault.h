@@ -23,7 +23,10 @@
  * Spec entries are separated by ';' or ',': `point=P` fires with
  * probability P per hit; `point@N` fires deterministically on the N-th
  * hit (1-based); `pointxM` caps total fires at M and combines with
- * either form (`dlsym@2x1`). `seed=S` sets the plan seed.
+ * either form (`dlsym@2x1`). `seed=S` sets the plan seed. Naming the
+ * same point twice is an error (the second rule would silently
+ * overwrite the first), as is an unknown point name — the error lists
+ * every valid name.
  */
 
 #ifndef MEDUSA_COMMON_FAULT_H

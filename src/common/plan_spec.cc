@@ -1,0 +1,104 @@
+#include "common/plan_spec.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace medusa {
+
+std::vector<std::string>
+splitSpecEntries(const std::string &spec)
+{
+    std::vector<std::string> entries;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t end = spec.find_first_of(";,", pos);
+        if (end == std::string::npos) {
+            end = spec.size();
+        }
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        while (!entry.empty() &&
+               std::isspace(static_cast<unsigned char>(entry.front())) !=
+                   0) {
+            entry.erase(entry.begin());
+        }
+        while (!entry.empty() &&
+               std::isspace(static_cast<unsigned char>(entry.back())) !=
+                   0) {
+            entry.pop_back();
+        }
+        if (!entry.empty()) {
+            entries.push_back(std::move(entry));
+        }
+        if (end == spec.size()) {
+            break;
+        }
+    }
+    return entries;
+}
+
+void
+JsonScanner::skipSpace()
+{
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+    }
+}
+
+bool
+JsonScanner::consume(char c)
+{
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+        ++pos_;
+        return true;
+    }
+    return false;
+}
+
+char
+JsonScanner::peek()
+{
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+}
+
+StatusOr<std::string>
+JsonScanner::string()
+{
+    if (!consume('"')) {
+        return invalidArgument("plan json: expected string");
+    }
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\') {
+            ++pos_;
+            if (pos_ >= text_.size()) {
+                break;
+            }
+        }
+        out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+        return invalidArgument("plan json: unterminated string");
+    }
+    ++pos_; // closing quote
+    return out;
+}
+
+StatusOr<f64>
+JsonScanner::number()
+{
+    skipSpace();
+    const char *begin = text_.c_str() + pos_;
+    char *after = nullptr;
+    const f64 v = std::strtod(begin, &after);
+    if (after == begin) {
+        return invalidArgument("plan json: expected number");
+    }
+    pos_ = static_cast<std::size_t>(after - text_.c_str());
+    return v;
+}
+
+} // namespace medusa

@@ -507,7 +507,19 @@ simulateCluster(const ClusterOptions &options,
                          options.num_models <= 1,
                      "the legacy event loop supports neither scheduler "
                      "policies nor multi-model traces");
+        MEDUSA_CHECK((options.chaos == nullptr ||
+                      !options.chaos->enabled()) &&
+                         !options.slo.enabled(),
+                     "the legacy event loop supports neither chaos "
+                     "plans nor SLO policies");
         return detail::simulateClusterLegacy(options, profile, trace);
+    }
+    if (options.chaos == nullptr) {
+        if (const ChaosPlan *env = envChaosPlan(); env != nullptr) {
+            ClusterOptions armed = options;
+            armed.chaos = env;
+            return detail::simulateClusterFast(armed, profile, trace);
+        }
     }
     return detail::simulateClusterFast(options, profile, trace);
 }

@@ -23,6 +23,7 @@
 #include "common/stats.h"
 #include "medusa/artifact_cache.h"
 #include "medusa/restore_options.h"
+#include "serverless/chaos.h"
 #include "serverless/profile.h"
 #include "workload/trace.h"
 
@@ -59,6 +60,54 @@ enum class SchedulerPolicy : u8
     kBaseline = 0,
     kKeepAlive,
     kAffinity,
+};
+
+/**
+ * Service-level-objective policy (fast engine only; DESIGN.md §16).
+ * Requests carry a TTFT deadline (workload::Request::ttft_deadline_sec,
+ * with default_ttft_sec as the fallback); the scheduler treats the
+ * deadline as a first-class dimension: it sheds work it cannot serve in
+ * time instead of queueing it forever, bounds how often a crashed
+ * request is retried, and prefers a degraded-but-on-time launch over a
+ * fast-path launch that would blow the deadline.
+ *
+ * Every request still reaches exactly one terminal state — completed,
+ * shed, or failed-after-retries — whatever mix of knobs is armed
+ * (the request-conservation invariant, MEDUSA_CHECKed at end of run).
+ */
+struct SloPolicy
+{
+    /** TTFT deadline for requests without their own; 0 = none. */
+    f64 default_ttft_sec = 0;
+    /**
+     * Shed a request at arrival when the projected queue delay (live
+     * capacity, pending launches, store outages) already exceeds its
+     * deadline — admission control instead of queueing doomed work.
+     */
+    bool admission_control = false;
+    /** Shed a queued request the moment its deadline passes. */
+    bool shed_on_deadline = false;
+    /**
+     * Crash-requeue budget: a request whose instance died is retried
+     * at most this many times before it fails terminally.
+     */
+    u32 max_retries = 2;
+    /** Delay before a requeued request re-enters (doubles per retry). */
+    f64 retry_backoff_sec = 0.05;
+    /**
+     * During an artifact-store outage, launch via the vanilla cold
+     * start when that is faster than waiting out the outage — trading
+     * materialization's speedup for deadline attainment.
+     */
+    bool degrade_to_vanilla = false;
+
+    /** True if any SLO behavior beyond crash-retry bounding is armed. */
+    bool
+    enabled() const
+    {
+        return default_ttft_sec > 0 || admission_control ||
+               shed_on_deadline || degrade_to_vanilla;
+    }
 };
 
 /** Cluster and autoscaler configuration. */
@@ -99,12 +148,18 @@ struct ClusterOptions
      *    restore attempt fails, the fraction of the restore that ran
      *    before the fault is charged as wasted latency, the process
      *    rolls back, and the fallback policy decides what happens next.
-     *    Null disables.
+     *    Null disables. Cluster-level failures (node/instance crashes,
+     *    store outages, gray fetches) are NOT fault points — they come
+     *    from the ChaosPlan below, which schedules them ahead of time
+     *    instead of hooking individual operations.
      *  - pipeline.trace: receives the whole run's span stream —
      *    instance.launch / restore.attempt / fallback.vanilla_cold_start
-     *    completes, cache.hit and restore.attempt_failed instants, and
-     *    one `request` complete per finished request.
-     *  - pipeline.metrics: the run's `cluster.*` counters are merged in.
+     *    completes, cache.hit and restore.attempt_failed instants, one
+     *    `request` complete per finished request, and — with chaos/SLO
+     *    armed — chaos.* completes for failure windows plus slo.shed /
+     *    slo.requeue instants.
+     *  - pipeline.metrics: the run's `cluster.*` counters are merged
+     *    in, including `cluster.chaos.*` / `cluster.slo.*` when armed.
      * The lint/validate knobs are inert here (nothing to lint in the
      * discrete-event model).
      */
@@ -151,6 +206,18 @@ struct ClusterOptions
      * latency gap the affinity policy exists to exploit.
      */
     f64 node_artifact_miss_sec = 0.0;
+
+    // ---- chaos + SLO study (DESIGN.md §16, fast engine only) ----
+
+    /**
+     * Deterministic cluster-failure schedule; null or a disabled plan
+     * leaves the simulation byte-identical to the fault-free run
+     * (cluster_equiv_test pins this). Node crashes force node-level
+     * modeling on (as if num_models > 1).
+     */
+    const ChaosPlan *chaos = nullptr;
+    /** Deadline-aware scheduling; see SloPolicy. */
+    SloPolicy slo;
 };
 
 /**
@@ -215,6 +282,47 @@ struct TraceMetrics
     u64 node_warm_launches = 0;
     /** Launches that had to fetch the artifact onto the node. */
     u64 node_artifact_fetches = 0;
+
+    // Chaos counters (0 without an armed ChaosPlan); canonical names
+    // are `cluster.chaos.*` in @ref metrics:
+    /** Whole-node crash events that fired. */
+    u64 node_crashes = 0;
+    /** Node recoveries (crashes whose window closed inside the run). */
+    u64 node_recoveries = 0;
+    /** Instances killed (node-level and instance-level crashes). */
+    u64 instance_crashes = 0;
+    /** In-flight requests thrown back into the queue by a crash. */
+    u64 requeued_requests = 0;
+    /** Artifact-store outage windows that fired. */
+    u64 store_outages = 0;
+    /** Launch latency spent waiting out store outages. */
+    f64 store_outage_delay_sec = 0;
+    /** Gray-failure windows that fired. */
+    u64 gray_windows = 0;
+    /** Artifact fetches slowed by a gray window. */
+    u64 gray_fetches = 0;
+    /** Node-resident artifacts lost to node crashes. */
+    u64 lost_residency = 0;
+
+    // SLO counters (0 without an SloPolicy); canonical names are
+    // `cluster.slo.*`. Request conservation: completed + shed_admission
+    // + shed_deadline + failed_requests == trace size.
+    /** Requests shed at arrival by admission control. */
+    u64 shed_admission = 0;
+    /** Queued requests shed when their deadline passed. */
+    u64 shed_deadline = 0;
+    /** Requests that exhausted their crash-retry budget. */
+    u64 failed_requests = 0;
+    /** Crash-requeue retries granted (distinct from restore retries). */
+    u64 slo_retries = 0;
+    /** Launches degraded to vanilla to dodge a store outage. */
+    u64 degraded_launches = 0;
+    /** Completed requests whose TTFT met their deadline. */
+    u64 deadline_met = 0;
+    /** Completed requests whose TTFT missed their deadline. */
+    u64 deadline_missed = 0;
+    /** Deadline-met completions per second over the busy makespan. */
+    f64 goodput_qps = 0;
 
     /** The run's counters under their canonical `cluster.*` names. */
     MetricsSnapshot metrics;

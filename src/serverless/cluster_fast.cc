@@ -26,10 +26,20 @@
  * On top of the speed, the scheduler-policy hooks of the scale study
  * (SchedulerPolicy in cluster.h): keep-alive warm pools and
  * artifact-affinity node routing over a multi-model request mix.
+ *
+ * The chaos + SLO layer (DESIGN.md §16) rides on the same engine. A
+ * ChaosPlan pre-generates node crashes, instance crashes, store
+ * outages and gray windows before the loop starts; an SloPolicy turns
+ * request deadlines into admission control, lazy deadline shedding,
+ * bounded crash-retry and outage degradation. Every chaos/SLO branch
+ * is guarded by chaos_on_/slo_on_, so a null or disabled plan leaves
+ * the run byte-identical to the fault-free simulator — the invariant
+ * cluster_equiv_test's chaos suite pins.
  */
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <string_view>
 
 #include "serverless/cluster.h"
@@ -51,6 +61,14 @@ struct Ev
         kStepDone,
         kLaunchDone,
         kIdleReclaim,
+        /** inst = index into the pre-generated chaos schedule. */
+        kChaos,
+        /** inst = node id whose crash window closes. */
+        kNodeRecover,
+        /** inst = request id; lazy TTFT-deadline check. */
+        kDeadline,
+        /** inst = request id; re-enqueue after crash backoff. */
+        kRetryAdmit,
     };
 
     Kind kind = Kind::kArrival;
@@ -176,8 +194,12 @@ class FastClusterSim
                      "bad num_models");
         MEDUSA_CHECK(options_.max_seqs_per_instance >= 1,
                      "need max_seqs_per_instance >= 1");
+        chaos_on_ =
+            options_.chaos != nullptr && options_.chaos->enabled();
+        slo_on_ = options_.slo.enabled();
         nodes_on_ = options_.num_models > 1 ||
-                    options_.policy == SchedulerPolicy::kAffinity;
+                    options_.policy == SchedulerPolicy::kAffinity ||
+                    (chaos_on_ && options_.chaos->node_mtbf_sec > 0);
     }
 
     TraceMetrics
@@ -225,6 +247,7 @@ class FastClusterSim
             if (options_.num_gpus % gpn != 0) {
                 node_free_.back() = options_.num_gpus % gpn;
             }
+            node_cap_ = node_free_;
             const u32 slots =
                 std::max<u32>(1, options_.node_artifact_slots);
             node_models_.assign(
@@ -239,6 +262,43 @@ class FastClusterSim
         if (options_.policy != SchedulerPolicy::kBaseline) {
             metrics_.counter("cluster.cold_pool_hits");
             metrics_.gauge("cluster.keep_alive_gpu_seconds");
+        }
+        if (chaos_on_ || slo_on_) {
+            // Eager-create the full chaos/SLO name set so every matrix
+            // cell of the failure study exports the same schema (zeros
+            // included) whatever subset of failure classes fires.
+            metrics_.counter("cluster.chaos.node_crashes");
+            metrics_.counter("cluster.chaos.node_recoveries");
+            metrics_.counter("cluster.chaos.instance_crashes");
+            metrics_.counter("cluster.chaos.requeued_requests");
+            metrics_.counter("cluster.chaos.store_outages");
+            metrics_.gauge("cluster.chaos.store_outage_delay_sec");
+            metrics_.counter("cluster.chaos.gray_windows");
+            metrics_.counter("cluster.chaos.gray_fetches");
+            metrics_.counter("cluster.chaos.lost_residency");
+            metrics_.counter("cluster.slo.shed_admission");
+            metrics_.counter("cluster.slo.shed_deadline");
+            metrics_.counter("cluster.slo.failed_requests");
+            metrics_.counter("cluster.slo.retries");
+            metrics_.counter("cluster.slo.degraded_launches");
+            metrics_.counter("cluster.slo.deadline_met");
+            metrics_.counter("cluster.slo.deadline_missed");
+            metrics_.gauge("cluster.slo.goodput_qps");
+        }
+        if (chaos_on_) {
+            f64 horizon = options_.chaos->horizon_sec;
+            if (horizon <= 0 && !trace.empty()) {
+                horizon = trace.back().arrival_sec;
+            }
+            chaos_sched_ = buildChaosSchedule(*options_.chaos, horizon);
+            for (std::size_t i = 0; i < chaos_sched_.size(); ++i) {
+                engine_.schedule(chaos_sched_[i].start_sec,
+                                 Ev{Ev::Kind::kChaos, 0,
+                                    static_cast<u32>(i)});
+            }
+            if (nodes_on_) {
+                node_down_.assign(node_free_.size(), 0);
+            }
         }
         if (profile_.deferred_capture) {
             warmed_stride_ = (profile_.batch_sizes.size() + 63) / 64;
@@ -261,6 +321,7 @@ class FastClusterSim
         req_prompt_.reserve(n);
         req_output_.reserve(n);
         req_model_.reserve(n);
+        req_deadline_.reserve(n);
         for (const workload::Request &r : trace) {
             MEDUSA_CHECK(r.model_id < options_.num_models,
                          "request model_id out of range");
@@ -268,11 +329,16 @@ class FastClusterSim
             req_prompt_.push_back(r.prompt_tokens);
             req_output_.push_back(std::max<u32>(r.output_tokens, 1));
             req_model_.push_back(r.model_id);
+            req_deadline_.push_back(r.ttft_deadline_sec > 0
+                                        ? r.ttft_deadline_sec
+                                        : options_.slo.default_ttft_sec);
         }
         req_generated_.assign(n, 0);
         req_first_token_.assign(n, -1.0);
         req_finished_.assign(n, -1.0);
         req_next_.assign(n, kNil);
+        req_retries_.assign(n, 0);
+        req_state_.assign(n, kStWaiting);
     }
 
     // ---- the event loop ------------------------------------------------
@@ -321,6 +387,18 @@ class FastClusterSim
         case Ev::Kind::kIdleReclaim:
             onIdleReclaim(ev.inst);
             break;
+        case Ev::Kind::kChaos:
+            onChaosEvent(ev.inst);
+            break;
+        case Ev::Kind::kNodeRecover:
+            onNodeRecover(ev.inst);
+            break;
+        case Ev::Kind::kDeadline:
+            onDeadline(ev.inst);
+            break;
+        case Ev::Kind::kRetryAdmit:
+            onRetryAdmit(ev.inst);
+            break;
         }
     }
 
@@ -361,6 +439,8 @@ class FastClusterSim
         inst_died_at_.push_back(-1.0);
         inst_idle_since_.push_back(engine_.now());
         inst_idle_timer_.push_back(EventHandle{});
+        inst_step_timer_.push_back(EventHandle{});
+        inst_launch_timer_.push_back(EventHandle{});
         if (warmed_stride_ > 0) {
             inst_warmed_.resize(inst_warmed_.size() + warmed_stride_, 0);
         }
@@ -404,12 +484,15 @@ class FastClusterSim
             }
         }
         // Autoscale: cold-start new instances for unserved demand that
-        // pending cold starts will not absorb.
+        // pending cold starts will not absorb. Down nodes' GPUs are out
+        // of the budget until they recover (down_gpus_ is 0 otherwise).
         for (u16 m = 0; m < options_.num_models; ++m) {
             while (wait_count_[m] >
                        static_cast<u64>(pending_[m]) * cap &&
-                   busy_gpus_ < options_.num_gpus) {
-                launchInstance(m);
+                   busy_gpus_ < options_.num_gpus - down_gpus_) {
+                if (!launchInstance(m)) {
+                    break; // free GPUs exist only on down nodes
+                }
             }
         }
     }
@@ -417,19 +500,27 @@ class FastClusterSim
     u32
     popWaiting(u16 m)
     {
-        const u32 req = wait_head_[m];
-        wait_head_[m] = req_next_[req];
-        if (wait_head_[m] == kNil) {
-            wait_tail_[m] = kNil;
+        // Deadline-shed requests are removed lazily: they stay linked
+        // (already uncounted from wait_count_) until popped here.
+        for (;;) {
+            const u32 req = wait_head_[m];
+            wait_head_[m] = req_next_[req];
+            if (wait_head_[m] == kNil) {
+                wait_tail_[m] = kNil;
+            }
+            req_next_[req] = kNil;
+            if (req_state_[req] == kStShed) {
+                continue;
+            }
+            --wait_count_[m];
+            return req;
         }
-        req_next_[req] = kNil;
-        --wait_count_[m];
-        return req;
     }
 
     void
     assignTo(u32 inst, u32 req)
     {
+        req_state_[req] = kStAssigned;
         const u32 load = instLoad(inst);
         // Policy accounting first: an assignment to an instance that
         // outlived the baseline idle timeout is a cold start the warm
@@ -478,6 +569,13 @@ class FastClusterSim
         }
     }
 
+    /** True when @p n is inside a chaos crash window. */
+    bool
+    nodeDown(u32 n) const
+    {
+        return !node_down_.empty() && node_down_[n] != 0;
+    }
+
     /** Node for a new instance of @p m; kNil without node modeling. */
     u32
     chooseNode(u16 m)
@@ -492,7 +590,7 @@ class FastClusterSim
             // Pass 1: a free GPU on a node where the artifact is
             // already resident (the warm launch affinity exists for).
             for (u32 n = 0; n < nodes; ++n) {
-                if (node_free_[n] == 0) {
+                if (node_free_[n] == 0 || nodeDown(n)) {
                     continue;
                 }
                 for (u32 s = 0; s < slots; ++s) {
@@ -504,7 +602,7 @@ class FastClusterSim
             // Pass 2: a node with a free artifact slot (fetch without
             // evicting anyone).
             for (u32 n = 0; n < nodes; ++n) {
-                if (node_free_[n] == 0) {
+                if (node_free_[n] == 0 || nodeDown(n)) {
                     continue;
                 }
                 for (u32 s = 0; s < slots; ++s) {
@@ -518,7 +616,7 @@ class FastClusterSim
             u32 best = kNil;
             u64 best_stamp = ~0ull;
             for (u32 n = 0; n < nodes; ++n) {
-                if (node_free_[n] == 0) {
+                if (node_free_[n] == 0 || nodeDown(n)) {
                     continue;
                 }
                 for (u32 s = 0; s < slots; ++s) {
@@ -533,7 +631,7 @@ class FastClusterSim
         // Baseline / keep-alive placement ignores artifact residency:
         // the first node with a free GPU.
         for (u32 n = 0; n < nodes; ++n) {
-            if (node_free_[n] > 0) {
+            if (node_free_[n] > 0 && !nodeDown(n)) {
                 return n;
             }
         }
@@ -577,11 +675,15 @@ class FastClusterSim
         return options_.node_artifact_miss_sec;
     }
 
-    void
+    /** False when every free GPU sits on a crashed node. */
+    bool
     launchInstance(u16 m)
     {
-        metrics_.counter("cluster.cold_starts").add(1);
         const u32 node = chooseNode(m);
+        if (nodes_on_ && node == kNil) {
+            return false; // only reachable inside a chaos crash window
+        }
+        metrics_.counter("cluster.cold_starts").add(1);
         const u32 inst = newInstance(m, node);
         const f64 t0 = engine_.now();
         // Artifact fetch via the process-wide cache (legacy semantics:
@@ -602,6 +704,46 @@ class FastClusterSim
         // Node-local residency (the affinity study's fetch model).
         if (nodes_on_ && node != kNil) {
             fetch_sec += nodeFetch(node, m);
+        }
+        // Chaos fetch model: a fetch inside a store outage hangs until
+        // the store recovers (unless the SLO policy degrades to the
+        // vanilla cold start, bypassing the store); a fetch inside a
+        // gray window completes, gray_slowdown times slower.
+        bool degrade = false;
+        if (chaos_on_ && fetch_sec > 0) {
+            if (t0 < store_until_) {
+                const f64 wait = store_until_ - t0;
+                const f64 vanilla =
+                    options_.vanilla_cold_start_sec > 0
+                        ? options_.vanilla_cold_start_sec
+                        : profile_.cold_start_sec;
+                if (slo_on_ && options_.slo.degrade_to_vanilla &&
+                    vanilla <
+                        wait + fetch_sec + profile_.cold_start_sec) {
+                    degrade = true;
+                } else {
+                    fetch_sec += wait;
+                    metrics_
+                        .gauge("cluster.chaos.store_outage_delay_sec")
+                        .add(wait);
+                }
+            } else if (t0 < gray_until_) {
+                fetch_sec *= options_.chaos->gray_slowdown;
+                metrics_.counter("cluster.chaos.gray_fetches").add(1);
+            }
+        }
+        if (degrade) {
+            metrics_.counter("cluster.slo.degraded_launches").add(1);
+            const f64 vanilla = options_.vanilla_cold_start_sec > 0
+                                    ? options_.vanilla_cold_start_sec
+                                    : profile_.cold_start_sec;
+            traceLaunchSpan("slo.degrade_vanilla", "fallback", t0,
+                            vanilla);
+            launch_sec_.add(vanilla);
+            traceLaunchSpan("instance.launch", "cluster", t0, vanilla);
+            inst_launch_timer_[inst] = engine_.scheduleAfter(
+                vanilla, Ev{Ev::Kind::kLaunchDone, 1, inst});
+            return true;
         }
         // Restore / fault / fallback timing — the arithmetic below is
         // kept expression-for-expression identical to cluster.cc so
@@ -673,10 +815,11 @@ class FastClusterSim
         }
         launch_sec_.add(launch_delay);
         traceLaunchSpan("instance.launch", "cluster", t0, launch_delay);
-        engine_.scheduleAfter(
+        inst_launch_timer_[inst] = engine_.scheduleAfter(
             launch_delay,
             Ev{Ev::Kind::kLaunchDone,
                static_cast<u8>(comes_alive ? 1 : 0), inst});
+        return true;
     }
 
     // ---- event handlers ------------------------------------------------
@@ -684,7 +827,27 @@ class FastClusterSim
     void
     onArrival(u32 req)
     {
+        if (slo_on_) {
+            const f64 deadline = req_deadline_[req];
+            if (options_.slo.admission_control && deadline > 0 &&
+                projectedWaitSec(req_model_[req]) > deadline) {
+                shedRequest(req, /*admission=*/true);
+                return;
+            }
+            if (options_.slo.shed_on_deadline && deadline > 0) {
+                engine_.scheduleAfter(deadline,
+                                      Ev{Ev::Kind::kDeadline, 0, req});
+            }
+        }
+        enqueueWaiting(req);
+        dispatch();
+    }
+
+    void
+    enqueueWaiting(u32 req)
+    {
         const u16 m = req_model_[req];
+        req_state_[req] = kStWaiting;
         if (wait_tail_[m] == kNil) {
             wait_head_[m] = req;
         } else {
@@ -693,12 +856,12 @@ class FastClusterSim
         wait_tail_[m] = req;
         req_next_[req] = kNil;
         ++wait_count_[m];
-        dispatch();
     }
 
     void
     onLaunchDone(u32 inst, bool alive)
     {
+        inst_launch_timer_[inst] = EventHandle{};
         const u16 m = inst_model_[inst];
         --pending_[m];
         if (!alive) {
@@ -723,6 +886,7 @@ class FastClusterSim
     void
     onStepDone(u32 inst)
     {
+        inst_step_timer_[inst] = EventHandle{};
         const f64 now = engine_.now();
         const u32 load_before = instLoad(inst);
         u32 load = load_before;
@@ -734,10 +898,15 @@ class FastClusterSim
             inst_batch_head_[inst] = kNil;
             while (req != kNil) {
                 const u32 next = req_next_[req];
-                req_first_token_[req] = now;
+                if (req_first_token_[req] < 0) {
+                    // A crash-requeued request keeps its earliest
+                    // first-token time (re-prefill is a re-emission).
+                    req_first_token_[req] = now;
+                }
                 req_generated_[req] = 1;
                 if (req_generated_[req] >= req_output_[req]) {
                     req_finished_[req] = now;
+                    req_state_[req] = kStDone;
                     req_next_[req] = kNil;
                 } else {
                     if (inst_running_tail_[inst] == kNil) {
@@ -761,6 +930,7 @@ class FastClusterSim
                 ++req_generated_[req];
                 if (req_generated_[req] >= req_output_[req]) {
                     req_finished_[req] = now;
+                    req_state_[req] = kStDone;
                     if (prev == kNil) {
                         inst_running_head_[inst] = next;
                     } else {
@@ -850,8 +1020,8 @@ class FastClusterSim
             inst_step_is_prefill_[inst] = 1;
             setLoad(inst, load_before, load_before - batched);
             const f64 step = profile_.prefill(tokens);
-            engine_.scheduleAfter(step,
-                                  Ev{Ev::Kind::kStepDone, 0, inst});
+            inst_step_timer_[inst] = engine_.scheduleAfter(
+                step, Ev{Ev::Kind::kStepDone, 0, inst});
             return;
         }
         if (inst_running_count_[inst] > 0) {
@@ -874,8 +1044,8 @@ class FastClusterSim
                     step += profile_.capturePenalty(bs);
                 }
             }
-            engine_.scheduleAfter(step,
-                                  Ev{Ev::Kind::kStepDone, 0, inst});
+            inst_step_timer_[inst] = engine_.scheduleAfter(
+                step, Ev{Ev::Kind::kStepDone, 0, inst});
             return;
         }
         armIdleTimeout(inst);
@@ -915,6 +1085,302 @@ class FastClusterSim
             timeout, Ev{Ev::Kind::kIdleReclaim, 0, inst});
     }
 
+    // ---- chaos + SLO (DESIGN.md §16) -----------------------------------
+
+    /** Instant span on the cluster track at the current time. */
+    void
+    traceInstant(std::string_view name, std::string_view category)
+    {
+        if (trace_ != nullptr) {
+            TraceEvent ev;
+            ev.name = name;
+            ev.category = category;
+            ev.phase = TraceEvent::Phase::kInstant;
+            ev.start_ns = units::secToNs(engine_.now());
+            trace_->append(std::move(ev));
+        }
+    }
+
+    void
+    onChaosEvent(u32 idx)
+    {
+        const ChaosEvent &ce = chaos_sched_[idx];
+        const f64 now = engine_.now();
+        switch (ce.kind) {
+        case ChaosEvent::Kind::kNodeCrash: {
+            // Victim = draw over the currently-up nodes; a fully-down
+            // cluster absorbs the event.
+            u32 up = 0;
+            for (const u8 d : node_down_) {
+                up += d == 0 ? 1 : 0;
+            }
+            if (up == 0) {
+                return;
+            }
+            u32 k = static_cast<u32>(ce.draw % up);
+            for (u32 n = 0; n < node_down_.size(); ++n) {
+                if (node_down_[n] != 0) {
+                    continue;
+                }
+                if (k == 0) {
+                    crashNode(n, std::max(ce.end_sec, now));
+                    break;
+                }
+                --k;
+            }
+            dispatch();
+            break;
+        }
+        case ChaosEvent::Kind::kInstanceCrash: {
+            if (live_count_ == 0) {
+                return; // nothing serving; the crash is a no-op
+            }
+            u64 k = ce.draw % live_count_;
+            for (u32 i = 0; i < inst_state_.size(); ++i) {
+                if (inst_state_[i] != kLive) {
+                    continue;
+                }
+                if (k == 0) {
+                    crashInstance(i);
+                    break;
+                }
+                --k;
+            }
+            dispatch(); // the freed GPU may relaunch for waiting demand
+            break;
+        }
+        case ChaosEvent::Kind::kStoreOutage:
+            metrics_.counter("cluster.chaos.store_outages").add(1);
+            store_until_ = std::max(store_until_, ce.end_sec);
+            traceLaunchSpan("chaos.store_outage", "chaos", now,
+                            ce.end_sec - now);
+            break;
+        case ChaosEvent::Kind::kGrayWindow:
+            metrics_.counter("cluster.chaos.gray_windows").add(1);
+            gray_until_ = std::max(gray_until_, ce.end_sec);
+            traceLaunchSpan("chaos.gray_window", "chaos", now,
+                            ce.end_sec - now);
+            break;
+        }
+    }
+
+    void
+    crashNode(u32 node, f64 recover_at)
+    {
+        metrics_.counter("cluster.chaos.node_crashes").add(1);
+        traceLaunchSpan("chaos.node_crash", "chaos", engine_.now(),
+                        recover_at - engine_.now());
+        node_down_[node] = 1;
+        down_gpus_ += node_cap_[node];
+        for (u32 i = 0; i < inst_state_.size(); ++i) {
+            if (inst_node_[i] == node &&
+                (inst_state_[i] == kColdStarting ||
+                 inst_state_[i] == kLive)) {
+                crashInstance(i);
+            }
+        }
+        // The node's artifact store dies with it: affinity routing must
+        // re-fetch after recovery.
+        const u32 slots =
+            static_cast<u32>(node_models_.size() / node_free_.size());
+        const std::size_t base = static_cast<std::size_t>(node) * slots;
+        u64 lost = 0;
+        for (u32 s = 0; s < slots; ++s) {
+            if (node_models_[base + s] != kNoModel) {
+                node_models_[base + s] = kNoModel;
+                node_stamp_[base + s] = 0;
+                ++lost;
+            }
+        }
+        metrics_.counter("cluster.chaos.lost_residency").add(lost);
+        engine_.schedule(recover_at,
+                         Ev{Ev::Kind::kNodeRecover, 0, node});
+    }
+
+    void
+    onNodeRecover(u32 node)
+    {
+        metrics_.counter("cluster.chaos.node_recoveries").add(1);
+        node_down_[node] = 0;
+        down_gpus_ -= node_cap_[node];
+        dispatch(); // recovered capacity may serve waiting demand
+    }
+
+    /** Kill one cold-starting or live instance mid-flight. */
+    void
+    crashInstance(u32 inst)
+    {
+        metrics_.counter("cluster.chaos.instance_crashes").add(1);
+        traceInstant("chaos.instance_crash", "chaos");
+        if (inst_state_[inst] == kColdStarting) {
+            engine_.cancel(inst_launch_timer_[inst]);
+            inst_launch_timer_[inst] = EventHandle{};
+            --pending_[inst_model_[inst]];
+            killInstance(inst);
+            return;
+        }
+        by_load_[inst_model_[inst]].remove(instLoad(inst), inst);
+        --live_count_;
+        engine_.cancel(inst_idle_timer_[inst]);
+        inst_idle_timer_[inst] = EventHandle{};
+        engine_.cancel(inst_step_timer_[inst]);
+        inst_step_timer_[inst] = EventHandle{};
+        inst_stepping_[inst] = 0;
+        // Every in-flight request — queued for prefill, mid-prefill
+        // batch, or decoding — is thrown back for the retry policy.
+        const u32 prefill = inst_prefill_head_[inst];
+        const u32 batch = inst_batch_head_[inst];
+        const u32 running = inst_running_head_[inst];
+        inst_prefill_head_[inst] = kNil;
+        inst_prefill_tail_[inst] = kNil;
+        inst_prefill_count_[inst] = 0;
+        inst_batch_head_[inst] = kNil;
+        inst_running_head_[inst] = kNil;
+        inst_running_tail_[inst] = kNil;
+        inst_running_count_[inst] = 0;
+        killInstance(inst);
+        requeueChain(prefill);
+        requeueChain(batch);
+        requeueChain(running);
+    }
+
+    void
+    requeueChain(u32 head)
+    {
+        u32 req = head;
+        while (req != kNil) {
+            const u32 next = req_next_[req];
+            req_next_[req] = kNil;
+            requeueRequest(req);
+            req = next;
+        }
+    }
+
+    /** Bounded retry with backoff; past the budget the request fails. */
+    void
+    requeueRequest(u32 req)
+    {
+        metrics_.counter("cluster.chaos.requeued_requests").add(1);
+        req_generated_[req] = 0; // the retry re-prefills from scratch
+        ++req_retries_[req];
+        if (req_retries_[req] > options_.slo.max_retries) {
+            req_state_[req] = kStFailed;
+            metrics_.counter("cluster.slo.failed_requests").add(1);
+            traceInstant("slo.request_failed", "slo");
+            return;
+        }
+        metrics_.counter("cluster.slo.retries").add(1);
+        req_state_[req] = kStRetryWait;
+        const f64 backoff =
+            options_.slo.retry_backoff_sec *
+            static_cast<f64>(1u << std::min<u32>(req_retries_[req] - 1,
+                                                 20));
+        traceInstant("slo.requeue", "slo");
+        engine_.scheduleAfter(backoff,
+                              Ev{Ev::Kind::kRetryAdmit, 0, req});
+    }
+
+    void
+    onRetryAdmit(u32 req)
+    {
+        if (slo_on_) {
+            const f64 deadline = req_deadline_[req];
+            if (deadline > 0) {
+                const f64 remaining =
+                    req_arrival_[req] + deadline - engine_.now();
+                if (options_.slo.shed_on_deadline && remaining < 0) {
+                    shedRequest(req, /*admission=*/false);
+                    return;
+                }
+                if (options_.slo.admission_control &&
+                    projectedWaitSec(req_model_[req]) > remaining) {
+                    shedRequest(req, /*admission=*/true);
+                    return;
+                }
+                if (options_.slo.shed_on_deadline) {
+                    engine_.scheduleAfter(
+                        remaining, Ev{Ev::Kind::kDeadline, 0, req});
+                }
+            }
+        }
+        enqueueWaiting(req);
+        dispatch();
+    }
+
+    void
+    onDeadline(u32 req)
+    {
+        if (req_state_[req] != kStWaiting) {
+            return; // assigned, done, or already shed — lazy no-op
+        }
+        // Uncount now; popWaiting unlinks the stale FIFO entry later.
+        --wait_count_[req_model_[req]];
+        shedRequest(req, /*admission=*/false);
+    }
+
+    void
+    shedRequest(u32 req, bool admission)
+    {
+        req_state_[req] = kStShed;
+        metrics_
+            .counter(admission ? "cluster.slo.shed_admission"
+                               : "cluster.slo.shed_deadline")
+            .add(1);
+        traceInstant(admission ? "slo.shed_admission"
+                               : "slo.shed_deadline",
+                     "slo");
+    }
+
+    /**
+     * Admission-control estimate of how long a fresh arrival for @p m
+     * waits before prefill starts. Deliberately coarse: live capacity
+     * is free, a mid-flight cold start costs half a launch, a fresh
+     * launch the full (outage-adjusted) launch, and a saturated
+     * cluster is unbounded — shedding everything the cluster cannot
+     * absorb is the point of admission control.
+     */
+    f64
+    projectedWaitSec(u16 m)
+    {
+        if (by_load_[m].bestBelow(options_.max_seqs_per_instance) !=
+            kNil) {
+            return 0;
+        }
+        if (pending_[m] > 0) {
+            return 0.5 * expectedLaunchSec();
+        }
+        if (busy_gpus_ < options_.num_gpus - down_gpus_ &&
+            (!nodes_on_ || chooseNode(m) != kNil)) {
+            return expectedLaunchSec();
+        }
+        return std::numeric_limits<f64>::infinity();
+    }
+
+    /** Pessimistic launch-latency estimate for admission control. */
+    f64
+    expectedLaunchSec()
+    {
+        f64 fetch = nodes_on_ ? options_.node_artifact_miss_sec : 0.0;
+        if (chaos_on_ && fetch > 0) {
+            const f64 now = engine_.now();
+            if (now < store_until_) {
+                if (slo_on_ && options_.slo.degrade_to_vanilla) {
+                    const f64 vanilla =
+                        options_.vanilla_cold_start_sec > 0
+                            ? options_.vanilla_cold_start_sec
+                            : profile_.cold_start_sec;
+                    return std::min(vanilla,
+                                    store_until_ - now + fetch +
+                                        profile_.cold_start_sec);
+                }
+                fetch += store_until_ - now;
+            } else if (now < gray_until_) {
+                fetch *= options_.chaos->gray_slowdown;
+            }
+        }
+        return fetch + profile_.cold_start_sec;
+    }
+
     // ---- epilogue (mirrors cluster.cc's run() tail) --------------------
 
     TraceMetrics
@@ -923,12 +1389,24 @@ class FastClusterSim
         TraceMetrics m;
         f64 first_arrival = trace.empty() ? 0 : trace.front().arrival_sec;
         f64 last_finish = first_arrival;
+        u64 deadline_met = 0;
         for (std::size_t i = 0; i < req_arrival_.size(); ++i) {
             if (req_finished_[i] < 0) {
-                continue; // should not happen; guards divide-by-zero
+                continue; // shed / failed under chaos, else unreachable
             }
             ++m.completed;
-            m.ttft_sec.add(req_first_token_[i] - req_arrival_[i]);
+            const f64 ttft = req_first_token_[i] - req_arrival_[i];
+            if (slo_on_) {
+                const f64 d = req_deadline_[i];
+                if (d <= 0 || ttft <= d) {
+                    ++deadline_met;
+                    metrics_.counter("cluster.slo.deadline_met").add(1);
+                } else {
+                    metrics_.counter("cluster.slo.deadline_missed")
+                        .add(1);
+                }
+            }
+            m.ttft_sec.add(ttft);
             m.e2e_sec.add(req_finished_[i] - req_arrival_[i]);
             last_finish = std::max(last_finish, req_finished_[i]);
             if (trace_ != nullptr) {
@@ -948,6 +1426,12 @@ class FastClusterSim
         }
         m.makespan_sec = std::max(last_finish - first_arrival, 1e-9);
         m.achieved_qps = static_cast<f64>(m.completed) / m.makespan_sec;
+        if (slo_on_) {
+            m.goodput_qps =
+                static_cast<f64>(deadline_met) / m.makespan_sec;
+            metrics_.gauge("cluster.slo.goodput_qps")
+                .set(m.goodput_qps);
+        }
         for (std::size_t i = 0; i < inst_state_.size(); ++i) {
             const f64 death =
                 inst_died_at_[i] >= 0 ? inst_died_at_[i] : end;
@@ -1000,6 +1484,46 @@ class FastClusterSim
             m.metrics.counterValue("cluster.node_warm_launches");
         m.node_artifact_fetches =
             m.metrics.counterValue("cluster.node_artifact_fetches");
+        m.node_crashes =
+            m.metrics.counterValue("cluster.chaos.node_crashes");
+        m.node_recoveries =
+            m.metrics.counterValue("cluster.chaos.node_recoveries");
+        m.instance_crashes =
+            m.metrics.counterValue("cluster.chaos.instance_crashes");
+        m.requeued_requests =
+            m.metrics.counterValue("cluster.chaos.requeued_requests");
+        m.store_outages =
+            m.metrics.counterValue("cluster.chaos.store_outages");
+        m.store_outage_delay_sec = m.metrics.gaugeValue(
+            "cluster.chaos.store_outage_delay_sec");
+        m.gray_windows =
+            m.metrics.counterValue("cluster.chaos.gray_windows");
+        m.gray_fetches =
+            m.metrics.counterValue("cluster.chaos.gray_fetches");
+        m.lost_residency =
+            m.metrics.counterValue("cluster.chaos.lost_residency");
+        m.shed_admission =
+            m.metrics.counterValue("cluster.slo.shed_admission");
+        m.shed_deadline =
+            m.metrics.counterValue("cluster.slo.shed_deadline");
+        m.failed_requests =
+            m.metrics.counterValue("cluster.slo.failed_requests");
+        m.slo_retries = m.metrics.counterValue("cluster.slo.retries");
+        m.degraded_launches =
+            m.metrics.counterValue("cluster.slo.degraded_launches");
+        m.deadline_met =
+            m.metrics.counterValue("cluster.slo.deadline_met");
+        m.deadline_missed =
+            m.metrics.counterValue("cluster.slo.deadline_missed");
+        if (chaos_on_ || slo_on_) {
+            // The terminal-state lattice (DESIGN.md §16): every request
+            // ends completed, shed, or failed — nothing is dropped on
+            // the floor by a crash, an outage, or a shed race.
+            MEDUSA_CHECK(m.completed + m.shed_admission +
+                                 m.shed_deadline + m.failed_requests ==
+                             req_arrival_.size(),
+                         "request conservation violated");
+        }
         if (options_.pipeline.trace != nullptr) {
             options_.pipeline.trace->appendAll(rec_.events());
             options_.pipeline.trace->setTrackName(0, "cluster");
@@ -1018,6 +1542,17 @@ class FastClusterSim
         kDead = 2,
     };
 
+    /** Request terminal-state lattice (DESIGN.md §16). */
+    enum : u8
+    {
+        kStWaiting = 0,
+        kStAssigned,
+        kStDone,
+        kStShed,
+        kStFailed,
+        kStRetryWait,
+    };
+
     ClusterOptions options_;
     const ServingProfile &profile_;
     Engine engine_;
@@ -1028,6 +1563,8 @@ class FastClusterSim
     /** Canonical `cluster.*` counters; TraceMetrics is a view of it. */
     MetricsRegistry metrics_;
     bool nodes_on_ = false;
+    bool chaos_on_ = false;
+    bool slo_on_ = false;
 
     // Request table (struct-of-arrays, trace order).
     std::vector<f64> req_arrival_;
@@ -1038,6 +1575,9 @@ class FastClusterSim
     std::vector<f64> req_finished_;
     std::vector<u32> req_next_;
     std::vector<u16> req_model_;
+    std::vector<f64> req_deadline_;
+    std::vector<u32> req_retries_;
+    std::vector<u8> req_state_;
 
     // Instance table (struct-of-arrays, creation order).
     std::vector<u8> inst_state_;
@@ -1057,6 +1597,8 @@ class FastClusterSim
     std::vector<f64> inst_died_at_;
     std::vector<f64> inst_idle_since_;
     std::vector<EventHandle> inst_idle_timer_;
+    std::vector<EventHandle> inst_step_timer_;
+    std::vector<EventHandle> inst_launch_timer_;
     std::vector<u64> inst_warmed_;
     std::size_t warmed_stride_ = 0;
 
@@ -1072,6 +1614,14 @@ class FastClusterSim
     std::vector<u16> node_models_;
     std::vector<u64> node_stamp_;
     u64 lru_tick_ = 0;
+
+    // Chaos state (empty / zero when no plan is armed).
+    std::vector<ChaosEvent> chaos_sched_;
+    std::vector<u8> node_down_;
+    std::vector<u32> node_cap_;
+    u32 down_gpus_ = 0;
+    f64 store_until_ = 0;
+    f64 gray_until_ = 0;
 
     u32 busy_gpus_ = 0;
     u64 live_count_ = 0;

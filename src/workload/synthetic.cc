@@ -89,6 +89,7 @@ generateSyntheticTrace(const SyntheticTraceOptions &options)
         }
         Request r;
         r.arrival_sec = now;
+        r.ttft_deadline_sec = options.slo_ttft_sec;
         r.prompt_tokens = drawLength(
             rng, prompt_mu, sigma, options.tail_prob, options.tail_alpha,
             options.mean_prompt_tokens, options.max_prompt_tokens);

@@ -36,6 +36,13 @@ struct Request
      * it from a Zipf mix for the multi-model scheduling studies.
      */
     u16 model_id = 0;
+    /**
+     * Time-to-first-token SLO deadline, relative to arrival (seconds);
+     * 0 means no deadline. Consumed by the cluster simulator's
+     * SloPolicy (serverless/cluster.h) for admission control, deadline
+     * shedding and goodput accounting.
+     */
+    f64 ttft_deadline_sec = 0;
 };
 
 /** Generator configuration. */

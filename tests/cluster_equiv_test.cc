@@ -285,6 +285,85 @@ TEST(ClusterEquivTest, MillionRequestRunIsDeterministic)
     EXPECT_GT(a.peak_live_instances, 100u);
 }
 
+// ---- chaos determinism suite (DESIGN.md §16) -----------------------------
+
+/**
+ * An empty (default-constructed) ChaosPlan and a default SloPolicy must
+ * leave the fast engine BYTE-IDENTICAL to today's fault-free simulator:
+ * same TraceMetrics, same metric-name set, same span stream. This is
+ * the contract that lets chaos ship inside the hot path.
+ */
+TEST(ClusterChaosTest, EmptyPlanIsByteIdenticalToFaultFree)
+{
+    const ServingProfile p = toyProfile(1.5);
+    const auto trace = fig10Trace(6.0, 20250801ull);
+    ClusterOptions plain;
+    plain.idle_timeout_sec = 1.0;
+    ClusterOptions armed = plain;
+    const ChaosPlan empty; // all mtbf = 0: enabled() is false
+    armed.chaos = &empty;
+    const RunResult a = runEngine(plain, p, trace, SimEngine::kFast);
+    const RunResult b = runEngine(armed, p, trace, SimEngine::kFast);
+    expectBitIdentical(a, b);
+    EXPECT_EQ(a.metrics.sim_events, b.metrics.sim_events);
+    // No chaos/SLO names may leak into the fault-free snapshot.
+    EXPECT_EQ(b.metrics_json.find("cluster.chaos."), std::string::npos);
+    EXPECT_EQ(b.metrics_json.find("cluster.slo."), std::string::npos);
+}
+
+/** Same (trace, plan, seed) ⇒ bit-identical everything, run after run. */
+TEST(ClusterChaosTest, ArmedPlanIsDeterministic)
+{
+    const ServingProfile p = toyProfile(1.5);
+    const auto trace = fig10Trace(8.0, 20250802ull);
+    ChaosPlan plan;
+    plan.seed = 77;
+    plan.node_mtbf_sec = 20.0;
+    plan.node_mttr_sec = 5.0;
+    plan.inst_mtbf_sec = 10.0;
+    plan.store_mtbf_sec = 30.0;
+    plan.gray_mtbf_sec = 25.0;
+    ClusterOptions opts;
+    opts.num_gpus = 8;
+    opts.gpus_per_node = 2;
+    opts.node_artifact_miss_sec = 0.4;
+    opts.chaos = &plan;
+    opts.slo.default_ttft_sec = 15.0;
+    opts.slo.admission_control = true;
+    opts.slo.shed_on_deadline = true;
+    const RunResult a = runEngine(opts, p, trace, SimEngine::kFast);
+    const RunResult b = runEngine(opts, p, trace, SimEngine::kFast);
+    EXPECT_EQ(a.metrics_json, b.metrics_json);
+    EXPECT_EQ(a.chrome_json, b.chrome_json);
+    EXPECT_EQ(a.metrics.ttft_sec.samples(), b.metrics.ttft_sec.samples());
+    EXPECT_EQ(a.metrics.e2e_sec.samples(), b.metrics.e2e_sec.samples());
+    EXPECT_EQ(a.metrics.gpu_seconds, b.metrics.gpu_seconds);
+    // The plan actually fired (otherwise this suite proves nothing) and
+    // every request reached exactly one terminal state.
+    EXPECT_GT(a.metrics.instance_crashes + a.metrics.node_crashes, 0u);
+    EXPECT_EQ(a.metrics.completed + a.metrics.shed_admission +
+                  a.metrics.shed_deadline + a.metrics.failed_requests,
+              trace.size());
+}
+
+/** A different chaos seed must perturb the failure schedule. */
+TEST(ClusterChaosTest, SeedChangesSchedule)
+{
+    ChaosPlan plan;
+    plan.node_mtbf_sec = 15.0;
+    plan.inst_mtbf_sec = 7.0;
+    const auto a = buildChaosSchedule(plan, 300.0);
+    plan.seed ^= 0x1234;
+    const auto b = buildChaosSchedule(plan, 300.0);
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+        differs = a[i].start_sec != b[i].start_sec;
+    }
+    EXPECT_TRUE(differs);
+}
+
 /** Policy runs must not disturb baseline metric names or results. */
 TEST(ClusterEquivTest, BaselinePolicyMatchesLegacyMetricNames)
 {

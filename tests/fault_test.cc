@@ -85,6 +85,39 @@ TEST(FaultPlanTest, ParsesSpecForms)
     EXPECT_FALSE(FaultPlan::fromSpec("crc=notanumber").isOk());
 }
 
+TEST(FaultPlanTest, DuplicatePointIsAnError)
+{
+    // A second rule for the same point used to silently overwrite the
+    // first; it must be rejected and name the offender.
+    auto dup = FaultPlan::fromSpec("dlsym@2;crc=0.1;dlsym=0.5");
+    ASSERT_FALSE(dup.isOk());
+    EXPECT_NE(dup.status().message().find("duplicate"),
+              std::string::npos);
+    EXPECT_NE(dup.status().message().find("dlsym"), std::string::npos);
+
+    auto json_dup = FaultPlan::fromJson(
+        "{\"seed\":1,\"rules\":[{\"point\":\"crc\",\"probability\":0.1},"
+        "{\"point\":\"crc\",\"fire_on_hit\":2}]}");
+    ASSERT_FALSE(json_dup.isOk());
+    EXPECT_NE(json_dup.status().message().find("duplicate"),
+              std::string::npos);
+    EXPECT_NE(json_dup.status().message().find("crc"),
+              std::string::npos);
+}
+
+TEST(FaultPlanTest, UnknownPointErrorListsValidNames)
+{
+    auto bad = FaultPlan::fromSpec("no_such_point=0.5");
+    ASSERT_FALSE(bad.isOk());
+    const std::string &msg = bad.status().message();
+    EXPECT_NE(msg.find("no_such_point"), std::string::npos);
+    // The error enumerates every valid point name.
+    for (std::size_t i = 0; i < kFaultPointCount; ++i) {
+        const char *name = faultPointName(static_cast<FaultPoint>(i));
+        EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
+}
+
 TEST(FaultPlanTest, SpecRendersBack)
 {
     auto plan = FaultPlan::fromSpec("dlsym@2x1;seed=9");

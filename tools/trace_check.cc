@@ -18,6 +18,12 @@
  *                                throughput with a positive speedup,
  *                                >= 3 policies each with completed
  *                                requests and cold-start percentiles)
+ *                                or bench_chaos --json report
+ *                                (BENCH_chaos.json, recognized by its
+ *                                'cells' array: both invariant flags
+ *                                true, and every policy x intensity
+ *                                cell conserving requests — completed
+ *                                + shed + failed == requests)
  *
  * Each mode parses the file with a minimal self-contained JSON parser
  * (no dependencies) and checks the schema_version plus the structural
@@ -416,9 +422,46 @@ checkMetrics(const JsonValue &root)
         metrics->kind != JsonValue::Kind::kObject) {
         return violation("metrics: 'metrics' must be an object");
     }
+    // The chaos / SLO counter namespaces are closed sets (DESIGN.md
+    // §16): a typo'd `cluster.chaos.*` name would silently dodge every
+    // dashboard, so unknown names in these prefixes are violations.
+    static const char *const kChaosSloNames[] = {
+        "cluster.chaos.node_crashes",
+        "cluster.chaos.node_recoveries",
+        "cluster.chaos.instance_crashes",
+        "cluster.chaos.requeued_requests",
+        "cluster.chaos.store_outages",
+        "cluster.chaos.store_outage_delay_sec",
+        "cluster.chaos.gray_windows",
+        "cluster.chaos.gray_fetches",
+        "cluster.chaos.lost_residency",
+        "cluster.slo.shed_admission",
+        "cluster.slo.shed_deadline",
+        "cluster.slo.failed_requests",
+        "cluster.slo.retries",
+        "cluster.slo.degraded_launches",
+        "cluster.slo.deadline_met",
+        "cluster.slo.deadline_missed",
+        "cluster.slo.goodput_qps",
+    };
     for (const auto &[name, value] : metrics->object) {
         if (name.empty()) {
             return violation("metrics: empty metric name");
+        }
+        if (name.rfind("cluster.chaos.", 0) == 0 ||
+            name.rfind("cluster.slo.", 0) == 0) {
+            bool known = false;
+            for (const char *candidate : kChaosSloNames) {
+                if (name == candidate) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                return violation(
+                    ("metrics: unknown chaos/slo metric '" + name + "'")
+                        .c_str());
+            }
         }
         const bool scalar = value.kind == JsonValue::Kind::kNumber ||
                             value.kind == JsonValue::Kind::kNull;
@@ -554,12 +597,97 @@ checkSarif(const JsonValue &root)
     return 0;
 }
 
+/** bench_chaos --json (BENCH_chaos.json): the policy x chaos matrix. */
+int
+checkChaosSim(const JsonValue &root)
+{
+    const JsonValue *requests = root.find("requests");
+    if (requests == nullptr ||
+        requests->kind != JsonValue::Kind::kNumber ||
+        requests->number <= 0) {
+        return violation("sim: 'requests' must be a positive number");
+    }
+    for (const char *flag :
+         {"empty_plan_bit_identical", "rerun_deterministic"}) {
+        const JsonValue *v = root.find(flag);
+        if (v == nullptr || v->kind != JsonValue::Kind::kBool ||
+            !v->boolean) {
+            return violation(
+                "sim: chaos report invariant flag missing or false");
+        }
+    }
+    const JsonValue *cells = root.find("cells");
+    if (cells == nullptr || cells->kind != JsonValue::Kind::kArray ||
+        cells->array.size() < 4) {
+        return violation(
+            "sim: chaos report needs >= 4 matrix cells");
+    }
+    for (const JsonValue &cell : cells->array) {
+        if (cell.kind != JsonValue::Kind::kObject) {
+            return violation("sim: chaos cell must be an object");
+        }
+        for (const char *field : {"policy", "intensity"}) {
+            const JsonValue *v = cell.find(field);
+            if (v == nullptr || v->kind != JsonValue::Kind::kString ||
+                v->string.empty()) {
+                return violation(
+                    "sim: chaos cell without policy/intensity");
+            }
+        }
+        double terminal = 0;
+        for (const char *field :
+             {"completed", "shed_admission", "shed_deadline",
+              "failed_requests"}) {
+            const JsonValue *v = cell.find(field);
+            if (v == nullptr || v->kind != JsonValue::Kind::kNumber ||
+                v->number < 0) {
+                return violation(
+                    "sim: chaos cell missing a terminal-state count");
+            }
+            terminal += v->number;
+        }
+        // The invariant the whole chaos layer hangs on: every request
+        // reaches exactly one terminal state.
+        if (terminal != requests->number) {
+            return violation(
+                "sim: chaos cell violates request conservation");
+        }
+        const JsonValue *attain = cell.find("slo_attainment");
+        if (attain == nullptr ||
+            attain->kind != JsonValue::Kind::kNumber ||
+            attain->number < 0 || attain->number > 1) {
+            return violation(
+                "sim: slo_attainment must be in [0, 1]");
+        }
+        for (const char *field :
+             {"requeued_requests", "slo_retries", "instance_crashes",
+              "node_crashes", "goodput_qps", "ttft_p99_sec",
+              "gpu_seconds"}) {
+            const JsonValue *v = cell.find(field);
+            if (v == nullptr || v->kind != JsonValue::Kind::kNumber ||
+                v->number < 0) {
+                return violation(
+                    "sim: chaos cell missing a numeric stat field");
+            }
+        }
+    }
+    std::printf("trace_check: chaos sim report OK (%zu cells, "
+                "conservation holds)\n",
+                cells->array.size());
+    return 0;
+}
+
 int
 checkSim(const JsonValue &root)
 {
     if (root.kind != JsonValue::Kind::kObject ||
         !schemaVersionIs(root, 1)) {
         return violation("sim: missing schema_version=1");
+    }
+    // The chaos matrix report shares the --sim mode; its 'cells'
+    // array tells the two shapes apart.
+    if (root.find("cells") != nullptr) {
+        return checkChaosSim(root);
     }
     const JsonValue *requests = root.find("requests");
     if (requests == nullptr ||
