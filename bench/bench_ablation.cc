@@ -123,7 +123,7 @@ main()
         auto engine = core::MedusaEngine::coldStart(mopts,
                                                     offline.artifact);
         if (engine.isOk()) {
-            const auto &r = (*engine)->report();
+            const auto &r = (*engine)->coldStartReport().restore;
             std::printf("  %-28s OK: %llu via dlsym, %llu via module "
                         "enumeration, loading %.2f s\n",
                         mode.name,
@@ -131,7 +131,7 @@ main()
                             r.kernels_via_dlsym),
                         static_cast<unsigned long long>(
                             r.kernels_via_enumeration),
-                        (*engine)->times().loading);
+                        (*engine)->coldStartReport().times.loading);
         } else {
             std::printf("  %-28s FAILED: %s\n", mode.name,
                         engine.status().toString().c_str());

@@ -156,8 +156,10 @@ timedRun(const serverless::ClusterOptions &opts,
          const serverless::ServingProfile &profile,
          const std::vector<workload::Request> &trace, f64 *wall_sec)
 {
+    serverless::ClusterOptions copts = opts;
+    copts.profile = &profile;
     const auto t0 = std::chrono::steady_clock::now();
-    auto m = serverless::simulateCluster(opts, profile, trace);
+    auto m = serverless::simulateCluster(copts, trace);
     const auto t1 = std::chrono::steady_clock::now();
     *wall_sec = std::chrono::duration<f64>(t1 - t0).count();
     return m;

@@ -101,8 +101,10 @@ timedRun(const serverless::ClusterOptions &opts,
          const std::vector<workload::Request> &trace)
 {
     RunStats r;
+    serverless::ClusterOptions copts = opts;
+    copts.profile = &profile;
     const auto t0 = std::chrono::steady_clock::now();
-    r.metrics = serverless::simulateCluster(opts, profile, trace);
+    r.metrics = serverless::simulateCluster(copts, trace);
     const auto t1 = std::chrono::steady_clock::now();
     r.wall_sec =
         std::chrono::duration<f64>(t1 - t0).count();

@@ -83,11 +83,11 @@ runCell(const llm::ModelConfig &model, const core::Artifact &artifact,
     auto engine = core::MedusaEngine::coldStart(opts, artifact);
     cell.ok = engine.isOk();
     if (engine.isOk()) {
-        const core::RestoreReport &r = (*engine)->report();
+        const core::RestoreReport &r = (*engine)->coldStartReport().restore;
         cell.fallback_vanilla = r.fallback_vanilla;
         cell.attempts = r.restore_attempts;
         cell.retries = r.retries;
-        cell.loading_sec = (*engine)->times().loading;
+        cell.loading_sec = (*engine)->coldStartReport().times.loading;
         cell.wasted_sec = r.wasted_restore_sec;
     } else if (injector.totalFires() == 0) {
         // The point never fired (not on this restore path): mark the
@@ -159,7 +159,7 @@ main(int argc, char **argv)
         opts.restore.pipeline.validate_batch_sizes = {1};
         auto engine = core::MedusaEngine::coldStart(opts, artifact);
         bench::checkOk(engine.status(), "clean restore");
-        clean_loading = (*engine)->times().loading;
+        clean_loading = (*engine)->coldStartReport().times.loading;
     }
 
     std::vector<MatrixCell> matrix;
@@ -216,8 +216,9 @@ main(int argc, char **argv)
         copts.fallback.max_attempts = 2;
         // A launch that degrades pays the classic cold start.
         copts.vanilla_cold_start_sec = vllm_profile.cold_start_sec;
+        copts.profile = &medusa_profile;
         const serverless::TraceMetrics metrics =
-            serverless::simulateCluster(copts, medusa_profile, trace);
+            serverless::simulateCluster(copts, trace);
         if (reporter.trace() != nullptr) {
             reporter.addSpans(run_trace.events(), sweep_track);
             char label[48];
@@ -281,7 +282,8 @@ main(int argc, char **argv)
         copts.fallback.mode = core::FallbackMode::kRetryThenVanilla;
         copts.fallback.max_attempts = 2;
         copts.vanilla_cold_start_sec = vllm_profile.cold_start_sec;
-        serverless::simulateCluster(copts, medusa_profile, trace);
+        copts.profile = &medusa_profile;
+        serverless::simulateCluster(copts, trace);
         reporter.addSpans(run_trace.events(), sweep_track);
         reporter.setTrackName(sweep_track, "cluster fault showcase");
         reporter.setTrackName(sweep_track + 1, "requests");

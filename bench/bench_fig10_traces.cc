@@ -75,8 +75,9 @@ main()
                 u64 colds = 0;
                 for (const auto &trace : traces) {
                     serverless::ClusterOptions copts;
-                    auto metrics = serverless::simulateCluster(
-                        copts, profile, trace);
+                    copts.profile = &profile;
+                    auto metrics =
+                        serverless::simulateCluster(copts, trace);
                     for (f64 v : metrics.ttft_sec.samples()) {
                         ttft.add(v);
                     }

@@ -67,8 +67,9 @@ main()
                     const auto trace =
                         workload::generateShareGptTrace(topts);
                     serverless::ClusterOptions copts;
-                    auto metrics = serverless::simulateCluster(
-                        copts, profile, trace);
+                    copts.profile = &profile;
+                    auto metrics =
+                        serverless::simulateCluster(copts, trace);
                     for (f64 v : metrics.ttft_sec.samples()) {
                         ttft.add(v);
                     }

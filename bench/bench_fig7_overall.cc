@@ -50,12 +50,12 @@ main()
         auto medusa = bench::unwrap(
             core::MedusaEngine::coldStart(mopts, artifact), "Medusa");
 
-        const f64 l_vllm = vllm->times().loading;
-        const f64 l_async = async->times().loading;
-        const f64 l_medusa = medusa->times().loading;
-        const f64 cs_vllm = vllm->times().coldStart();
-        const f64 cs_async = async->times().coldStart();
-        const f64 cs_medusa = medusa->times().coldStart();
+        const f64 l_vllm = vllm->coldStartReport().times.loading;
+        const f64 l_async = async->coldStartReport().times.loading;
+        const f64 l_medusa = medusa->coldStartReport().times.loading;
+        const f64 cs_vllm = vllm->coldStartReport().times.coldStart();
+        const f64 cs_async = async->coldStartReport().times.coldStart();
+        const f64 cs_medusa = medusa->coldStartReport().times.coldStart();
         const f64 reduction = 100.0 * (1.0 - l_medusa / l_vllm);
 
         sum_vllm += l_vllm;

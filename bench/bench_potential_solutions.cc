@@ -67,8 +67,8 @@ main()
     for (u32 spares : {0u, 1u, 2u, 4u}) {
         serverless::ClusterOptions copts;
         copts.hot_spares = spares;
-        auto metrics = serverless::simulateCluster(copts, vllm_profile,
-                                                   sparse);
+        copts.profile = &vllm_profile;
+        auto metrics = serverless::simulateCluster(copts, sparse);
         char label[64];
         std::snprintf(label, sizeof(label), "vLLM + %u hot spare%s",
                       spares, spares == 1 ? "" : "s");
@@ -80,8 +80,8 @@ main()
     }
     {
         serverless::ClusterOptions copts;
-        auto metrics = serverless::simulateCluster(copts, medusa_profile,
-                                                   sparse);
+        copts.profile = &medusa_profile;
+        auto metrics = serverless::simulateCluster(copts, sparse);
         std::printf("%-26s %9.3f %9.3f %12.0f %7llu\n",
                     "Medusa (no spares)", metrics.ttft_sec.p50(),
                     metrics.ttft_sec.p99(), metrics.gpu_seconds,
@@ -99,8 +99,8 @@ main()
     for (const auto *profile :
          {&vllm_profile, &deferred_profile, &medusa_profile}) {
         serverless::ClusterOptions copts;
-        auto metrics =
-            serverless::simulateCluster(copts, *profile, trace);
+        copts.profile = profile;
+        auto metrics = serverless::simulateCluster(copts, trace);
         std::printf("%-18s %10.2f | %10.3f %10.3f | %10.3f %10.3f\n",
                     llm::strategyName(profile->strategy),
                     profile->loading_sec, metrics.ttft_sec.p99(),
@@ -138,12 +138,12 @@ main()
     std::printf("%-22s %12s %14s\n", "approach", "loading (s)",
                 "persisted state");
     std::printf("%-22s %12.2f %14s\n", "vanilla vLLM",
-                donor->times().loading, "-");
+                donor->coldStartReport().times.loading, "-");
     std::printf("%-22s %12.2f %14s\n", "checkpoint/restore",
                 restored->times().loading,
                 formatBytes(image.totalBytes()).c_str());
     std::printf("%-22s %12.2f %14s\n", "Medusa",
-                medusa->times().loading,
+                medusa->coldStartReport().times.loading,
                 formatBytes(artifact.serialize().size()).c_str());
     std::printf("\n-> a full checkpoint restores in one sequential "
                 "read but ships the whole device footprint;\n   Medusa "

@@ -103,8 +103,8 @@ runRebuildArm(const llm::ModelConfig &model,
     auto engine = unwrap(core::MedusaEngine::coldStart(opts, artifact),
                          "rebuild cold start");
     s.wall_ms = msBetween(start, SteadyClock::now());
-    s.times = engine->times();
-    s.report = engine->report();
+    s.times = engine->coldStartReport().times;
+    s.report = engine->coldStartReport().restore;
     if (probe) {
         llm::ModelRuntime &rt = engine->runtime();
         // Logical fingerprint: the patch path reaches the same state
@@ -141,8 +141,8 @@ runPatchArm(const llm::ModelConfig &model,
         unwrap(core::MedusaEngine::coldStartFromImage(opts, image),
                "patch cold start");
     s.wall_ms = msBetween(start, SteadyClock::now());
-    s.times = engine->times();
-    s.report = engine->report();
+    s.times = engine->coldStartReport().times;
+    s.report = engine->coldStartReport().restore;
     if (probe) {
         llm::ModelRuntime &rt = engine->runtime();
         // Logical fingerprint: the patch path reaches the same state

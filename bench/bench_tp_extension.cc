@@ -85,13 +85,13 @@ main()
     std::printf("%-34s %12.2f\n",
                 "capture-from-scratch (per rank)", baseline_loading);
     std::printf("%-34s %12.2f  (-%.1f%%)\n",
-                "Medusa per-rank restoration", restored->loadingSec(),
-                100.0 * (1.0 - restored->loadingSec() /
+                "Medusa per-rank restoration", restored->coldStartReport().loadingSec(),
+                100.0 * (1.0 - restored->coldStartReport().loadingSec() /
                                    baseline_loading));
     std::printf("\nvalidation: restored lockstep replay matches the "
                 "reference cluster bit-for-bit\n");
     for (u32 r = 0; r < world; ++r) {
-        const auto &rep = restored->report(r);
+        const auto &rep = restored->rankRestoreReports()[r];
         std::printf("  rank %u: %llu nodes restored (%llu via dlsym, "
                     "%llu via module enumeration)\n",
                     r,

@@ -65,8 +65,8 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const llm::StageTimes &tv = (*vllm)->times();
-    const llm::StageTimes &tm = (*medusa)->times();
+    const llm::StageTimes &tv = (*vllm)->coldStartReport().times;
+    const llm::StageTimes &tm = (*medusa)->coldStartReport().times;
     const f64 scale = 50.0 / tv.loading; // 50 columns for vLLM total
 
     std::printf("=== cold start anatomy: %s ===\n\n", name.c_str());
@@ -82,8 +82,8 @@ main(int argc, char **argv)
 
     std::printf("\nvLLM+ASYNC (weights || tokenizer+KV-init, %.2fs, "
                 "-%.0f%%):\n",
-                (*async)->times().loading,
-                100.0 * (1.0 - (*async)->times().loading / tv.loading));
+                (*async)->coldStartReport().times.loading,
+                100.0 * (1.0 - (*async)->coldStartReport().times.loading / tv.loading));
 
     std::printf("\nMedusa (%.2fs, -%.0f%%):\n", tm.loading,
                 100.0 * (1.0 - tm.loading / tv.loading));
@@ -106,12 +106,12 @@ main(int argc, char **argv)
     std::printf("  - kernel addresses      -> %llu names resolved via "
                 "dlsym, %llu via first-layer triggering-kernels\n",
                 static_cast<unsigned long long>(
-                    (*medusa)->report().kernels_via_dlsym),
+                    (*medusa)->coldStartReport().restore.kernels_via_dlsym),
                 static_cast<unsigned long long>(
-                    (*medusa)->report().kernels_via_enumeration));
+                    (*medusa)->coldStartReport().restore.kernels_via_enumeration));
     std::printf("  - buffer contents       -> only %llu bytes of "
                 "permanent buffers (copy-free restoration)\n",
                 static_cast<unsigned long long>(
-                    (*medusa)->report().restored_content_bytes));
+                    (*medusa)->coldStartReport().restore.restored_content_bytes));
     return 0;
 }

@@ -51,7 +51,7 @@ main()
     auto vllm = orDie(llm::BaselineEngine::coldStart(bopts),
                       "vLLM cold start");
     std::printf("vLLM loading phase:   %.2f virtual seconds\n",
-                vllm->times().loading);
+                vllm->coldStartReport().times.loading);
 
     // ---- 2. Medusa: materialize offline, restore online -------------
     core::OfflineOptions oopts;
@@ -71,9 +71,9 @@ main()
         "Medusa cold start");
     std::printf("Medusa loading phase: %.2f virtual seconds "
                 "(-%.1f%%)\n\n",
-                medusa->times().loading,
-                100.0 * (1.0 - medusa->times().loading /
-                                   vllm->times().loading));
+                medusa->coldStartReport().times.loading,
+                100.0 * (1.0 - medusa->coldStartReport().times.loading /
+                                   vllm->coldStartReport().times.loading));
 
     // ---- 3. serve a prompt on both engines ---------------------------
     const std::string prompt = "serverless inference cold start";
@@ -92,8 +92,8 @@ main()
                 vllm_out == medusa_out ? "yes" : "NO (bug!)");
     std::printf("restored graphs: %llu nodes across %llu batch sizes\n",
                 static_cast<unsigned long long>(
-                    medusa->report().nodes_restored),
+                    medusa->coldStartReport().restore.nodes_restored),
                 static_cast<unsigned long long>(
-                    medusa->report().graphs_restored));
+                    medusa->coldStartReport().restore.graphs_restored));
     return 0;
 }

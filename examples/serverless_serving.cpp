@@ -70,8 +70,8 @@ main(int argc, char **argv)
             return 1;
         }
         serverless::ClusterOptions copts;
-        const auto metrics =
-            serverless::simulateCluster(copts, *profile, trace);
+        copts.profile = &*profile;
+        const auto metrics = serverless::simulateCluster(copts, trace);
         std::printf("%-16s %9.2f %9.3f %9.3f %9.3f %7llu\n",
                     llm::strategyName(strategy), profile->loading_sec,
                     metrics.ttft_sec.p50(), metrics.ttft_sec.p99(),

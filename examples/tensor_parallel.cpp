@@ -84,7 +84,7 @@ main(int argc, char **argv)
     }
     std::printf("\nonline: restored and validated against a reference "
                 "cluster (bit-exact), loading %.2f s\n",
-                (*engine)->loadingSec());
+                (*engine)->coldStartReport().loadingSec());
 
     // Run one lockstep decode step end-to-end.
     auto st = (*engine)->cluster().stageValidationState(8);

@@ -24,6 +24,12 @@
 #                         10^5-request deadline-carrying trace; exits
 #                         non-zero if request conservation, rerun
 #                         determinism or empty-plan identity breaks.
+#   BENCH_serve.json    — serving control plane: a synthetic diurnal
+#                         trace replayed through medusa_serve's HTTP
+#                         front end on loopback (QPS, virtual TTFT
+#                         p50/p99); exits non-zero if request or
+#                         token conservation breaks across the
+#                         HTTP path.
 #
 # Usage: scripts/bench.sh [build-dir] [threads]
 #   build-dir defaults to ./build, threads to the hardware concurrency.
@@ -36,7 +42,7 @@ THREADS="${2:-0}"
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" \
     --target bench_restore_parallel bench_micro bench_fault_matrix \
-    bench_cluster_scale bench_chaos \
+    bench_cluster_scale bench_chaos bench_serve \
     >/dev/null
 
 cd "$ROOT" # bench binaries cache artifacts under ./artifacts
@@ -62,3 +68,7 @@ cat "$ROOT/BENCH_sim.json"
 echo "== bench_chaos"
 "$BUILD/bench/bench_chaos" --json > "$ROOT/BENCH_chaos.json"
 cat "$ROOT/BENCH_chaos.json"
+
+echo "== bench_serve"
+"$BUILD/bench/bench_serve" --json > "$ROOT/BENCH_serve.json"
+cat "$ROOT/BENCH_serve.json"

@@ -161,6 +161,25 @@ else
     fail "bench_chaos / trace_check binaries missing"
 fi
 
+note "serve smoke: loopback OpenAI front end, streamed + clean drain"
+if [ -x "$BUILD/tools/medusa_serve" ] && [ -x "$BUILD/tools/trace_check" ]
+then
+    SERVE_METRICS="$BUILD/check-serve-metrics.json"
+    # --smoke starts the server on an ephemeral loopback port, issues a
+    # streamed completion (asserting the SSE frame count), a chat
+    # completion, validation-error probes, then drains gracefully and
+    # exits non-zero if anything — including request conservation in
+    # the final TraceMetrics — went wrong.
+    if ! timeout 120 "$BUILD/tools/medusa_serve" --smoke \
+            "--metrics-out=$SERVE_METRICS" >/dev/null; then
+        fail "medusa_serve --smoke failed (stream/drain)"
+    elif ! "$BUILD/tools/trace_check" --metrics "$SERVE_METRICS"; then
+        fail "serve metrics failed the closed server.* namespace check"
+    fi
+else
+    fail "medusa_serve / trace_check binaries missing"
+fi
+
 note "lint-images: verify every materialized v6 image in the build tree"
 if [ -x "$BUILD/tools/medusa_lint" ] && [ -x "$BUILD/tools/trace_check" ]
 then

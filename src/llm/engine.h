@@ -84,12 +84,6 @@ class BaselineEngine
     /** The consolidated report for this cold start (DESIGN.md §12). */
     const ColdStartReport &coldStartReport() const { return report_; }
 
-    /**
-     * @deprecated Thin view over coldStartReport().times; new code
-     * should consume the consolidated report.
-     */
-    const StageTimes &times() const { return report_.times; }
-
     Strategy strategy() const { return strategy_; }
     /** The process-launch seed this engine was cold-started with. */
     u64 aslrSeed() const { return aslr_seed_; }

@@ -57,23 +57,6 @@ class MaterializationCache
     using Loader = std::function<StatusOr<T>()>;
 
     /**
-     * Counter view kept for back-compat. The counters live in a
-     * MetricsRegistry under the `artifact_cache.*` names (DESIGN.md
-     * §12); stats() materializes this struct from a snapshot.
-     */
-    struct Stats
-    {
-        u64 hits = 0;
-        u64 misses = 0;
-        u64 evictions = 0;
-        u64 failed_loads = 0;
-        /** Times a caller waited out a failure backoff before loading. */
-        u64 backoff_waits = 0;
-        /** The most recent loader failure (ok() when none ever). */
-        Status last_failure = Status::ok();
-    };
-
-    /**
      * @param capacity max resident entries (floored at 1).
      * @param initial_backoff_ms pause before retrying a failed key;
      *        doubles per consecutive failure up to @p max_backoff_ms.
@@ -229,28 +212,18 @@ class MaterializationCache
         return value;
     }
 
-    /**
-     * @deprecated Back-compat view materialized from metricsSnapshot();
-     * new code should consume the `artifact_cache.*` metric names.
-     */
-    Stats
-    stats() const
-    {
-        const MetricsSnapshot snap = metrics_.snapshot();
-        Stats s;
-        s.hits = snap.counterValue("artifact_cache.hits");
-        s.misses = snap.counterValue("artifact_cache.misses");
-        s.evictions = snap.counterValue("artifact_cache.evictions");
-        s.failed_loads = snap.counterValue("artifact_cache.failed_loads");
-        s.backoff_waits =
-            snap.counterValue("artifact_cache.backoff_waits");
-        std::unique_lock<std::mutex> lock(mu_);
-        s.last_failure = last_failure_;
-        return s;
-    }
-
-    /** The cache's counters as a registry snapshot. */
+    /** The cache's counters as a registry snapshot (DESIGN.md §12):
+     *  `artifact_cache.{hits,misses,evictions,failed_loads,
+     *  backoff_waits}`. */
     MetricsSnapshot metricsSnapshot() const { return metrics_.snapshot(); }
+
+    /** The most recent loader failure (ok() when none ever). */
+    Status
+    lastFailure() const
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        return last_failure_;
+    }
 
     /** Resident (fully loaded) entries. */
     std::size_t

@@ -88,18 +88,6 @@ class MedusaEngine
      */
     const ColdStartReport &coldStartReport() const { return report_; }
 
-    /**
-     * @deprecated Thin view over coldStartReport().times; new code
-     * should consume the consolidated report.
-     */
-    const llm::StageTimes &times() const { return report_.times; }
-
-    /**
-     * @deprecated Thin view over coldStartReport().restore; new code
-     * should consume the consolidated report.
-     */
-    const RestoreReport &report() const { return report_.restore; }
-
   private:
     MedusaEngine() = default;
 

@@ -91,20 +91,15 @@ class TpMedusaEngine
     const ColdStartReport &coldStartReport() const { return report_; }
 
     /**
-     * @deprecated Per-rank view kept for back-compat; new code should
-     * consume coldStartReport() (whole-cluster restore counters) or
-     * this view only for genuinely per-rank detail.
+     * Genuinely per-rank restore detail (index = rank); whole-cluster
+     * counters and the visible loading latency live in
+     * coldStartReport().
      */
-    const RestoreReport &report(u32 rank) const
+    const std::vector<RestoreReport> &
+    rankRestoreReports() const
     {
-        return reports_.at(rank);
+        return reports_;
     }
-
-    /**
-     * Visible loading latency (the slowest rank gates readiness).
-     * @deprecated Thin view over coldStartReport().times.loading.
-     */
-    f64 loadingSec() const { return report_.times.loading; }
 
   private:
     TpMedusaEngine() = default;

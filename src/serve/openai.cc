@@ -1,0 +1,257 @@
+#include "serve/openai.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace medusa::serve {
+
+namespace {
+
+/** splitmix64 — the repo's standard cheap deterministic mixer. */
+u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+constexpr std::array<std::string_view, 32> kWords = {
+    "the",    "model",  "stream",  "graph",   "tensor", "cache",
+    "layer",  "token",  "batch",   "kernel",  "weight", "memory",
+    "device", "host",   "restore", "capture", "replay", "prefill",
+    "decode", "launch", "cold",    "warm",    "fast",   "start",
+    "state",  "page",   "block",   "queue",   "node",   "pool",
+    "shard",  "rank",
+};
+
+StatusOr<u32>
+positiveIntField(const Json &body, std::string_view key, u32 fallback,
+                 u32 max)
+{
+    const Json *v = body.find(key);
+    if (v == nullptr || v->isNull()) {
+        return fallback;
+    }
+    if (!v->isNumber() || v->asNumber() < 1 ||
+        v->asNumber() != std::floor(v->asNumber())) {
+        return invalidArgument(std::string(key) +
+                               " must be a positive integer");
+    }
+    if (v->asNumber() > static_cast<f64>(max)) {
+        return invalidArgument(std::string(key) + " exceeds the limit " +
+                               std::to_string(max));
+    }
+    return static_cast<u32>(v->asNumber());
+}
+
+} // namespace
+
+u32
+approxTokenCount(std::string_view text)
+{
+    return static_cast<u32>(
+        std::max<std::size_t>(1, (text.size() + 3) / 4));
+}
+
+std::string
+tokenText(u64 seed, u32 index)
+{
+    const u64 h = mix64(seed * 0x100000001b3ull + index);
+    std::string out(kWords[h & 31]);
+    // Sentence-ish rhythm: a period roughly every 8th token.
+    if ((h >> 8 & 7) == 0) {
+        out.push_back('.');
+    }
+    return index == 0 ? out : " " + out;
+}
+
+std::string
+completionId(bool chat, u64 seed)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(mix64(seed ^ 0x6d64)));
+    return std::string(chat ? "chatcmpl-" : "cmpl-") + buf;
+}
+
+StatusOr<CompletionCall>
+parseCompletionCall(const Json &body, bool chat, const ApiLimits &limits)
+{
+    if (!body.isObject()) {
+        return invalidArgument("request body must be a JSON object");
+    }
+    CompletionCall call;
+    call.chat = chat;
+
+    const Json *model = body.find("model");
+    if (model == nullptr || !model->isString() ||
+        model->asString().empty()) {
+        return invalidArgument("'model' must be a non-empty string");
+    }
+    call.model = model->asString();
+
+    if (chat) {
+        const Json *messages = body.find("messages");
+        if (messages == nullptr || !messages->isArray() ||
+            messages->items().empty()) {
+            return invalidArgument(
+                "'messages' must be a non-empty array");
+        }
+        for (const Json &m : messages->items()) {
+            if (!m.isObject()) {
+                return invalidArgument("each message must be an object");
+            }
+            const Json *role = m.find("role");
+            const Json *content = m.find("content");
+            if (role == nullptr || !role->isString()) {
+                return invalidArgument(
+                    "each message needs a string 'role'");
+            }
+            if (content == nullptr || !content->isString()) {
+                return invalidArgument(
+                    "each message needs string 'content'");
+            }
+            if (!call.prompt.empty()) {
+                call.prompt.push_back('\n');
+            }
+            call.prompt += role->asString();
+            call.prompt += ": ";
+            call.prompt += content->asString();
+        }
+    } else {
+        const Json *prompt = body.find("prompt");
+        if (prompt == nullptr || !prompt->isString() ||
+            prompt->asString().empty()) {
+            return invalidArgument("'prompt' must be a non-empty string");
+        }
+        call.prompt = prompt->asString();
+    }
+
+    call.prompt_tokens = approxTokenCount(call.prompt);
+    if (call.prompt_tokens > limits.max_prompt_tokens) {
+        return invalidArgument(
+            "prompt is longer than the " +
+            std::to_string(limits.max_prompt_tokens) + "-token limit");
+    }
+
+    MEDUSA_ASSIGN_OR_RETURN(
+        call.max_tokens,
+        positiveIntField(body, "max_tokens", limits.default_max_tokens,
+                         limits.max_output_tokens));
+
+    if (const Json *stream = body.find("stream"); stream != nullptr) {
+        if (!stream->isBool()) {
+            return invalidArgument("'stream' must be a boolean");
+        }
+        call.stream = stream->asBool();
+    }
+    if (const Json *n = body.find("n");
+        n != nullptr && !n->isNull() &&
+        (!n->isNumber() || n->asNumber() != 1)) {
+        return invalidArgument("'n' != 1 is not supported");
+    }
+    return call;
+}
+
+std::string
+completionChunkJson(const CompletionCall &call, std::string_view id,
+                    std::string_view token, bool first)
+{
+    Json choice = Json::object();
+    choice.set("index", Json::number(0));
+    if (call.chat) {
+        Json delta = Json::object();
+        if (first) {
+            delta.set("role", Json::string("assistant"));
+        }
+        delta.set("content", Json::string(std::string(token)));
+        choice.set("delta", std::move(delta));
+    } else {
+        choice.set("text", Json::string(std::string(token)));
+    }
+    choice.set("finish_reason", Json::null());
+
+    Json chunk = Json::object();
+    chunk.set("id", Json::string(std::string(id)));
+    chunk.set("object", Json::string(call.chat
+                                         ? "chat.completion.chunk"
+                                         : "text_completion"));
+    chunk.set("model", Json::string(call.model));
+    chunk.set("choices", Json::array().push(std::move(choice)));
+    return chunk.dump();
+}
+
+std::string
+completionDoneJson(const CompletionCall &call, std::string_view id,
+                   std::string_view finish_reason)
+{
+    Json choice = Json::object();
+    choice.set("index", Json::number(0));
+    if (call.chat) {
+        choice.set("delta", Json::object());
+    } else {
+        choice.set("text", Json::string(""));
+    }
+    choice.set("finish_reason",
+               Json::string(std::string(finish_reason)));
+
+    Json chunk = Json::object();
+    chunk.set("id", Json::string(std::string(id)));
+    chunk.set("object", Json::string(call.chat
+                                         ? "chat.completion.chunk"
+                                         : "text_completion"));
+    chunk.set("model", Json::string(call.model));
+    chunk.set("choices", Json::array().push(std::move(choice)));
+    return chunk.dump();
+}
+
+std::string
+completionResponseJson(const CompletionCall &call, std::string_view id,
+                       std::string_view text, u32 completion_tokens,
+                       std::string_view finish_reason)
+{
+    Json choice = Json::object();
+    choice.set("index", Json::number(0));
+    if (call.chat) {
+        Json message = Json::object();
+        message.set("role", Json::string("assistant"));
+        message.set("content", Json::string(std::string(text)));
+        choice.set("message", std::move(message));
+    } else {
+        choice.set("text", Json::string(std::string(text)));
+    }
+    choice.set("finish_reason",
+               Json::string(std::string(finish_reason)));
+
+    Json usage = Json::object();
+    usage.set("prompt_tokens", Json::number(call.prompt_tokens));
+    usage.set("completion_tokens", Json::number(completion_tokens));
+    usage.set("total_tokens",
+              Json::number(call.prompt_tokens + completion_tokens));
+
+    Json resp = Json::object();
+    resp.set("id", Json::string(std::string(id)));
+    resp.set("object", Json::string(call.chat ? "chat.completion"
+                                              : "text_completion"));
+    resp.set("model", Json::string(call.model));
+    resp.set("choices", Json::array().push(std::move(choice)));
+    resp.set("usage", std::move(usage));
+    return resp.dump();
+}
+
+std::string
+errorJson(int status, std::string_view type, std::string_view message)
+{
+    Json err = Json::object();
+    err.set("message", Json::string(std::string(message)));
+    err.set("type", Json::string(std::string(type)));
+    err.set("code", Json::number(status));
+    Json body = Json::object();
+    body.set("error", std::move(err));
+    return body.dump();
+}
+
+} // namespace medusa::serve

@@ -1,4 +1,4 @@
-#include "serverless/cluster.h"
+#include "serverless/cluster_internal.h"
 
 #include <algorithm>
 #include <deque>
@@ -496,32 +496,5 @@ simulateClusterLegacy(const ClusterOptions &options,
 }
 
 } // namespace detail
-
-TraceMetrics
-simulateCluster(const ClusterOptions &options,
-                const ServingProfile &profile,
-                const std::vector<workload::Request> &trace)
-{
-    if (options.engine == SimEngine::kLegacy) {
-        MEDUSA_CHECK(options.policy == SchedulerPolicy::kBaseline &&
-                         options.num_models <= 1,
-                     "the legacy event loop supports neither scheduler "
-                     "policies nor multi-model traces");
-        MEDUSA_CHECK((options.chaos == nullptr ||
-                      !options.chaos->enabled()) &&
-                         !options.slo.enabled(),
-                     "the legacy event loop supports neither chaos "
-                     "plans nor SLO policies");
-        return detail::simulateClusterLegacy(options, profile, trace);
-    }
-    if (options.chaos == nullptr) {
-        if (const ChaosPlan *env = envChaosPlan(); env != nullptr) {
-            ClusterOptions armed = options;
-            armed.chaos = env;
-            return detail::simulateClusterFast(armed, profile, trace);
-        }
-    }
-    return detail::simulateClusterFast(options, profile, trace);
-}
 
 } // namespace medusa::serverless

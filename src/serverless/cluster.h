@@ -110,9 +110,22 @@ struct SloPolicy
     }
 };
 
-/** Cluster and autoscaler configuration. */
+/**
+ * Cluster and autoscaler configuration — the single request-path
+ * options surface shared by the discrete-event simulator
+ * (simulateCluster) and the serving control plane
+ * (serve::ServeOptions embeds one of these verbatim). Knobs here are
+ * never duplicated into serve-side structs; serve adds only
+ * front-end concerns (socket, pacing, limits) on top.
+ */
 struct ClusterOptions
 {
+    /**
+     * Measured engine latencies driving the step model (cold start,
+     * prefill, decode, capture penalties). Required by
+     * simulateCluster and serve::Server; must outlive the run.
+     */
+    const ServingProfile *profile = nullptr;
     /** GPUs available (the paper's trace platform has 4 A100s). */
     u32 num_gpus = 4;
     /** Max concurrently running sequences per instance. */
@@ -328,26 +341,15 @@ struct TraceMetrics
     MetricsSnapshot metrics;
 };
 
-/** Replay a trace against a cluster running the profiled engine. */
+/**
+ * Replay a trace against a cluster running the profiled engine. The
+ * one public entry point: options.engine selects the event core
+ * (kFast is serve::Scheduler driven in sim mode; kLegacy the
+ * equivalence oracle), options.profile must be set. Implemented in
+ * src/serve/sim.cc on top of the extracted Scheduler.
+ */
 TraceMetrics simulateCluster(const ClusterOptions &options,
-                             const ServingProfile &profile,
                              const std::vector<workload::Request> &trace);
-
-namespace detail {
-
-/** The std::function EventLoop implementation (cluster.cc). */
-TraceMetrics
-simulateClusterLegacy(const ClusterOptions &options,
-                      const ServingProfile &profile,
-                      const std::vector<workload::Request> &trace);
-
-/** The zero-allocation EventEngine implementation (cluster_fast.cc). */
-TraceMetrics
-simulateClusterFast(const ClusterOptions &options,
-                    const ServingProfile &profile,
-                    const std::vector<workload::Request> &trace);
-
-} // namespace detail
 
 } // namespace medusa::serverless
 

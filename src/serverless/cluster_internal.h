@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Engine-variant entry points behind the public simulateCluster()
+ * facade. Internal: the only intended callers are the dispatcher in
+ * src/serve/sim.cc and cluster_equiv_test, which pins the two
+ * implementations bit-identical against each other.
+ */
+
+#ifndef MEDUSA_SERVERLESS_CLUSTER_INTERNAL_H
+#define MEDUSA_SERVERLESS_CLUSTER_INTERNAL_H
+
+#include "serverless/cluster.h"
+
+namespace medusa::serverless::detail {
+
+/** The std::function EventLoop implementation (cluster.cc). */
+TraceMetrics
+simulateClusterLegacy(const ClusterOptions &options,
+                      const ServingProfile &profile,
+                      const std::vector<workload::Request> &trace);
+
+/**
+ * The zero-allocation EventEngine implementation: serve::Scheduler
+ * driven by the external-arrival-cursor sim loop (src/serve/sim.cc).
+ */
+TraceMetrics
+simulateClusterFast(const ClusterOptions &options,
+                    const ServingProfile &profile,
+                    const std::vector<workload::Request> &trace);
+
+} // namespace medusa::serverless::detail
+
+#endif // MEDUSA_SERVERLESS_CLUSTER_INTERNAL_H

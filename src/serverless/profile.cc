@@ -95,8 +95,8 @@ buildServingProfile(const ProfileOptions &opts)
         mopts.warm_container = opts.warm_container;
         MEDUSA_ASSIGN_OR_RETURN(
             medusa, core::MedusaEngine::coldStart(mopts, *opts.artifact));
-        profile.loading_sec = medusa->times().loading;
-        profile.cold_start_sec = medusa->times().coldStart();
+        profile.loading_sec = medusa->coldStartReport().times.loading;
+        profile.cold_start_sec = medusa->coldStartReport().times.coldStart();
         rt = &medusa->runtime();
     } else {
         llm::BaselineEngine::Options bopts;
@@ -107,8 +107,8 @@ buildServingProfile(const ProfileOptions &opts)
         bopts.warm_container = opts.warm_container;
         MEDUSA_ASSIGN_OR_RETURN(baseline,
                                 llm::BaselineEngine::coldStart(bopts));
-        profile.loading_sec = baseline->times().loading;
-        profile.cold_start_sec = baseline->times().coldStart();
+        profile.loading_sec = baseline->coldStartReport().times.loading;
+        profile.cold_start_sec = baseline->coldStartReport().times.coldStart();
         rt = &baseline->runtime();
     }
 

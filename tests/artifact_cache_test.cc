@@ -50,9 +50,9 @@ TEST(ArtifactCache, MissLoadsThenHitsShareThePointer)
     EXPECT_EQ(loads, 1);
     EXPECT_EQ(first->get(), second->get());
 
-    const ArtifactCache::Stats stats = cache.stats();
-    EXPECT_EQ(stats.misses, 1u);
-    EXPECT_EQ(stats.hits, 1u);
+    const MetricsSnapshot stats = cache.metricsSnapshot();
+    EXPECT_EQ(stats.counterValue("artifact_cache.misses"), 1u);
+    EXPECT_EQ(stats.counterValue("artifact_cache.hits"), 1u);
     EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -84,9 +84,10 @@ TEST(ArtifactCache, SingleFlightRunsTheLoaderOnce)
     for (int i = 1; i < kThreads; ++i) {
         EXPECT_EQ(got[0].get(), got[i].get());
     }
-    const ArtifactCache::Stats stats = cache.stats();
-    EXPECT_EQ(stats.misses, 1u);
-    EXPECT_EQ(stats.hits, static_cast<u64>(kThreads - 1));
+    const MetricsSnapshot stats = cache.metricsSnapshot();
+    EXPECT_EQ(stats.counterValue("artifact_cache.misses"), 1u);
+    EXPECT_EQ(stats.counterValue("artifact_cache.hits"),
+              static_cast<u64>(kThreads - 1));
 }
 
 TEST(ArtifactCache, EvictsLeastRecentlyUsed)
@@ -110,7 +111,7 @@ TEST(ArtifactCache, EvictsLeastRecentlyUsed)
     ASSERT_TRUE(cache.getOrLoad("a", loadNamed("a")).isOk());
     ASSERT_TRUE(cache.getOrLoad("c", loadNamed("c")).isOk());
     EXPECT_EQ(cache.size(), 2u);
-    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.metricsSnapshot().counterValue("artifact_cache.evictions"), 1u);
 
     // b was evicted: fetching it again re-runs its loader. An evicted
     // artifact held elsewhere stays alive via its shared_ptr.
@@ -140,7 +141,7 @@ TEST(ArtifactCache, FailedLoadPropagatesAndRetries)
     auto first = cache.getOrLoad("k", flaky);
     ASSERT_FALSE(first.isOk());
     EXPECT_EQ(cache.size(), 0u);
-    EXPECT_EQ(cache.stats().failed_loads, 1u);
+    EXPECT_EQ(cache.metricsSnapshot().counterValue("artifact_cache.failed_loads"), 1u);
 
     auto second = cache.getOrLoad("k", flaky);
     ASSERT_TRUE(second.isOk());
@@ -202,8 +203,8 @@ TEST(ArtifactCache, ImageCacheSharesTheTemplate)
     EXPECT_EQ(loads, 1);
     EXPECT_EQ(first->get(), second->get());
     EXPECT_EQ((*first)->model_name, opts.model.name);
-    EXPECT_EQ(cache.stats().hits, 1u);
-    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.metricsSnapshot().counterValue("artifact_cache.hits"), 1u);
+    EXPECT_EQ(cache.metricsSnapshot().counterValue("artifact_cache.misses"), 1u);
 }
 
 TEST(ArtifactCache, FailedLoadUnblocksWaitersWhoRetry)
@@ -238,7 +239,7 @@ TEST(ArtifactCache, FailedLoadUnblocksWaitersWhoRetry)
         t.join();
     }
     EXPECT_EQ(ok.load(), kThreads);
-    EXPECT_EQ(cache.stats().failed_loads, 1u);
+    EXPECT_EQ(cache.metricsSnapshot().counterValue("artifact_cache.failed_loads"), 1u);
 }
 
 TEST(ArtifactCache, ClearDropsResidentEntries)

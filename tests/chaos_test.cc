@@ -43,6 +43,15 @@ toyProfile(f64 cold_start = 2.0)
     return p;
 }
 
+/** Sets options.profile and calls the public simulateCluster entry. */
+TraceMetrics
+runCluster(ClusterOptions opts, const ServingProfile &profile,
+           const std::vector<workload::Request> &trace)
+{
+    opts.profile = &profile;
+    return simulateCluster(opts, trace);
+}
+
 /** n requests, gap seconds apart, cycling over num_models model ids. */
 std::vector<workload::Request>
 makeTrace(u32 n, f64 gap, u16 num_models = 1, f64 deadline = 0)
@@ -294,7 +303,7 @@ TEST(ChaosSimTest, InstanceCrashesRequeueAndRequestsStillFinish)
     opts.chaos = &plan;
     const auto trace = makeTrace(400, 0.25);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.instance_crashes, 0u);
     EXPECT_GT(m.requeued_requests, 0u);
     EXPECT_GT(m.completed, 0u);
@@ -317,7 +326,7 @@ TEST(ChaosSimTest, NodeCrashDropsResidencyAndRecovers)
     opts.chaos = &plan;
     const auto trace = makeTrace(500, 0.2, /*num_models=*/2);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.node_crashes, 0u);
     EXPECT_GT(m.node_recoveries, 0u);
     EXPECT_GT(m.lost_residency, 0u);
@@ -343,7 +352,7 @@ TEST(ChaosSimTest, StoreOutageChargesWaitOnFetches)
     opts.chaos = &plan;
     const auto trace = makeTrace(300, 0.5, /*num_models=*/2);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.store_outages, 0u);
     EXPECT_GT(m.store_outage_delay_sec, 0.0);
     expectConserved(m, trace.size());
@@ -367,7 +376,7 @@ TEST(ChaosSimTest, GrayWindowsSlowFetches)
     opts.chaos = &plan;
     const auto trace = makeTrace(300, 0.5, /*num_models=*/2);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.gray_windows, 0u);
     EXPECT_GT(m.gray_fetches, 0u);
     expectConserved(m, trace.size());
@@ -392,7 +401,7 @@ TEST(ChaosSimTest, DegradeToVanillaDuringOutage)
     opts.slo.degrade_to_vanilla = true;
     const auto trace = makeTrace(300, 0.5, /*num_models=*/2);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.degraded_launches, 0u);
     expectConserved(m, trace.size());
 }
@@ -411,7 +420,7 @@ TEST(ChaosSimTest, RetryBudgetExhaustionFailsRequests)
     opts.slo.shed_on_deadline = false;
     const auto trace = makeTrace(300, 0.5);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.failed_requests, 0u);
     EXPECT_EQ(m.slo_retries, 0u);
     expectConserved(m, trace.size());
@@ -429,7 +438,7 @@ TEST(ChaosSimTest, BoundedRetriesAreCounted)
     opts.slo.max_retries = 5;
     const auto trace = makeTrace(300, 0.5);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.slo_retries, 0u);
     EXPECT_GE(m.requeued_requests, m.slo_retries + m.failed_requests);
     expectConserved(m, trace.size());
@@ -444,7 +453,7 @@ TEST(ChaosSimTest, AdmissionControlShedsDoomedWork)
     opts.slo.admission_control = true;
     const auto trace = makeTrace(100, 0.05);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(2.0), trace);
+        runCluster(opts, toyProfile(2.0), trace);
     EXPECT_GT(m.shed_admission, 0u);
     expectConserved(m, trace.size());
 }
@@ -459,7 +468,7 @@ TEST(ChaosSimTest, DeadlineSheddingDrainsTheQueue)
     // A burst far beyond one GPU's capacity: queued requests expire.
     const auto trace = makeTrace(200, 0.01);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.shed_deadline, 0u);
     expectConserved(m, trace.size());
 }
@@ -471,7 +480,7 @@ TEST(ChaosSimTest, DeadlineAccountingAndGoodput)
     opts.slo.default_ttft_sec = 60.0; // generous: everything meets it
     const auto trace = makeTrace(50, 0.5);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_EQ(m.completed, trace.size());
     EXPECT_EQ(m.deadline_met + m.deadline_missed, m.completed);
     EXPECT_GT(m.deadline_met, 0u);
@@ -490,7 +499,7 @@ TEST(ChaosSimTest, TraceDeadlinesOverridePolicyDefault)
     // Trace-level deadlines are tiny even though the default is huge.
     const auto trace = makeTrace(200, 0.01, 1, /*deadline=*/0.5);
     const TraceMetrics m =
-        simulateCluster(opts, toyProfile(1.0), trace);
+        runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(m.shed_deadline, 0u);
     expectConserved(m, trace.size());
 }
@@ -527,9 +536,9 @@ TEST(ChaosSimTest, ConcurrentRunsAreBitIdentical)
 
     TraceMetrics a, b;
     std::thread ta(
-        [&] { a = simulateCluster(opts, profile, trace); });
+        [&] { a = runCluster(opts, profile, trace); });
     std::thread tb(
-        [&] { b = simulateCluster(opts, profile, trace); });
+        [&] { b = runCluster(opts, profile, trace); });
     ta.join();
     tb.join();
 

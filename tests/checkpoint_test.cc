@@ -87,9 +87,9 @@ TEST(CheckpointTest, RestoreFasterThanColdStartSlowerThanMedusa)
     // tiny model, is dominated by the KV reservation and can exceed
     // the cold start itself — checkpoints ship state Medusa rebuilds
     // for free). Medusa is the fastest path either way.
-    EXPECT_LT((*medusa)->times().loading,
+    EXPECT_LT((*medusa)->coldStartReport().times.loading,
               (*restored)->times().loading);
-    EXPECT_LT((*medusa)->times().loading, donor->times().loading);
+    EXPECT_LT((*medusa)->coldStartReport().times.loading, donor->coldStartReport().times.loading);
     EXPECT_NEAR((*restored)->times().loading,
                 units::nsToSec(CostModel{}.ssdReadTime(
                     static_cast<f64>(image->totalBytes()))) +

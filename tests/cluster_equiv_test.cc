@@ -20,7 +20,8 @@
 
 #include "common/fault.h"
 #include "medusa/artifact_cache.h"
-#include "serverless/cluster.h"
+#include "serve/scheduler.h"
+#include "serverless/cluster_internal.h"
 #include "workload/synthetic.h"
 #include "workload/trace.h"
 
@@ -68,8 +69,9 @@ runEngine(ClusterOptions opts, const ServingProfile &profile,
     opts.pipeline.metrics = &reg;
     opts.artifact_cache = cache;
     opts.engine = engine;
+    opts.profile = &profile;
     RunResult r;
-    r.metrics = simulateCluster(opts, profile, trace);
+    r.metrics = simulateCluster(opts, trace);
     r.chrome_json = rec.toChromeJson();
     r.metrics_json = reg.toJson();
     return r;
@@ -270,6 +272,7 @@ TEST(ClusterEquivTest, MillionRequestRunIsDeterministic)
 
     TraceMetrics a = detail::simulateClusterFast(opts, p, trace);
     TraceMetrics b = detail::simulateClusterFast(opts, p, trace);
+
     EXPECT_EQ(a.completed, 1000000u);
     EXPECT_EQ(a.ttft_sec.samples(), b.ttft_sec.samples());
     EXPECT_EQ(a.e2e_sec.samples(), b.e2e_sec.samples());
@@ -283,6 +286,70 @@ TEST(ClusterEquivTest, MillionRequestRunIsDeterministic)
     // the whole batch.)
     EXPECT_GT(a.sim_events, 1000000u);
     EXPECT_GT(a.peak_live_instances, 100u);
+}
+
+/**
+ * Serve-mode parity (DESIGN.md §17): the same trace driven through the
+ * serve-style Scheduler API — explicit submit() + advanceTo() with
+ * live RequestHooks observing every token — must stay bit-identical to
+ * simulateCluster(). Hooks are pure observations; attaching them may
+ * not perturb a single float, span or metric.
+ */
+TEST(ClusterEquivTest, HookedSchedulerBitIdenticalToSimulateCluster)
+{
+    const ServingProfile p = toyProfile(2.0);
+    const auto trace = fig10Trace(6.0, 20250406ull);
+
+    ClusterOptions opts;
+    const RunResult sim = runEngine(opts, p, trace, SimEngine::kFast);
+
+    TraceRecorder rec;
+    MetricsRegistry reg;
+    ClusterOptions sopts;
+    sopts.pipeline.trace = &rec;
+    sopts.pipeline.metrics = &reg;
+    sopts.profile = &p;
+
+    u64 tokens = 0;
+    u64 firsts = 0;
+    u64 dones = 0;
+    serve::RequestHooks hooks;
+    hooks.on_first_token = [&](u32, f64) { ++firsts; };
+    hooks.on_token = [&](u32, u32, f64) { ++tokens; };
+    hooks.on_done = [&](u32, serve::RequestOutcome, f64) { ++dones; };
+
+    const f64 horizon = trace.empty() ? 0 : trace.back().arrival_sec;
+    serve::Scheduler sched(sopts, &hooks, horizon);
+    std::size_t next = 0;
+    for (;;) {
+        if (next < trace.size() &&
+            (sched.idle() ||
+             trace[next].arrival_sec <= sched.peekTime())) {
+            sched.advanceTo(trace[next].arrival_sec);
+            sched.submit(trace[next]);
+            ++next;
+            continue;
+        }
+        if (sched.idle()) {
+            break;
+        }
+        sched.step();
+    }
+    EXPECT_EQ(sched.submitted(), trace.size());
+    EXPECT_EQ(sched.inFlight(), 0u);
+
+    RunResult served;
+    served.metrics = sched.finish();
+    served.chrome_json = rec.toChromeJson();
+    served.metrics_json = reg.toJson();
+    expectBitIdentical(sim, served);
+
+    // Hook-stream consistency: every request reached a terminal state,
+    // every completion emitted a first token, and the token stream
+    // carries at least one token per completion.
+    EXPECT_EQ(dones, trace.size());
+    EXPECT_EQ(firsts, served.metrics.completed);
+    EXPECT_GE(tokens, served.metrics.completed);
 }
 
 // ---- chaos determinism suite (DESIGN.md §16) -----------------------------

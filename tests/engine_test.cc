@@ -73,7 +73,7 @@ TEST(EngineTest, NoCudaGraphSkipsCapture)
     auto engine = BaselineEngine::coldStart(opts);
     ASSERT_TRUE(engine.isOk());
     EXPECT_EQ((*engine)->runtime().graphCount(), 0u);
-    EXPECT_DOUBLE_EQ((*engine)->times().capture, 0.0);
+    EXPECT_DOUBLE_EQ((*engine)->coldStartReport().times.capture, 0.0);
     // Serving still works, eagerly.
     auto out = (*engine)->runtime().generate({5}, 3);
     EXPECT_TRUE(out.isOk());
@@ -91,12 +91,12 @@ TEST(EngineTest, AsyncLoadsFasterThanVllmButNotWithoutCapture)
     auto nograph = BaselineEngine::coldStart(opts);
     ASSERT_TRUE(vllm.isOk() && async.isOk() && nograph.isOk());
 
-    EXPECT_LT((*async)->times().loading, (*vllm)->times().loading);
-    EXPECT_LT((*nograph)->times().loading, (*async)->times().loading);
+    EXPECT_LT((*async)->coldStartReport().times.loading, (*vllm)->coldStartReport().times.loading);
+    EXPECT_LT((*nograph)->coldStartReport().times.loading, (*async)->coldStartReport().times.loading);
     // Raw stage durations are strategy-independent.
-    EXPECT_NEAR((*async)->times().struct_init,
-                (*vllm)->times().struct_init, 1e-9);
-    EXPECT_NEAR((*async)->times().kv_init, (*vllm)->times().kv_init,
+    EXPECT_NEAR((*async)->coldStartReport().times.struct_init,
+                (*vllm)->coldStartReport().times.struct_init, 1e-9);
+    EXPECT_NEAR((*async)->coldStartReport().times.kv_init, (*vllm)->coldStartReport().times.kv_init,
                 0.02);
 }
 
@@ -109,11 +109,11 @@ TEST(EngineTest, WarmContainerEliminatesRuntimeInit)
     opts.warm_container = false;
     auto cold = BaselineEngine::coldStart(opts);
     ASSERT_TRUE(warm.isOk() && cold.isOk());
-    EXPECT_DOUBLE_EQ((*warm)->times().runtime_init, 0.0);
-    EXPECT_GT((*cold)->times().runtime_init, 0.5);
-    EXPECT_NEAR((*cold)->times().coldStart(),
-                (*cold)->times().runtime_init +
-                    (*cold)->times().loading,
+    EXPECT_DOUBLE_EQ((*warm)->coldStartReport().times.runtime_init, 0.0);
+    EXPECT_GT((*cold)->coldStartReport().times.runtime_init, 0.5);
+    EXPECT_NEAR((*cold)->coldStartReport().times.coldStart(),
+                (*cold)->coldStartReport().times.runtime_init +
+                    (*cold)->coldStartReport().times.loading,
                 1e-9);
 }
 

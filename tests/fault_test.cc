@@ -252,7 +252,7 @@ TEST(FaultRestoreTest, RetrySucceedsAndAccountsWaste)
     auto engine = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
 
-    const core::RestoreReport &report = (*engine)->report();
+    const core::RestoreReport &report = (*engine)->coldStartReport().restore;
     EXPECT_EQ(report.restore_attempts, 2u);
     EXPECT_EQ(report.restore_failures, 1u);
     EXPECT_EQ(report.retries, 1u);
@@ -270,8 +270,8 @@ TEST(FaultRestoreTest, RetrySucceedsAndAccountsWaste)
     clean.restore.pipeline.fault = nullptr;
     auto reference = MedusaEngine::coldStart(clean, tinyArtifact());
     ASSERT_TRUE(reference.isOk());
-    EXPECT_GT((*engine)->times().loading,
-              (*reference)->times().loading);
+    EXPECT_GT((*engine)->coldStartReport().times.loading,
+              (*reference)->coldStartReport().times.loading);
 }
 
 TEST(FaultRestoreTest, VanillaFallbackYieldsWorkingEngine)
@@ -289,7 +289,7 @@ TEST(FaultRestoreTest, VanillaFallbackYieldsWorkingEngine)
     auto engine = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
 
-    const core::RestoreReport &report = (*engine)->report();
+    const core::RestoreReport &report = (*engine)->coldStartReport().restore;
     EXPECT_TRUE(report.fallback_vanilla);
     EXPECT_EQ(report.restore_attempts, 1u);
     EXPECT_EQ(report.restore_failures, 1u);
@@ -319,7 +319,7 @@ TEST(FaultRestoreTest, RetriesExhaustedDegradeToVanilla)
     auto engine = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
 
-    const core::RestoreReport &report = (*engine)->report();
+    const core::RestoreReport &report = (*engine)->coldStartReport().restore;
     EXPECT_EQ(report.restore_attempts, 3u);
     EXPECT_EQ(report.restore_failures, 3u);
     EXPECT_EQ(report.retries, 2u);
@@ -346,15 +346,15 @@ TEST(FaultRestoreTest, DisabledInjectionIsBitIdentical)
     auto hooked = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(hooked.isOk());
 
-    EXPECT_EQ((*plain)->times().loading, (*hooked)->times().loading);
-    EXPECT_EQ((*plain)->times().coldStart(),
-              (*hooked)->times().coldStart());
-    EXPECT_EQ((*plain)->report().graphs_restored,
-              (*hooked)->report().graphs_restored);
-    EXPECT_EQ((*plain)->report().nodes_restored,
-              (*hooked)->report().nodes_restored);
-    EXPECT_EQ((*hooked)->report().restore_attempts, 1u);
-    EXPECT_EQ((*hooked)->report().restore_failures, 0u);
+    EXPECT_EQ((*plain)->coldStartReport().times.loading, (*hooked)->coldStartReport().times.loading);
+    EXPECT_EQ((*plain)->coldStartReport().times.coldStart(),
+              (*hooked)->coldStartReport().times.coldStart());
+    EXPECT_EQ((*plain)->coldStartReport().restore.graphs_restored,
+              (*hooked)->coldStartReport().restore.graphs_restored);
+    EXPECT_EQ((*plain)->coldStartReport().restore.nodes_restored,
+              (*hooked)->coldStartReport().restore.nodes_restored);
+    EXPECT_EQ((*hooked)->coldStartReport().restore.restore_attempts, 1u);
+    EXPECT_EQ((*hooked)->coldStartReport().restore.restore_failures, 0u);
     EXPECT_EQ((*plain)->runtime().process().stateFingerprint(),
               (*hooked)->runtime().process().stateFingerprint());
 }
@@ -375,15 +375,15 @@ TEST(FaultCacheTest, RecordsFailureStatusAndBacksOff)
     ASSERT_FALSE(first.isOk());
     EXPECT_EQ(runs, 1);
     EXPECT_EQ(cache.keyFailure("k").code(), StatusCode::kInternal);
-    EXPECT_EQ(cache.stats().failed_loads, 1u);
-    EXPECT_EQ(cache.stats().last_failure.code(), StatusCode::kInternal);
+    EXPECT_EQ(cache.metricsSnapshot().counterValue("artifact_cache.failed_loads"), 1u);
+    EXPECT_EQ(cache.lastFailure().code(), StatusCode::kInternal);
 
     // An immediate retry waits out the backoff (counted), then runs
     // the loader again.
     auto second = cache.getOrLoad("k", failing);
     ASSERT_FALSE(second.isOk());
     EXPECT_EQ(runs, 2);
-    EXPECT_GE(cache.stats().backoff_waits, 1u);
+    EXPECT_GE(cache.metricsSnapshot().counterValue("artifact_cache.backoff_waits"), 1u);
 
     // Success clears the failure record.
     auto ok = cache.getOrLoad("k", [&]() -> StatusOr<core::Artifact> {
@@ -436,6 +436,15 @@ toyProfile()
     return p;
 }
 
+/** Sets options.profile and calls the public simulateCluster entry. */
+serverless::TraceMetrics
+runCluster(ClusterOptions opts, const ServingProfile &profile,
+           const std::vector<workload::Request> &trace)
+{
+    opts.profile = &profile;
+    return simulateCluster(opts, trace);
+}
+
 std::vector<workload::Request>
 simpleTrace(int n, f64 gap)
 {
@@ -465,7 +474,7 @@ TEST(FaultClusterTest, AllRequestsCompleteUnderRetryThenVanilla)
     // many faulted cold starts.
     opts.idle_timeout_sec = 1.0;
     const auto metrics =
-        simulateCluster(opts, toyProfile(), simpleTrace(20, 10.0));
+        runCluster(opts, toyProfile(), simpleTrace(20, 10.0));
     EXPECT_EQ(metrics.completed, 20u);
     EXPECT_GT(metrics.restore_failures, 0u);
     EXPECT_GT(metrics.wasted_restore_sec, 0.0);
@@ -481,12 +490,12 @@ TEST(FaultClusterTest, FaultFreeRunMatchesNoInjector)
 
     ClusterOptions plain;
     const auto a =
-        simulateCluster(plain, toyProfile(), simpleTrace(10, 1.0));
+        runCluster(plain, toyProfile(), simpleTrace(10, 1.0));
 
     ClusterOptions hooked;
     hooked.pipeline.fault = &idle;
     const auto b =
-        simulateCluster(hooked, toyProfile(), simpleTrace(10, 1.0));
+        runCluster(hooked, toyProfile(), simpleTrace(10, 1.0));
 
     EXPECT_EQ(a.completed, b.completed);
     EXPECT_EQ(a.cold_starts, b.cold_starts);
@@ -509,7 +518,7 @@ TEST(FaultClusterTest, FailPolicyStillDrainsTheTrace)
     opts.pipeline.fault = &injector;
     opts.fallback.mode = FallbackMode::kFail;
     const auto metrics =
-        simulateCluster(opts, toyProfile(), simpleTrace(10, 1.0));
+        runCluster(opts, toyProfile(), simpleTrace(10, 1.0));
     EXPECT_EQ(metrics.completed, 10u);
     EXPECT_GT(metrics.restore_failures, 0u);
     EXPECT_EQ(metrics.fallback_cold_starts, 0u);

@@ -194,10 +194,10 @@ TEST(ImageTest, PatchRestoreIsDeterministic)
               (*second)->runtime().process().stateFingerprint());
     EXPECT_EQ((*first)->runtime().allocator().stateFingerprint(),
               (*second)->runtime().allocator().stateFingerprint());
-    EXPECT_EQ((*first)->report().relocations_applied,
-              (*second)->report().relocations_applied);
-    EXPECT_EQ((*first)->report().graphs_patched,
-              (*second)->report().graphs_patched);
+    EXPECT_EQ((*first)->coldStartReport().restore.relocations_applied,
+              (*second)->coldStartReport().restore.relocations_applied);
+    EXPECT_EQ((*first)->coldStartReport().restore.graphs_patched,
+              (*second)->coldStartReport().restore.graphs_patched);
 }
 
 TEST(ImageTest, PatchRestoreFingerprintAndLogitsMatchRebuildPath)
@@ -234,7 +234,7 @@ TEST(ImageTest, PatchRestoreFingerprintAndLogitsMatchRebuildPath)
 
     // The patch report counts per-unique-kernel resolution and
     // relocations instead of per-node rebuild work.
-    const core::RestoreReport &pr = (*patch)->report();
+    const core::RestoreReport &pr = (*patch)->coldStartReport().restore;
     EXPECT_EQ(pr.graphs_patched, f.artifact.graphs.size());
     EXPECT_EQ(pr.nodes_restored, f.artifact.totalNodes());
     EXPECT_GT(pr.relocations_applied, 0u);

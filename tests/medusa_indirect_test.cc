@@ -75,8 +75,8 @@ TEST(IndirectPointerTest, ExtensionRestoresAcrossProcesses)
     auto engine = core::MedusaEngine::coldStart(eopts,
                                                 offline->artifact);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
-    EXPECT_TRUE((*engine)->report().validated);
-    EXPECT_EQ((*engine)->report().indirect_pointers_fixed, 3u * 35u);
+    EXPECT_TRUE((*engine)->coldStartReport().restore.validated);
+    EXPECT_EQ((*engine)->coldStartReport().restore.indirect_pointers_fixed, 3u * 35u);
 
     auto out = (*engine)->runtime().generate({1, 2, 3}, 6);
     ASSERT_TRUE(out.isOk());

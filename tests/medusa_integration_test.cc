@@ -72,7 +72,7 @@ TEST(MedusaIntegration, OnlineRestoreValidatesAgainstEager)
     auto engine = MedusaEngine::coldStart(eopts, offline->artifact);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
 
-    const core::RestoreReport &report = (*engine)->report();
+    const core::RestoreReport &report = (*engine)->coldStartReport().restore;
     EXPECT_TRUE(report.validated);
     EXPECT_EQ(report.graphs_restored, 35u);
     EXPECT_GT(report.kernels_via_dlsym, 0u);
@@ -157,7 +157,7 @@ TEST(MedusaIntegration, ArtifactSurvivesDiskRoundTrip)
     eopts.restore.pipeline.validate_batch_sizes = {8};
     auto engine = MedusaEngine::coldStart(eopts, *artifact);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
-    EXPECT_TRUE((*engine)->report().validated);
+    EXPECT_TRUE((*engine)->coldStartReport().restore.validated);
 }
 
 TEST(MedusaIntegration, WrongModelArtifactRejected)
@@ -225,13 +225,13 @@ TEST(MedusaIntegration, MedusaLoadingFasterThanBaselines)
     auto medusa = MedusaEngine::coldStart(mopts, offline->artifact);
     ASSERT_TRUE(medusa.isOk());
 
-    const f64 t_vllm = (*vllm)->times().loading;
-    const f64 t_async = (*async)->times().loading;
-    const f64 t_medusa = (*medusa)->times().loading;
+    const f64 t_vllm = (*vllm)->coldStartReport().times.loading;
+    const f64 t_async = (*async)->coldStartReport().times.loading;
+    const f64 t_medusa = (*medusa)->coldStartReport().times.loading;
     EXPECT_LT(t_async, t_vllm);
     EXPECT_LT(t_medusa, t_async);
     // KV-init restoration eliminates the profiling forwarding.
-    EXPECT_LT((*medusa)->times().kv_init, (*vllm)->times().kv_init);
+    EXPECT_LT((*medusa)->coldStartReport().times.kv_init, (*vllm)->coldStartReport().times.kv_init);
 }
 
 } // namespace

@@ -78,11 +78,11 @@ TEST(MedusaTpTest, RestoreValidatesAgainstReferenceCluster)
                                             offline.rank_artifacts);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
     for (u32 r = 0; r < 2; ++r) {
-        EXPECT_TRUE((*engine)->report(r).validated);
-        EXPECT_EQ((*engine)->report(r).graphs_restored, 3u);
-        EXPECT_GT((*engine)->report(r).kernels_via_enumeration, 0u);
+        EXPECT_TRUE((*engine)->rankRestoreReports()[r].validated);
+        EXPECT_EQ((*engine)->rankRestoreReports()[r].graphs_restored, 3u);
+        EXPECT_GT((*engine)->rankRestoreReports()[r].kernels_via_enumeration, 0u);
     }
-    EXPECT_GT((*engine)->loadingSec(), 0.0);
+    EXPECT_GT((*engine)->coldStartReport().loadingSec(), 0.0);
 }
 
 TEST(MedusaTpTest, RestoredClusterMatchesSingleGpuNumerics)

@@ -101,9 +101,9 @@ TEST(RestoreParallel, ColdStartDeterministicAcrossThreadCounts)
     for (u32 threads : {2u, 4u, 0u}) {
         auto parallel = coldStartWithThreads(threads, /*validate=*/true);
         ASSERT_TRUE(parallel.isOk()) << parallel.status().toString();
-        expectSameTimes((*serial)->times(), (*parallel)->times());
-        expectSameReport((*serial)->report(), (*parallel)->report());
-        EXPECT_TRUE((*parallel)->report().validated);
+        expectSameTimes((*serial)->coldStartReport().times, (*parallel)->coldStartReport().times);
+        expectSameReport((*serial)->coldStartReport().restore, (*parallel)->coldStartReport().restore);
+        EXPECT_TRUE((*parallel)->coldStartReport().restore.validated);
     }
 }
 
@@ -162,7 +162,7 @@ TEST(RestoreParallel, SkipContentsDropsPermanentAndFixesTogether)
     copts.restore.restore_contents = false;
     auto engine = MedusaEngine::coldStart(copts, *skipped);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
-    EXPECT_EQ((*engine)->report().restored_content_bytes, 0u);
+    EXPECT_EQ((*engine)->coldStartReport().restore.restored_content_bytes, 0u);
 }
 
 /** Offset of the section-table entry for @p id (24-byte entries). */
@@ -268,9 +268,9 @@ TEST(RestoreParallel, ConcurrentColdStartsShareOneArtifact)
     for (int i = 1; i < kEngines; ++i) {
         ASSERT_TRUE(results[i].isOk())
             << results[i].status().toString();
-        expectSameTimes((*results[0])->times(), (*results[i])->times());
-        expectSameReport((*results[0])->report(),
-                         (*results[i])->report());
+        expectSameTimes((*results[0])->coldStartReport().times, (*results[i])->coldStartReport().times);
+        expectSameReport((*results[0])->coldStartReport().restore,
+                         (*results[i])->coldStartReport().restore);
     }
 }
 
@@ -313,8 +313,8 @@ TEST(RestoreParallel, GraphBuildFaultRetrySucceedsDeterministically)
     opts.restore.fallback.mode = core::FallbackMode::kRetryThenVanilla;
     auto retried = MedusaEngine::coldStart(opts, sharedArtifact());
     ASSERT_TRUE(retried.isOk()) << retried.status().toString();
-    EXPECT_FALSE((*retried)->report().fallback_vanilla);
-    EXPECT_EQ((*retried)->report().restore_failures, 1u);
+    EXPECT_FALSE((*retried)->coldStartReport().restore.fallback_vanilla);
+    EXPECT_EQ((*retried)->coldStartReport().restore.restore_failures, 1u);
 
     auto clean = coldStartWithThreads(4);
     ASSERT_TRUE(clean.isOk());
@@ -323,10 +323,10 @@ TEST(RestoreParallel, GraphBuildFaultRetrySucceedsDeterministically)
     EXPECT_EQ(
         (*retried)->runtime().process().logicalStateFingerprint(),
         (*clean)->runtime().process().logicalStateFingerprint());
-    EXPECT_EQ((*retried)->report().graphs_restored,
-              (*clean)->report().graphs_restored);
-    EXPECT_EQ((*retried)->report().nodes_restored,
-              (*clean)->report().nodes_restored);
+    EXPECT_EQ((*retried)->coldStartReport().restore.graphs_restored,
+              (*clean)->coldStartReport().restore.graphs_restored);
+    EXPECT_EQ((*retried)->coldStartReport().restore.nodes_restored,
+              (*clean)->coldStartReport().restore.nodes_restored);
 }
 
 } // namespace

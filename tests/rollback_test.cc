@@ -149,7 +149,7 @@ TEST(RollbackTest, FallbackLogitsIdenticalToNeverRestoredEngine)
     eopts.restore.fallback.mode = FallbackMode::kVanillaColdStart;
     auto degraded = MedusaEngine::coldStart(eopts, tinyArtifact());
     ASSERT_TRUE(degraded.isOk()) << degraded.status().toString();
-    ASSERT_TRUE((*degraded)->report().fallback_vanilla);
+    ASSERT_TRUE((*degraded)->coldStartReport().restore.fallback_vanilla);
 
     // The consolidated report narrates the same story: the outcome, the
     // rollback and fallback spans, and the canonical restore.* metrics.
@@ -230,7 +230,7 @@ TEST(RollbackTest, TornPatchRollsBackAndFallsBackVanilla)
     eopts.restore.fallback.mode = FallbackMode::kVanillaColdStart;
     auto degraded = MedusaEngine::coldStartFromImage(eopts, *image);
     ASSERT_TRUE(degraded.isOk()) << degraded.status().toString();
-    ASSERT_TRUE((*degraded)->report().fallback_vanilla);
+    ASSERT_TRUE((*degraded)->coldStartReport().restore.fallback_vanilla);
     const ColdStartReport &cs = (*degraded)->coldStartReport();
     EXPECT_EQ(cs.outcome, ColdStartOutcome::kFellBack);
     EXPECT_TRUE(cs.hasSpan("restore.rollback"));
@@ -281,9 +281,9 @@ TEST(RollbackTest, TornPatchRetryRestoresWithFullFidelity)
     eopts.restore.fallback.mode = FallbackMode::kRetryThenVanilla;
     auto retried = MedusaEngine::coldStartFromImage(eopts, *image);
     ASSERT_TRUE(retried.isOk()) << retried.status().toString();
-    EXPECT_FALSE((*retried)->report().fallback_vanilla);
-    EXPECT_EQ((*retried)->report().restore_failures, 1u);
-    EXPECT_GT((*retried)->report().relocations_applied, 0u);
+    EXPECT_FALSE((*retried)->coldStartReport().restore.fallback_vanilla);
+    EXPECT_EQ((*retried)->coldStartReport().restore.restore_failures, 1u);
+    EXPECT_GT((*retried)->coldStartReport().restore.relocations_applied, 0u);
 
     MedusaEngine::Options clean_opts;
     clean_opts.model = tinyModel();
@@ -387,7 +387,7 @@ TEST(RollbackTest, TpRetryRollsBackEveryRankCoherently)
     // The rank-1 fault rolled BOTH ranks back; the retry restored the
     // whole cluster, and every rank carries the same accounting.
     for (u32 r = 0; r < 2; ++r) {
-        const core::RestoreReport &report = (*engine)->report(r);
+        const core::RestoreReport &report = (*engine)->rankRestoreReports()[r];
         EXPECT_EQ(report.restore_attempts, 2u) << "rank " << r;
         EXPECT_EQ(report.restore_failures, 1u) << "rank " << r;
         EXPECT_EQ(report.retries, 1u) << "rank " << r;
@@ -406,7 +406,7 @@ TEST(RollbackTest, TpRetryRollsBackEveryRankCoherently)
     EXPECT_EQ(cs.restore.graphs_restored, 4u); // 2 graphs x 2 ranks
     EXPECT_EQ(cs.metrics.counterValue("tp.ranks"), 2u);
     EXPECT_TRUE(cs.hasSpan("tp.rank_restore"));
-    EXPECT_DOUBLE_EQ(cs.times.loading, (*engine)->loadingSec());
+    EXPECT_DOUBLE_EQ(cs.times.loading, (*engine)->coldStartReport().loadingSec());
 }
 
 TEST(RollbackTest, TpFallbackDegradesAllRanksTogether)
@@ -430,7 +430,7 @@ TEST(RollbackTest, TpFallbackDegradesAllRanksTogether)
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
 
     for (u32 r = 0; r < 2; ++r) {
-        const core::RestoreReport &report = (*engine)->report(r);
+        const core::RestoreReport &report = (*engine)->rankRestoreReports()[r];
         EXPECT_TRUE(report.fallback_vanilla) << "rank " << r;
         EXPECT_EQ(report.restore_attempts, 1u) << "rank " << r;
         EXPECT_EQ(report.restore_failures, 1u) << "rank " << r;
@@ -495,8 +495,8 @@ TEST(RollbackTest, ColdStartReportCarriesSpansAndMergesUserSinks)
     EXPECT_EQ(registry.snapshot().counterValue("restore.attempts"), 1u);
 
     // Deprecated views stay coherent with the consolidated report.
-    EXPECT_DOUBLE_EQ((*engine)->times().loading, cs.times.loading);
-    EXPECT_EQ((*engine)->report().graphs_restored,
+    EXPECT_DOUBLE_EQ((*engine)->coldStartReport().times.loading, cs.times.loading);
+    EXPECT_EQ((*engine)->coldStartReport().restore.graphs_restored,
               cs.restore.graphs_restored);
 }
 

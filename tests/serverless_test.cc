@@ -64,6 +64,15 @@ toyProfile(f64 cold_start = 2.0)
     return p;
 }
 
+/** Sets options.profile and calls the public simulateCluster entry. */
+TraceMetrics
+runCluster(ClusterOptions opts, const ServingProfile &profile,
+           const std::vector<workload::Request> &trace)
+{
+    opts.profile = &profile;
+    return simulateCluster(opts, trace);
+}
+
 TEST(ProfileTest, InterpolatesAndExtrapolates)
 {
     const ServingProfile p = toyProfile();
@@ -93,7 +102,7 @@ TEST(ClusterTest, SingleRequestPaysColdStartPlusPrefill)
 {
     ClusterOptions opts;
     const ServingProfile p = toyProfile(2.0);
-    const auto metrics = simulateCluster(opts, p, simpleTrace(1, 1.0));
+    const auto metrics = runCluster(opts, p, simpleTrace(1, 1.0));
     EXPECT_EQ(metrics.completed, 1u);
     EXPECT_EQ(metrics.cold_starts, 1u);
     // TTFT = cold start (2.0) + prefill(100 tokens) = 2.1.
@@ -109,7 +118,7 @@ TEST(ClusterTest, WarmInstanceServesLaterRequestsQuickly)
     const ServingProfile p = toyProfile(2.0);
     // Second request arrives long after the first: instance is warm.
     auto trace = simpleTrace(2, 10.0);
-    const auto metrics = simulateCluster(opts, p, trace);
+    const auto metrics = runCluster(opts, p, trace);
     EXPECT_EQ(metrics.completed, 2u);
     EXPECT_EQ(metrics.cold_starts, 1u);
     EXPECT_NEAR(metrics.ttft_sec.samples()[1], 0.1, 1e-6);
@@ -121,7 +130,7 @@ TEST(ClusterTest, IdleInstanceReclaimedThenColdStartsAgain)
     opts.idle_timeout_sec = 3.0;
     const ServingProfile p = toyProfile(1.0);
     // Gap of 20 s >> idle timeout: the second request cold-starts anew.
-    const auto metrics = simulateCluster(opts, p, simpleTrace(2, 20.0));
+    const auto metrics = runCluster(opts, p, simpleTrace(2, 20.0));
     EXPECT_EQ(metrics.cold_starts, 2u);
     EXPECT_NEAR(metrics.ttft_sec.samples()[1], 1.1, 1e-6);
 }
@@ -133,7 +142,7 @@ TEST(ClusterTest, ScalesOutWhenInstanceFull)
     opts.num_gpus = 4;
     const ServingProfile p = toyProfile(1.0);
     // 12 simultaneous requests need 3 instances.
-    const auto metrics = simulateCluster(opts, p, simpleTrace(12, 0.0));
+    const auto metrics = runCluster(opts, p, simpleTrace(12, 0.0));
     EXPECT_EQ(metrics.completed, 12u);
     EXPECT_EQ(metrics.cold_starts, 3u);
 }
@@ -144,7 +153,7 @@ TEST(ClusterTest, GpuCountCapsScaleOut)
     opts.max_seqs_per_instance = 2;
     opts.num_gpus = 2;
     const ServingProfile p = toyProfile(1.0);
-    const auto metrics = simulateCluster(opts, p, simpleTrace(50, 0.0));
+    const auto metrics = runCluster(opts, p, simpleTrace(50, 0.0));
     EXPECT_EQ(metrics.completed, 50u);
     EXPECT_EQ(metrics.cold_starts, 2u); // no more GPUs than 2
 }
@@ -155,8 +164,8 @@ TEST(ClusterTest, FasterColdStartLowersTailTtft)
     opts.idle_timeout_sec = 2.0;
     // Requests spaced so each one finds a dead instance.
     const auto trace = simpleTrace(20, 10.0);
-    const auto slow = simulateCluster(opts, toyProfile(3.0), trace);
-    const auto fast = simulateCluster(opts, toyProfile(1.0), trace);
+    const auto slow = runCluster(opts, toyProfile(3.0), trace);
+    const auto fast = runCluster(opts, toyProfile(1.0), trace);
     EXPECT_GT(slow.ttft_sec.p99(), fast.ttft_sec.p99() + 1.5);
 }
 
@@ -169,8 +178,8 @@ TEST(ClusterTest, SlowerDecodeRaisesE2eNotTtftWhenWarm)
         v *= 10;
     }
     const auto trace = simpleTrace(5, 5.0, 100, 20);
-    const auto a = simulateCluster(opts, fast_decode, trace);
-    const auto b = simulateCluster(opts, slow_decode, trace);
+    const auto a = runCluster(opts, fast_decode, trace);
+    const auto b = runCluster(opts, slow_decode, trace);
     EXPECT_NEAR(a.ttft_sec.samples()[2], b.ttft_sec.samples()[2], 1e-6);
     EXPECT_GT(b.e2e_sec.p50(), a.e2e_sec.p50());
 }
@@ -179,7 +188,7 @@ TEST(ClusterTest, ThroughputAccountedOverMakespan)
 {
     ClusterOptions opts;
     const ServingProfile p = toyProfile(0.5);
-    const auto metrics = simulateCluster(opts, p, simpleTrace(100, 0.1));
+    const auto metrics = runCluster(opts, p, simpleTrace(100, 0.1));
     EXPECT_EQ(metrics.completed, 100u);
     EXPECT_GT(metrics.achieved_qps, 1.0);
     EXPECT_GT(metrics.makespan_sec, 9.0);
@@ -190,7 +199,7 @@ TEST(ClusterTest, HotSparesEliminateColdStarts)
     ClusterOptions opts;
     opts.hot_spares = 1;
     const ServingProfile p = toyProfile(2.0);
-    const auto metrics = simulateCluster(opts, p, simpleTrace(3, 30.0));
+    const auto metrics = runCluster(opts, p, simpleTrace(3, 30.0));
     EXPECT_EQ(metrics.cold_starts, 0u);
     // Every request is served warm: TTFT = prefill only.
     EXPECT_NEAR(metrics.ttft_sec.p99(), 0.1, 1e-6);
@@ -202,10 +211,10 @@ TEST(ClusterTest, HotSparesBilledForWholeRun)
     const auto trace = simpleTrace(2, 50.0);
     ClusterOptions on_demand;
     on_demand.idle_timeout_sec = 2.0;
-    const auto lean = simulateCluster(on_demand, p, trace);
+    const auto lean = runCluster(on_demand, p, trace);
     ClusterOptions spared;
     spared.hot_spares = 2;
-    const auto fat = simulateCluster(spared, p, trace);
+    const auto fat = runCluster(spared, p, trace);
     // Spares occupy GPUs for the whole makespan; on-demand instances
     // die between the widely-spaced requests.
     EXPECT_GT(fat.gpu_seconds, lean.gpu_seconds * 5);
@@ -223,7 +232,7 @@ TEST(ClusterTest, DeferredCapturePenaltyPaidOncePerBucket)
     // Two sequential single-seq requests on one warm instance: only
     // the first decode pays the bucket-1 capture penalty.
     auto trace = simpleTrace(2, 10.0, 100, 3);
-    const auto metrics = simulateCluster(opts, p, trace);
+    const auto metrics = runCluster(opts, p, trace);
     ASSERT_EQ(metrics.completed, 2u);
     const f64 e2e_first = metrics.e2e_sec.samples()[0];
     const f64 e2e_second = metrics.e2e_sec.samples()[1];
@@ -236,7 +245,7 @@ TEST(ClusterTest, DeferredCapturePenaltyPaidOncePerBucket)
 TEST(ClusterTest, EmptyTrace)
 {
     ClusterOptions opts;
-    const auto metrics = simulateCluster(opts, toyProfile(), {});
+    const auto metrics = runCluster(opts, toyProfile(), {});
     EXPECT_EQ(metrics.completed, 0u);
     EXPECT_EQ(metrics.cold_starts, 0u);
 }

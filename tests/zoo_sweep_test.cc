@@ -53,8 +53,8 @@ TEST_P(ZooSweepTest, OfflineOnlineRoundTripValidates)
     auto engine = core::MedusaEngine::coldStart(eopts,
                                                 offline->artifact);
     ASSERT_TRUE(engine.isOk()) << engine.status().toString();
-    EXPECT_TRUE((*engine)->report().validated);
-    EXPECT_GT((*engine)->report().kernels_via_enumeration, 0u);
+    EXPECT_TRUE((*engine)->coldStartReport().restore.validated);
+    EXPECT_GT((*engine)->coldStartReport().restore.kernels_via_enumeration, 0u);
 
     // A baseline engine and the restored engine generate identically.
     llm::BaselineEngine::Options bopts;
@@ -70,8 +70,8 @@ TEST_P(ZooSweepTest, OfflineOnlineRoundTripValidates)
     EXPECT_EQ(*a, *b);
 
     // And Medusa loads faster.
-    EXPECT_LT((*engine)->times().loading,
-              (*baseline)->times().loading);
+    EXPECT_LT((*engine)->coldStartReport().times.loading,
+              (*baseline)->coldStartReport().times.loading);
 }
 
 INSTANTIATE_TEST_SUITE_P(

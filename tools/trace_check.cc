@@ -422,9 +422,10 @@ checkMetrics(const JsonValue &root)
         metrics->kind != JsonValue::Kind::kObject) {
         return violation("metrics: 'metrics' must be an object");
     }
-    // The chaos / SLO counter namespaces are closed sets (DESIGN.md
-    // §16): a typo'd `cluster.chaos.*` name would silently dodge every
-    // dashboard, so unknown names in these prefixes are violations.
+    // The chaos / SLO / serving counter namespaces are closed sets
+    // (DESIGN.md §16–§17): a typo'd `cluster.chaos.*` or `server.*`
+    // name would silently dodge every dashboard, so unknown names in
+    // these prefixes are violations.
     static const char *const kChaosSloNames[] = {
         "cluster.chaos.node_crashes",
         "cluster.chaos.node_recoveries",
@@ -444,6 +445,20 @@ checkMetrics(const JsonValue &root)
         "cluster.slo.deadline_missed",
         "cluster.slo.goodput_qps",
     };
+    // The serving front end's counter set (serve::Server, DESIGN.md
+    // §17). Scheduler-side metrics stay under `cluster.*`.
+    static const char *const kServerNames[] = {
+        "server.requests",
+        "server.completions",
+        "server.chat_completions",
+        "server.streams",
+        "server.rejected",
+        "server.shed",
+        "server.failed",
+        "server.tokens_streamed",
+        "server.active_peak",
+        "server.drain_sec",
+    };
     for (const auto &[name, value] : metrics->object) {
         if (name.empty()) {
             return violation("metrics: empty metric name");
@@ -460,6 +475,20 @@ checkMetrics(const JsonValue &root)
             if (!known) {
                 return violation(
                     ("metrics: unknown chaos/slo metric '" + name + "'")
+                        .c_str());
+            }
+        }
+        if (name.rfind("server.", 0) == 0) {
+            bool known = false;
+            for (const char *candidate : kServerNames) {
+                if (name == candidate) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                return violation(
+                    ("metrics: unknown server metric '" + name + "'")
                         .c_str());
             }
         }
